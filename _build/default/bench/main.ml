@@ -1,0 +1,203 @@
+(* The benchmark harness.
+
+   Part 1 regenerates every experiment table (E1-E7) — the paper has no
+   empirical tables of its own, so these realize its figures, theorems and
+   the Section 7.1 analytical comparison as measurements (see DESIGN.md
+   section 2 and EXPERIMENTS.md for the mapping).
+
+   Part 2 runs Bechamel micro-benchmarks (B1-B6) for the complexity
+   claims of Section 7.1: precedence-graph construction, back-out
+   computation, the O(n^2) rewriters, pruning, and the end-to-end
+   protocols. *)
+
+open Repro_txn
+open Repro_history
+open Repro_precedence
+open Repro_rewrite
+open Repro_replication
+open Repro_experiments
+module Gen_wl = Repro_workload.Gen
+module Rng = Repro_workload.Rng
+module Engine = Repro_db.Engine
+
+let print_tables tables =
+  List.iter (fun t -> Format.printf "%a@.@." Table.pp t) tables
+
+let part1 () =
+  Format.printf "=== Part 1: experiment tables ===@.@.";
+  print_tables (E1_example1.tables (E1_example1.run ()));
+  print_tables [ E2_sync.table (E2_sync.run ~fleets:[ 2; 4; 8 ] ()) ];
+  print_tables [ E2_sync.window_table (E2_sync.run_windows ~windows:[ 15.0; 30.0; 60.0; 120.0 ] ()) ];
+  print_tables [ E3_savings.table (E3_savings.run ~skews:[ 0.0; 0.5; 0.9; 1.3 ] ()) ];
+  print_tables [ E4_commute.table (E4_commute.run ~fractions:[ 0.0; 0.25; 0.5; 0.75; 1.0 ] ()) ];
+  print_tables [ E5_cost.table (E5_cost.run ~overlaps:[ 0.0; 0.25; 0.5; 0.75; 1.0 ] ()) ];
+  print_tables [ E6_backout.table (E6_backout.run ~skews:[ 0.3; 0.9 ] ()) ];
+  print_tables [ E7_prune.table (E7_prune.run ~fractions:[ 0.25; 0.75; 1.0 ] ()) ];
+  print_tables [ E8_scaling.table (E8_scaling.run ~fleets:[ 1; 2; 4; 8; 16 ] ()) ];
+  print_tables [ A1_fixmode.table (A1_fixmode.run ~skews:[ 0.5; 1.0 ] ()) ];
+  print_tables [ A2_setmode.table (A2_setmode.run ~skews:[ 0.5; 1.0 ] ()) ];
+  print_tables [ A3_strategy.table (A3_strategy.run ~skews:[ 0.9 ] ()) ]
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: Bechamel micro-benchmarks *)
+
+let theory = Semantics.default_theory
+
+(* One fixed case per history length, built once outside the timed
+   region. *)
+let case_of_length n =
+  Mergecase.generate ~seed:(500 + n)
+    ~profile:{ Gen_wl.default_profile with Gen_wl.zipf_skew = 0.9 }
+    ~tentative_len:n ~base_len:(n / 2) ~strategy:Backout.Two_cycle_then_greedy
+
+let bench_tests () =
+  let lengths = [ 16; 64; 256 ] in
+  let cases = List.map (fun n -> (n, case_of_length n)) lengths in
+  let graph_tests =
+    List.map
+      (fun (n, case) ->
+        let tentative = History.execute case.Mergecase.s0 case.Mergecase.tentative in
+        let base = History.execute case.Mergecase.s0 case.Mergecase.base in
+        Bechamel.Test.make
+          ~name:(Printf.sprintf "precedence-graph/n=%d" n)
+          (Bechamel.Staged.stage (fun () ->
+               ignore (Precedence.of_executions ~tentative ~base))))
+      cases
+  in
+  let backout_tests =
+    List.map
+      (fun (n, case) ->
+        Bechamel.Test.make
+          ~name:(Printf.sprintf "backout-two-cycle/n=%d" n)
+          (Bechamel.Staged.stage (fun () ->
+               if not (Precedence.is_acyclic case.Mergecase.pg) then
+                 ignore
+                   (Backout.compute ~strategy:Backout.Two_cycle_then_greedy case.Mergecase.pg))))
+      cases
+  in
+  let rewrite_tests alg tag =
+    List.map
+      (fun (n, case) ->
+        Bechamel.Test.make
+          ~name:(Printf.sprintf "rewrite-%s/n=%d" tag n)
+          (Bechamel.Staged.stage (fun () ->
+               ignore
+                 (Rewrite.run ~theory ~fix_mode:Rewrite.Exact alg ~s0:case.Mergecase.s0
+                    case.Mergecase.tentative ~bad:case.Mergecase.bad))))
+      cases
+  in
+  let prune_tests =
+    List.concat_map
+      (fun (n, case) ->
+        let rw =
+          Rewrite.run ~theory ~fix_mode:Rewrite.Exact Rewrite.Can_follow_precede
+            ~s0:case.Mergecase.s0 case.Mergecase.tentative ~bad:case.Mergecase.bad
+        in
+        [
+          Bechamel.Test.make
+            ~name:(Printf.sprintf "prune-undo/n=%d" n)
+            (Bechamel.Staged.stage (fun () -> ignore (Prune.undo rw)));
+          Bechamel.Test.make
+            ~name:(Printf.sprintf "prune-compensate/n=%d" n)
+            (Bechamel.Staged.stage (fun () -> ignore (Prune.compensate rw)));
+        ])
+      cases
+  in
+  let protocol_tests =
+    List.concat_map
+      (fun (n, case) ->
+        let base_programs = History.programs case.Mergecase.base in
+        let tentative = case.Mergecase.tentative in
+        let s0 = case.Mergecase.s0 in
+        let run_merge () =
+          let engine = Engine.create s0 in
+          let base_history =
+            List.map
+              (fun p -> { Protocol.program = p; Protocol.record = Engine.execute engine p })
+              base_programs
+          in
+          ignore
+            (Protocol.merge ~config:Protocol.default_merge_config ~params:Cost.default_params
+               ~base:engine ~base_history ~origin:s0 ~tentative)
+        in
+        let run_reprocess () =
+          let engine = Engine.create s0 in
+          List.iter (fun p -> ignore (Engine.execute engine p)) base_programs;
+          ignore
+            (Protocol.reprocess ~acceptance:Protocol.accept_always ~params:Cost.default_params
+               ~base:engine ~origin:s0 ~tentative)
+        in
+        [
+          Bechamel.Test.make
+            ~name:(Printf.sprintf "protocol-merge/n=%d" n)
+            (Bechamel.Staged.stage run_merge);
+          Bechamel.Test.make
+            ~name:(Printf.sprintf "protocol-reprocess/n=%d" n)
+            (Bechamel.Staged.stage run_reprocess);
+        ])
+      cases
+  in
+  let static_rewrite_tests =
+    List.map
+      (fun (n, case) ->
+        Bechamel.Test.make
+          ~name:(Printf.sprintf "rewrite-alg2-static/n=%d" n)
+          (Bechamel.Staged.stage (fun () ->
+               ignore
+                 (Rewrite.run ~theory ~fix_mode:Rewrite.Exact ~set_mode:Rewrite.Static
+                    Rewrite.Can_follow_precede ~s0:case.Mergecase.s0 case.Mergecase.tentative
+                    ~bad:case.Mergecase.bad))))
+      cases
+  in
+  let damage_backout_tests =
+    (* quadratic closure recomputation per victim: keep to small sizes *)
+    List.filter_map
+      (fun (n, case) ->
+        if n > 64 then None
+        else
+          Some
+            (Bechamel.Test.make
+               ~name:(Printf.sprintf "backout-greedy-damage/n=%d" n)
+               (Bechamel.Staged.stage (fun () ->
+                    if not (Precedence.is_acyclic case.Mergecase.pg) then
+                      ignore (Backout.compute ~strategy:Backout.Greedy_damage case.Mergecase.pg)))))
+      cases
+  in
+  graph_tests @ backout_tests @ damage_backout_tests
+  @ rewrite_tests Rewrite.Can_follow "alg1"
+  @ rewrite_tests Rewrite.Can_follow_precede "alg2"
+  @ rewrite_tests Rewrite.Commute_only "cbt"
+  @ static_rewrite_tests @ prune_tests @ protocol_tests
+
+let part2 () =
+  Format.printf "=== Part 2: micro-benchmarks (Bechamel, monotonic clock) ===@.@.";
+  let open Bechamel in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:(Some 500) () in
+  let grouped = Test.make_grouped ~name:"repro" ~fmt:"%s %s" (bench_tests ()) in
+  let raw = Benchmark.all cfg [ instance ] grouped in
+  let results = Analyze.all ols instance raw in
+  let rows = Hashtbl.fold (fun name result acc -> (name, result) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  Format.printf "%-40s %14s@." "benchmark" "time/run";
+  Format.printf "%s@." (String.make 56 '-');
+  List.iter
+    (fun (name, result) ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] ->
+        let pretty =
+          if est > 1_000_000.0 then Printf.sprintf "%8.2f ms" (est /. 1_000_000.0)
+          else if est > 1_000.0 then Printf.sprintf "%8.2f us" (est /. 1_000.0)
+          else Printf.sprintf "%8.0f ns" est
+        in
+        Format.printf "%-40s %14s@." name pretty
+      | _ -> Format.printf "%-40s %14s@." name "n/a")
+    rows
+
+let () =
+  part1 ();
+  part2 ();
+  Format.printf "@.bench: done@."

@@ -1,0 +1,348 @@
+(* Command-line driver for the reproduction: run any experiment with
+   custom parameters, dump CSV, or run a single ad-hoc simulation.
+
+   dune exec bin/repro_cli.exe -- <command> [options]            *)
+
+open Cmdliner
+open Repro_experiments
+
+let print_tables ~csv tables =
+  List.iter
+    (fun t ->
+      if csv then print_endline (Table.to_csv t)
+      else Format.printf "%a@.@." Table.pp t)
+    tables
+
+let csv_flag =
+  Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of aligned tables.")
+
+let seeds_arg default =
+  Arg.(value & opt int default & info [ "seeds" ] ~docv:"N" ~doc:"Samples per sweep point.")
+
+let floats_arg names default ~doc =
+  Arg.(value & opt (list float) default & info names ~docv:"X,Y,..." ~doc)
+
+(* e1 *)
+let e1_cmd =
+  let dot =
+    Arg.(
+      value & flag
+      & info [ "dot" ] ~doc:"Emit the Example 1 precedence graph in Graphviz dot format instead.")
+  in
+  let run csv dot =
+    if dot then
+      let pg =
+        Repro_precedence.Precedence.build ~tentative:Repro_core.Paper.example1_tentative
+          ~base:Repro_core.Paper.example1_base
+      in
+      print_string
+        (Repro_precedence.Dot.render
+           ~removed:(Repro_history.Names.Set.of_names [ "Tm3"; "Tm4" ])
+           pg)
+    else print_tables ~csv (E1_example1.tables (E1_example1.run ()))
+  in
+  Cmd.v
+    (Cmd.info "e1" ~doc:"Figure 1 / Example 1: precedence graph, cycle, back-out, merge order.")
+    Term.(const run $ csv_flag $ dot)
+
+(* e2 *)
+let e2_cmd =
+  let fleets =
+    Arg.(
+      value
+      & opt (list int) [ 2; 4; 8 ]
+      & info [ "fleets" ] ~docv:"N,M,..." ~doc:"Mobile fleet sizes to simulate.")
+  in
+  let duration =
+    Arg.(value & opt float 150.0 & info [ "duration" ] ~docv:"T" ~doc:"Simulated time.")
+  in
+  let windows =
+    Arg.(
+      value
+      & opt (list float) [ 15.0; 30.0; 60.0; 120.0 ]
+      & info [ "windows" ] ~docv:"W,..." ~doc:"Window lengths for the Strategy 2 sweep.")
+  in
+  let run csv fleets duration windows =
+    print_tables ~csv [ E2_sync.table (E2_sync.run ~duration ~fleets ()) ];
+    print_tables ~csv [ E2_sync.window_table (E2_sync.run_windows ~windows ()) ]
+  in
+  Cmd.v
+    (Cmd.info "e2" ~doc:"Section 2.2 / Figure 2: Strategy 1 anomalies vs Strategy 2 windows.")
+    Term.(const run $ csv_flag $ fleets $ duration $ windows)
+
+(* e3 *)
+let e3_cmd =
+  let skews = floats_arg [ "skews" ] [ 0.0; 0.5; 0.9; 1.3 ] ~doc:"Zipf skews to sweep." in
+  let commuting =
+    Arg.(
+      value & opt float 0.5
+      & info [ "commuting" ] ~docv:"F" ~doc:"Fraction of commuting transaction types.")
+  in
+  let run csv seeds skews commuting =
+    print_tables ~csv [ E3_savings.table (E3_savings.run ~seeds ~commuting ~skews ()) ]
+  in
+  Cmd.v
+    (Cmd.info "e3" ~doc:"Theorem 3: transactions saved per rewriter vs conflict rate.")
+    Term.(const run $ csv_flag $ seeds_arg 30 $ skews $ commuting)
+
+(* e4 *)
+let e4_cmd =
+  let fractions =
+    floats_arg [ "fractions" ] [ 0.0; 0.25; 0.5; 0.75; 1.0 ]
+      ~doc:"Commuting-type fractions to sweep."
+  in
+  let run csv seeds fractions =
+    print_tables ~csv [ E4_commute.table (E4_commute.run ~seeds ~fractions ()) ]
+  in
+  Cmd.v
+    (Cmd.info "e4" ~doc:"Theorem 4: Algorithm 2 vs the commutativity-only rewriter.")
+    Term.(const run $ csv_flag $ seeds_arg 30 $ fractions)
+
+(* e5 *)
+let e5_cmd =
+  let overlaps =
+    floats_arg [ "overlaps" ] [ 0.0; 0.25; 0.5; 0.75; 1.0 ]
+      ~doc:"Probability a tentative transaction touches base-shared items."
+  in
+  let run csv seeds overlaps =
+    print_tables ~csv [ E5_cost.table (E5_cost.run ~seeds ~overlaps ()) ]
+  in
+  Cmd.v
+    (Cmd.info "e5" ~doc:"Section 7.1: merging vs reprocessing cost; locate the crossover.")
+    Term.(const run $ csv_flag $ seeds_arg 20 $ overlaps)
+
+(* e6 *)
+let e6_cmd =
+  let skews = floats_arg [ "skews" ] [ 0.3; 0.9 ] ~doc:"Zipf skews to sweep." in
+  let blind =
+    Arg.(
+      value & opt float 0.3
+      & info [ "blind" ] ~docv:"P" ~doc:"Blind-write probability in summaries.")
+  in
+  let run csv seeds skews blind =
+    print_tables ~csv [ E6_backout.table (E6_backout.run ~seeds ~blind ~skews ()) ]
+  in
+  Cmd.v
+    (Cmd.info "e6" ~doc:"[Dav84] back-out strategies: |B|, damage, optimality rate.")
+    Term.(const run $ csv_flag $ seeds_arg 40 $ skews $ blind)
+
+(* e7 *)
+let e7_cmd =
+  let fractions =
+    floats_arg [ "fractions" ] [ 0.25; 0.75; 1.0 ] ~doc:"Commuting-type fractions to sweep."
+  in
+  let run csv seeds fractions =
+    print_tables ~csv [ E7_prune.table (E7_prune.run ~seeds ~fractions ()) ]
+  in
+  Cmd.v
+    (Cmd.info "e7" ~doc:"Section 6: pruning by compensation vs undo + undo-repair.")
+    Term.(const run $ csv_flag $ seeds_arg 30 $ fractions)
+
+(* e8 *)
+let e8_cmd =
+  let fleets =
+    Arg.(
+      value
+      & opt (list int) [ 1; 2; 4; 8; 16 ]
+      & info [ "fleets" ] ~docv:"N,M,..." ~doc:"Mobile fleet sizes to simulate.")
+  in
+  let run csv fleets = print_tables ~csv [ E8_scaling.table (E8_scaling.run ~fleets ()) ] in
+  Cmd.v
+    (Cmd.info "e8"
+       ~doc:"Introduction / [GHOS96]: reconciliation load growth as the fleet scales.")
+    Term.(const run $ csv_flag $ fleets)
+
+(* ablations *)
+let a1_cmd =
+  let skews = floats_arg [ "skews" ] [ 0.5; 1.0 ] ~doc:"Zipf skews to sweep." in
+  let run csv seeds skews =
+    print_tables ~csv [ A1_fixmode.table (A1_fixmode.run ~seeds ~skews ()) ]
+  in
+  Cmd.v
+    (Cmd.info "a1" ~doc:"Ablation: exact (Lemma 1) vs coarse (Lemma 2) fix bookkeeping.")
+    Term.(const run $ csv_flag $ seeds_arg 30 $ skews)
+
+let a2_cmd =
+  let skews = floats_arg [ "skews" ] [ 0.5; 1.0 ] ~doc:"Zipf skews to sweep." in
+  let run csv seeds skews =
+    print_tables ~csv [ A2_setmode.table (A2_setmode.run ~seeds ~skews ()) ]
+  in
+  Cmd.v
+    (Cmd.info "a2" ~doc:"Ablation: dynamic vs static read/write sets in the rewriter.")
+    Term.(const run $ csv_flag $ seeds_arg 30 $ skews)
+
+let a3_cmd =
+  let skews = floats_arg [ "skews" ] [ 0.9 ] ~doc:"Zipf skews to sweep." in
+  let run csv seeds skews =
+    print_tables ~csv [ A3_strategy.table (A3_strategy.run ~seeds ~skews ()) ]
+  in
+  Cmd.v
+    (Cmd.info "a3" ~doc:"Ablation: back-out strategies measured end to end after Algorithm 2.")
+    Term.(const run $ csv_flag $ seeds_arg 25 $ skews)
+
+(* analyze: offline profile analysis of a transaction-type system file *)
+let analyze_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Profile file (.rtx).")
+  in
+  let run file =
+    let source = In_channel.with_open_text file In_channel.input_all in
+    match Repro_lang.Parser.system_of_string source with
+    | Error msg ->
+      prerr_endline msg;
+      exit 1
+    | Ok sys -> (
+      match Repro_lang.Analyze.analyze sys with
+      | report -> Format.printf "%a@." Repro_lang.Analyze.pp_report report
+      | exception Repro_lang.Analyze.Analysis_error msg ->
+        prerr_endline ("analysis error: " ^ msg);
+        exit 1)
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Parse a transaction-profile file and run the offline canned-system analysis: per-type           read/write sets, additivity, compensability, and the pairwise can-precede matrix           (Section 5.1 / [AJL98]).")
+    Term.(const run $ file)
+
+(* scenario: play a scripted reconnection session *)
+let scenario_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Scenario file (.scn).")
+  in
+  let reprocess_note =
+    "Commands: init, base, mobile, connect [reprocess], expect, state — see      Repro_core.Scenario for the format."
+  in
+  let run file =
+    let source = In_channel.with_open_text file In_channel.input_all in
+    match Repro_core.Scenario.run source with
+    | Error msg ->
+      prerr_endline msg;
+      exit 1
+    | Ok outcome ->
+      Format.printf "%a" Repro_core.Scenario.pp_outcome outcome;
+      if outcome.Repro_core.Scenario.failed_expectations > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "scenario"
+       ~doc:("Play a scripted reconnection session with assertions. " ^ reprocess_note))
+    Term.(const run $ file)
+
+(* all *)
+let all_cmd =
+  let run csv =
+    print_tables ~csv (E1_example1.tables (E1_example1.run ()));
+    print_tables ~csv [ E2_sync.table (E2_sync.run ~fleets:[ 2; 4; 8 ] ()) ];
+    print_tables ~csv
+      [ E2_sync.window_table (E2_sync.run_windows ~windows:[ 15.0; 30.0; 60.0; 120.0 ] ()) ];
+    print_tables ~csv [ E3_savings.table (E3_savings.run ~skews:[ 0.0; 0.5; 0.9; 1.3 ] ()) ];
+    print_tables ~csv
+      [ E4_commute.table (E4_commute.run ~fractions:[ 0.0; 0.25; 0.5; 0.75; 1.0 ] ()) ];
+    print_tables ~csv [ E5_cost.table (E5_cost.run ~overlaps:[ 0.0; 0.25; 0.5; 0.75; 1.0 ] ()) ];
+    print_tables ~csv [ E6_backout.table (E6_backout.run ~skews:[ 0.3; 0.9 ] ()) ];
+    print_tables ~csv [ E7_prune.table (E7_prune.run ~fractions:[ 0.25; 0.75; 1.0 ] ()) ];
+    print_tables ~csv [ E8_scaling.table (E8_scaling.run ~fleets:[ 1; 2; 4; 8; 16 ] ()) ];
+    print_tables ~csv [ A1_fixmode.table (A1_fixmode.run ~skews:[ 0.5; 1.0 ] ()) ];
+    print_tables ~csv [ A2_setmode.table (A2_setmode.run ~skews:[ 0.5; 1.0 ] ()) ];
+    print_tables ~csv [ A3_strategy.table (A3_strategy.run ~skews:[ 0.9 ] ()) ]
+  in
+  Cmd.v (Cmd.info "all" ~doc:"Run every experiment and ablation with default parameters.")
+    Term.(const run $ csv_flag)
+
+(* sim: one ad-hoc multi-node simulation *)
+let sim_cmd =
+  let open Repro_replication in
+  let mobiles =
+    Arg.(value & opt int 4 & info [ "mobiles" ] ~docv:"N" ~doc:"Number of mobile nodes.")
+  in
+  let duration =
+    Arg.(value & opt float 150.0 & info [ "duration" ] ~docv:"T" ~doc:"Simulated time.")
+  in
+  let window =
+    Arg.(value & opt float 30.0 & info [ "window" ] ~docv:"W" ~doc:"Resync window length.")
+  in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~docv:"S" ~doc:"PRNG seed.") in
+  let strategy1 =
+    Arg.(value & flag & info [ "strategy1" ] ~doc:"Use Strategy 1 isolation (default: 2).")
+  in
+  let reprocess =
+    Arg.(value & flag & info [ "reprocess" ] ~doc:"Use two-tier reprocessing (default: merge).")
+  in
+  let bias =
+    Arg.(
+      value & opt float 0.7
+      & info [ "commuting-bias" ] ~docv:"F" ~doc:"Probability of commuting banking types.")
+  in
+  let profiles =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "profiles" ] ~docv:"FILE"
+          ~doc:"Drive the simulation from a transaction-profile file instead of the built-in                 banking mix.")
+  in
+  let run mobiles duration window seed strategy1 reprocess bias profiles =
+    let workload =
+      match profiles with
+      | Some file -> (
+        let source = In_channel.with_open_text file In_channel.input_all in
+        match Repro_lang.Parser.system_of_string source with
+        | Error msg ->
+          prerr_endline msg;
+          exit 1
+        | Ok sys ->
+          let gen = Repro_workload.Profile_gen.make sys in
+          let seeding = Repro_workload.Rng.create (seed + 1) in
+          {
+            Sync.initial = Repro_workload.Profile_gen.initial_state gen seeding;
+            Sync.make_mobile_txn =
+              (fun rng ~name -> Repro_workload.Profile_gen.transaction gen rng ~name);
+            Sync.make_base_txn =
+              (fun rng ~name -> Repro_workload.Profile_gen.transaction gen rng ~name);
+          })
+      | None ->
+        let bank = Repro_workload.Banking.make ~n_accounts:10 in
+        {
+          Sync.initial = Repro_workload.Banking.initial_state bank;
+          Sync.make_mobile_txn =
+            (fun rng ~name ->
+              Repro_workload.Banking.random_transaction bank rng ~name ~commuting_bias:bias);
+          Sync.make_base_txn =
+            (fun rng ~name ->
+              Repro_workload.Banking.random_transaction bank rng ~name ~commuting_bias:bias);
+        }
+    in
+    let stats =
+      Sync.run
+        {
+          Sync.default_config with
+          Sync.n_mobiles = mobiles;
+          Sync.duration;
+          Sync.window;
+          Sync.seed;
+          Sync.isolation = (if strategy1 then Sync.Strategy1 else Sync.Strategy2);
+          Sync.protocol =
+            (if reprocess then Sync.Reprocessing else Sync.Merging Protocol.default_merge_config);
+        }
+        workload
+    in
+    Format.printf "%a@." Sync.pp_stats stats
+  in
+  Cmd.v
+    (Cmd.info "sim" ~doc:"Run one multi-node banking simulation with custom parameters.")
+    Term.(const run $ mobiles $ duration $ window $ seed $ strategy1 $ reprocess $ bias $ profiles)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info =
+    Cmd.info "repro_cli" ~version:"1.0.0"
+      ~doc:
+        "Reproduction of Liu/Ammann/Jajodia (ICDCS'99): merging histories to reduce \
+         reprocessing overhead in two-tier replicated mobile databases."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [
+            e1_cmd; e2_cmd; e3_cmd; e4_cmd; e5_cmd; e6_cmd; e7_cmd; e8_cmd; a1_cmd; a2_cmd;
+            a3_cmd;
+            all_cmd; sim_cmd; analyze_cmd; scenario_cmd;
+          ]))

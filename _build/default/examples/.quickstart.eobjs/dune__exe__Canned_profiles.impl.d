@@ -1,0 +1,1 @@
+examples/canned_profiles.ml: Array Cost Format In_channel Printf Protocol Repro_lang Repro_replication Repro_workload Sync Sys

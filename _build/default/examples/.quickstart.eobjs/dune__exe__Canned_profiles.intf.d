@@ -1,0 +1,1 @@
+examples/canned_profiles.mli:

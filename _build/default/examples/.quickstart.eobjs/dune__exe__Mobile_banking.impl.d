@@ -1,0 +1,1 @@
+examples/mobile_banking.ml: Cost Format Interp List Names Printf Protocol Repro_core Repro_history Repro_replication Repro_txn Repro_workload State

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Affected Backout Expr Format List Names Precedence Printf Program Repro_core Repro_history Repro_precedence Repro_replication Repro_txn State Stmt String

@@ -1,0 +1,1 @@
+examples/reservation_sync.ml: Format Protocol Repro_replication Repro_workload Sync

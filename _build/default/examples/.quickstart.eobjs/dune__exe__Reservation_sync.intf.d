@@ -1,0 +1,1 @@
+examples/reservation_sync.mli:

@@ -1,0 +1,1 @@
+examples/rewrite_playground.ml: Fix Format History Interp Item List Names Oracle Prune Repro_core Repro_history Repro_rewrite Repro_txn Rewrite Semantics State

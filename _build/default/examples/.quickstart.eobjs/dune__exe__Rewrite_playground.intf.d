@@ -1,0 +1,1 @@
+examples/rewrite_playground.mli:

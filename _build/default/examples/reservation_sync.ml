@@ -1,0 +1,64 @@
+(* Travel agents on the road: several mobile reservation terminals
+   tentatively block and release seats while disconnected; the base
+   system runs firm reservations. The multi-node simulator contrasts the
+   paper's two isolation strategies (Section 2.2) and the two
+   reconnection protocols.
+
+   Run with: dune exec examples/reservation_sync.exe *)
+
+open Repro_replication
+module Reservation = Repro_workload.Reservation
+module Rng = Repro_workload.Rng
+
+let airline = Reservation.make ~n_flights:6
+let section title = Format.printf "@.== %s ==@.@." title
+
+let workload =
+  {
+    Sync.initial = Reservation.initial_state airline ~seats:120;
+    Sync.make_mobile_txn =
+      (fun rng ~name -> Reservation.random_transaction airline rng ~name ~commuting_bias:0.8);
+    Sync.make_base_txn =
+      (fun rng ~name -> Reservation.random_transaction airline rng ~name ~commuting_bias:0.4);
+  }
+
+let run ~isolation ~protocol ~seed =
+  Sync.run
+    {
+      Sync.default_config with
+      Sync.n_mobiles = 5;
+      Sync.duration = 150.0;
+      Sync.window = 30.0;
+      Sync.mean_connect_gap = 12.0;
+      Sync.isolation;
+      Sync.protocol;
+      Sync.seed;
+    }
+    workload
+
+let show label stats =
+  Format.printf "%-28s %a@." label Sync.pp_stats stats;
+  Format.printf "@."
+
+let () =
+  section "Strategy 2 (window origins) with the merging protocol";
+  let s2 = run ~isolation:Sync.Strategy2 ~protocol:(Sync.Merging Protocol.default_merge_config) ~seed:5 in
+  show "strategy-2 / merging:" s2;
+
+  section "Strategy 1 (snapshot origins): the paper's anomaly";
+  let s1 = run ~isolation:Sync.Strategy1 ~protocol:(Sync.Merging Protocol.default_merge_config) ~seed:5 in
+  show "strategy-1 / merging:" s1;
+  Format.printf
+    "anomalies=%d: an earlier merger serialized transactions before another mobile's snapshot \
+     position, so no base sub-history began at its origin state and that session fell back to \
+     re-execution — exactly the failure Section 2.2 predicts for Strategy 1.@."
+    s1.Sync.anomalies;
+
+  section "Two-tier reprocessing baseline";
+  let rp = run ~isolation:Sync.Strategy2 ~protocol:Sync.Reprocessing ~seed:5 in
+  show "strategy-2 / reprocessing:" rp;
+
+  Format.printf "serializability violations: s2=%d s1=%d reprocess=%d (all must be 0)@."
+    s2.Sync.serializability_violations s1.Sync.serializability_violations
+    rp.Sync.serializability_violations;
+  Format.printf "@.reservation_sync: done@."

@@ -1,0 +1,1 @@
+lib/core/paper.ml: Expr Pred Program Repro_precedence Repro_txn State Stmt

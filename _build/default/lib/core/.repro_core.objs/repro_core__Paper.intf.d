@@ -1,0 +1,1 @@
+lib/core/paper.mli: Program Repro_precedence Repro_txn State

@@ -1,0 +1,1 @@
+lib/core/scenario.ml: Cost Format Hashtbl History List Printf Program Protocol Repro_db Repro_history Repro_lang Repro_replication Repro_txn State String

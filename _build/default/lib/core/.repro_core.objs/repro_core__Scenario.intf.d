@@ -1,0 +1,1 @@
+lib/core/scenario.mli: Format Repro_replication Repro_txn State

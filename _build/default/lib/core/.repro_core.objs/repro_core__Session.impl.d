@@ -1,0 +1,1 @@
+lib/core/session.ml: Cost History List Protocol Repro_db Repro_history Repro_precedence Repro_replication Repro_txn State

@@ -1,0 +1,1 @@
+lib/core/session.mli: Cost History Program Protocol Repro_history Repro_precedence Repro_replication Repro_txn State

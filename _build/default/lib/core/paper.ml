@@ -1,0 +1,137 @@
+(* The worked examples of the paper, shared by unit tests, the quickstart
+   example and the benchmark harness. *)
+
+open Repro_txn
+
+(* ------------------------------------------------------------------ *)
+(* Section 3, history H1: B1 = "if x > 0 then y := y + z + 3",
+   G2 = "x := x - 1", executed from s0 = {x=1; y=7; z=2}. *)
+
+let h1_b1 =
+  Program.make ~name:"B1" ~ttype:"h1-b1"
+    [
+      Stmt.If
+        ( Pred.Gt (Expr.Item "x", Expr.Const 0),
+          [ Stmt.Update ("y", Expr.Add (Expr.Item "y", Expr.Add (Expr.Item "z", Expr.Const 3))) ],
+          [] );
+    ]
+
+let h1_g2 = Program.make ~name:"G2" ~ttype:"h1-g2" [ Stmt.Update ("x", Expr.Sub (Expr.Item "x", Expr.Const 1)) ]
+let h1_s0 = State.of_list [ ("x", 1); ("y", 7); ("z", 2) ]
+
+(* ------------------------------------------------------------------ *)
+(* Section 5.1, history H4: B1 G2 G3 with
+   B1 = "if u > 10 then x := x + 100, y := y - 20"
+   G2 = "u := u - 20"
+   G3 = "x := x + 10, z := z + 30". *)
+
+let h4_b1 =
+  Program.make ~name:"B1" ~ttype:"h4-b1"
+    [
+      Stmt.If
+        ( Pred.Gt (Expr.Item "u", Expr.Const 10),
+          [
+            Stmt.Update ("x", Expr.Add (Expr.Item "x", Expr.Const 100));
+            Stmt.Update ("y", Expr.Sub (Expr.Item "y", Expr.Const 20));
+          ],
+          [] );
+    ]
+
+let h4_g2 = Program.make ~name:"G2" ~ttype:"h4-g2" [ Stmt.Update ("u", Expr.Sub (Expr.Item "u", Expr.Const 20)) ]
+
+let h4_g3 =
+  Program.make ~name:"G3" ~ttype:"h4-g3"
+    [
+      Stmt.Update ("x", Expr.Add (Expr.Item "x", Expr.Const 10));
+      Stmt.Update ("z", Expr.Add (Expr.Item "z", Expr.Const 30));
+    ]
+
+let h4_s0 = State.of_list [ ("u", 30); ("x", 0); ("y", 50); ("z", 0) ]
+
+(* ------------------------------------------------------------------ *)
+(* Section 5.1, history H5: T1 T2 T3 with
+   T1 = "if y > 200 then x := x + 100 else x := x * 2"
+   T2 = "y := y + 100"
+   T3 = "if y > 200 then x := x - 10 else x := x / 2".
+   T3 commutes backward through T1 over the reals but not through T1^{y}:
+   the fix can interfere with commutativity. *)
+
+let h5_t1 =
+  Program.make ~name:"T1" ~ttype:"h5-t1"
+    [
+      Stmt.If
+        ( Pred.Gt (Expr.Item "y", Expr.Const 200),
+          [ Stmt.Update ("x", Expr.Add (Expr.Item "x", Expr.Const 100)) ],
+          [ Stmt.Update ("x", Expr.Mul (Expr.Item "x", Expr.Const 2)) ] );
+    ]
+
+let h5_t2 = Program.make ~name:"T2" ~ttype:"h5-t2" [ Stmt.Update ("y", Expr.Add (Expr.Item "y", Expr.Const 100)) ]
+
+let h5_t3 =
+  Program.make ~name:"T3" ~ttype:"h5-t3"
+    [
+      Stmt.If
+        ( Pred.Gt (Expr.Item "y", Expr.Const 200),
+          [ Stmt.Update ("x", Expr.Sub (Expr.Item "x", Expr.Const 10)) ],
+          [ Stmt.Update ("x", Expr.Div (Expr.Item "x", Expr.Const 2)) ] );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Example 1 (Section 2.1): six transactions given by read/write sets
+   only (they use blind writes), H_m = Tm1 Tm2 Tm3 Tm4, H_b = Tb1 Tb2. *)
+
+module Summary = Repro_precedence.Summary
+
+let example1_tentative =
+  [
+    Summary.make ~name:"Tm1" ~kind:Summary.Tentative ~reads:[ "d1"; "d2" ] ~writes:[ "d1"; "d2" ];
+    Summary.make ~name:"Tm2" ~kind:Summary.Tentative ~reads:[ "d2"; "d3" ]
+      ~writes:[ "d3"; "d4"; "d5"; "d6" ];
+    Summary.make ~name:"Tm3" ~kind:Summary.Tentative ~reads:[ "d5" ] ~writes:[ "d4"; "d6" ];
+    Summary.make ~name:"Tm4" ~kind:Summary.Tentative ~reads:[ "d6" ] ~writes:[ "d6" ];
+  ]
+
+let example1_base =
+  [
+    Summary.make ~name:"Tb1" ~kind:Summary.Base ~reads:[ "d5" ] ~writes:[ "d5" ];
+    Summary.make ~name:"Tb2" ~kind:Summary.Base ~reads:[ "d1"; "d5" ] ~writes:[];
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Example 1 as concrete programs. The paper gives only read/write sets;
+   these bodies realize them exactly (static sets match the paper's),
+   using blind Assign statements where the paper's sets imply blind
+   writes (e.g. Tm2 writes d4, d5, d6 while reading only d2 and d3). *)
+
+let example1_s0 =
+  State.of_list [ ("d1", 10); ("d2", 20); ("d3", 30); ("d4", 40); ("d5", 50); ("d6", 60) ]
+
+let example1_programs_tentative =
+  [
+    Program.make ~name:"Tm1" ~ttype:"ex1"
+      [
+        Stmt.Update ("d1", Expr.Add (Expr.Item "d1", Expr.Const 1));
+        Stmt.Update ("d2", Expr.Add (Expr.Item "d2", Expr.Const 2));
+      ];
+    Program.make ~name:"Tm2" ~ttype:"ex1"
+      [
+        Stmt.Update ("d3", Expr.Add (Expr.Item "d3", Expr.Item "d2"));
+        Stmt.Assign ("d4", Expr.Item "d3");
+        Stmt.Assign ("d5", Expr.Const 7);
+        Stmt.Assign ("d6", Expr.Add (Expr.Item "d2", Expr.Const 1));
+      ];
+    Program.make ~name:"Tm3" ~ttype:"ex1"
+      [
+        Stmt.Assign ("d4", Expr.Item "d5");
+        Stmt.Assign ("d6", Expr.Mul (Expr.Item "d5", Expr.Const 2));
+      ];
+    Program.make ~name:"Tm4" ~ttype:"ex1"
+      [ Stmt.Update ("d6", Expr.Add (Expr.Item "d6", Expr.Const 5)) ];
+  ]
+
+let example1_programs_base =
+  [
+    Program.make ~name:"Tb1" ~ttype:"ex1"
+      [ Stmt.Update ("d5", Expr.Mul (Expr.Item "d5", Expr.Const 2)) ];
+    Program.make ~name:"Tb2" ~ttype:"ex1" [ Stmt.Read "d1"; Stmt.Read "d5" ];
+  ]

@@ -1,0 +1,34 @@
+(** The paper's worked examples, as library values.
+
+    - [h1_*]: the Section 3 history [H1 = s0 B1 s1 G2 s2] used to motivate
+      fixes and final-state equivalence;
+    - [h4_*]: the Section 5.1 history [H4 = B1 G2 G3] whose [G3] is saved
+      by can-precede but not by can-follow;
+    - [h5_*]: the Section 5.1 history [H5 = T1 T2 T3] showing a fix
+      interfering with commutativity;
+    - [example1_*]: the Section 2.1 six-transaction merge example behind
+      Figure 1 (summary-level: it uses blind writes). *)
+
+open Repro_txn
+
+val h1_b1 : Program.t
+val h1_g2 : Program.t
+val h1_s0 : State.t
+val h4_b1 : Program.t
+val h4_g2 : Program.t
+val h4_g3 : Program.t
+val h4_s0 : State.t
+val h5_t1 : Program.t
+val h5_t2 : Program.t
+val h5_t3 : Program.t
+
+val example1_tentative : Repro_precedence.Summary.t list
+val example1_base : Repro_precedence.Summary.t list
+
+(** Example 1 as concrete programs (blind writes realized with
+    {!Repro_txn.Stmt.Assign}); static read/write sets match the paper's
+    declared sets exactly. *)
+
+val example1_s0 : State.t
+val example1_programs_tentative : Program.t list
+val example1_programs_base : Program.t list

@@ -1,0 +1,244 @@
+open Repro_txn
+open Repro_history
+open Repro_replication
+module Engine = Repro_db.Engine
+
+type outcome = {
+  log : string list;
+  final_base : State.t;
+  failed_expectations : int;
+}
+
+type mobile = { mutable tentative_rev : Program.t list; mutable engine : Engine.t }
+
+type session = {
+  config : Protocol.merge_config;
+  origin : State.t;
+  base : Engine.t;
+  mutable logical : Protocol.base_txn list;
+  mobiles : (string, mobile) Hashtbl.t;
+  mutable rev_log : string list;
+  mutable failed : int;
+}
+
+let emit session line = session.rev_log <- line :: session.rev_log
+
+let mobile_of session id =
+  match Hashtbl.find_opt session.mobiles id with
+  | Some m -> m
+  | None ->
+    let m = { tentative_rev = []; engine = Engine.create session.origin } in
+    Hashtbl.replace session.mobiles id m;
+    m
+
+(* Transaction bodies reuse the profile language's statement grammar by
+   wrapping them as a parameterless type declaration. *)
+let parse_body ~name braced =
+  match Repro_lang.Parser.decl_of_string (Printf.sprintf "type body() %s" braced) with
+  | Error msg -> Error msg
+  | Ok decl -> (
+    let decl = { decl with Repro_lang.Ast.tname = "scenario" } in
+    match Repro_lang.Elaborate.instantiate decl ~name ~items:[] ~ints:[] with
+    | p -> Ok p
+    | exception Repro_lang.Elaborate.Elab_error msg -> Error msg
+    | exception Program.Ill_formed msg -> Error msg)
+
+let split_words line =
+  List.filter (fun w -> w <> "") (String.split_on_char ' ' line)
+
+let parse_binding word =
+  match String.index_opt word '=' with
+  | Some i -> (
+    let name = String.sub word 0 i in
+    let value = String.sub word (i + 1) (String.length word - i - 1) in
+    match int_of_string_opt value with
+    | Some v when name <> "" -> Ok (name, v)
+    | _ -> Error (Printf.sprintf "malformed binding %S" word))
+  | None -> Error (Printf.sprintf "malformed binding %S (expected name=value)" word)
+
+let bindings_of words =
+  List.fold_left
+    (fun acc w ->
+      match (acc, parse_binding w) with
+      | Error _, _ -> acc
+      | _, Error msg -> Error msg
+      | Ok l, Ok b -> Ok (b :: l))
+    (Ok []) words
+
+let run_base session name braced =
+  match parse_body ~name braced with
+  | Error msg -> Error msg
+  | Ok p ->
+    if List.exists (fun bt -> bt.Protocol.program.Program.name = name) session.logical then
+      Error (Printf.sprintf "duplicate base transaction name %s" name)
+    else begin
+      let record = Engine.execute session.base p in
+      session.logical <- session.logical @ [ { Protocol.program = p; Protocol.record } ];
+      emit session (Printf.sprintf "base %s committed" name);
+      Ok ()
+    end
+
+let run_mobile session id name braced =
+  match parse_body ~name braced with
+  | Error msg -> Error msg
+  | Ok p ->
+    let m = mobile_of session id in
+    if List.exists (fun q -> q.Program.name = name) m.tentative_rev then
+      Error (Printf.sprintf "duplicate tentative transaction name %s on mobile %s" name id)
+    else begin
+      ignore (Engine.execute m.engine p);
+      m.tentative_rev <- p :: m.tentative_rev;
+      emit session (Printf.sprintf "mobile %s ran %s (tentative)" id name);
+      Ok ()
+    end
+
+let describe_outcome (t : Protocol.txn_report) =
+  Printf.sprintf "%s:%s" t.Protocol.name
+    (match t.Protocol.outcome with
+    | Protocol.Merged -> "merged"
+    | Protocol.Reexecuted -> "reexecuted"
+    | Protocol.Rejected -> "rejected")
+
+let connect session id ~reprocess =
+  let m = mobile_of session id in
+  let tentative = History.of_programs (List.rev m.tentative_rev) in
+  let result =
+    if History.is_empty tentative then begin
+      emit session (Printf.sprintf "connect %s: nothing to do" id);
+      Ok ()
+    end
+    else if reprocess then begin
+      let report =
+        Protocol.reprocess ~acceptance:session.config.Protocol.acceptance
+          ~params:Cost.default_params ~base:session.base ~origin:session.origin ~tentative
+      in
+      session.logical <- session.logical @ report.Protocol.appended;
+      emit session
+        (Printf.sprintf "connect %s (reprocess): %s" id
+           (String.concat ", " (List.map describe_outcome report.Protocol.txns)));
+      Ok ()
+    end
+    else begin
+      let report =
+        Protocol.merge ~config:session.config ~params:Cost.default_params ~base:session.base
+          ~base_history:session.logical ~origin:session.origin ~tentative
+      in
+      session.logical <- report.Protocol.new_history;
+      emit session
+        (Printf.sprintf "connect %s (merge): %s" id
+           (String.concat ", " (List.map describe_outcome report.Protocol.txns)));
+      Ok ()
+    end
+  in
+  m.tentative_rev <- [];
+  m.engine <- Engine.create session.origin;
+  result
+
+let expect session word =
+  match parse_binding word with
+  | Error msg -> Error msg
+  | Ok (x, v) ->
+    let actual = State.get (Engine.state session.base) x in
+    if actual = v then begin
+      emit session (Printf.sprintf "expect %s=%d: ok" x v);
+      Ok ()
+    end
+    else begin
+      session.failed <- session.failed + 1;
+      emit session (Printf.sprintf "expect %s=%d: FAILED (actual %d)" x v actual);
+      Ok ()
+    end
+
+(* A command line; base/mobile commands may carry a single-line { body }. *)
+let braced_part line =
+  match String.index_opt line '{' with
+  | None -> None
+  | Some i -> Some (String.sub line 0 i, String.sub line i (String.length line - i))
+
+let strip_comment line =
+  let rec find i =
+    if i + 1 >= String.length line then None
+    else if line.[i] = '/' && line.[i + 1] = '/' then Some i
+    else find (i + 1)
+  in
+  match find 0 with Some i -> String.sub line 0 i | None -> line
+
+let run_line session lineno line =
+  let line = String.trim (strip_comment line) in
+  let fail msg = Error (Printf.sprintf "line %d: %s" lineno msg) in
+  if line = "" then Ok ()
+  else
+    match braced_part line with
+    | Some (head, braced) -> (
+      match split_words head with
+      | [ "base"; name ] -> (
+        match run_base session name braced with Ok () -> Ok () | Error m -> fail m)
+      | [ "mobile"; id; name ] -> (
+        match run_mobile session id name braced with Ok () -> Ok () | Error m -> fail m)
+      | _ -> fail (Printf.sprintf "malformed command %S" line))
+    | None -> (
+      match split_words line with
+      | "init" :: _ -> fail "init must be the first command"
+      | [ "connect"; id ] -> (
+        match connect session id ~reprocess:false with Ok () -> Ok () | Error m -> fail m)
+      | [ "connect"; id; "reprocess" ] -> (
+        match connect session id ~reprocess:true with Ok () -> Ok () | Error m -> fail m)
+      | [ "expect"; binding ] -> (
+        match expect session binding with Ok () -> Ok () | Error m -> fail m)
+      | [ "state" ] ->
+        emit session
+          (Format.asprintf "state: %a" State.pp (Engine.state session.base));
+        Ok ()
+      | _ -> fail (Printf.sprintf "unknown command %S" line))
+
+let run ?(config = Protocol.default_merge_config) source =
+  let lines = String.split_on_char '\n' source in
+  (* First non-empty command must be init. *)
+  let rec find_init lineno = function
+    | [] -> Error "scenario has no init command"
+    | line :: rest ->
+      let stripped = String.trim (strip_comment line) in
+      if stripped = "" then find_init (lineno + 1) rest
+      else (
+        match split_words stripped with
+        | "init" :: bindings -> (
+          match bindings_of bindings with
+          | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg)
+          | Ok bs -> Ok (State.of_list bs, lineno + 1, rest))
+        | _ -> Error (Printf.sprintf "line %d: expected init, found %S" lineno stripped))
+  in
+  match find_init 1 lines with
+  | Error msg -> Error msg
+  | Ok (origin, next_lineno, rest) ->
+    let session =
+      {
+        config;
+        origin;
+        base = Engine.create origin;
+        logical = [];
+        mobiles = Hashtbl.create 4;
+        rev_log = [];
+        failed = 0;
+      }
+    in
+    emit session (Format.asprintf "init: %a" State.pp origin);
+    let rec play lineno = function
+      | [] ->
+        Ok
+          {
+            log = List.rev session.rev_log;
+            final_base = Engine.state session.base;
+            failed_expectations = session.failed;
+          }
+      | line :: rest -> (
+        match run_line session lineno line with
+        | Ok () -> play (lineno + 1) rest
+        | Error msg -> Error msg)
+    in
+    play next_lineno rest
+
+let pp_outcome ppf o =
+  List.iter (fun line -> Format.fprintf ppf "%s@." line) o.log;
+  Format.fprintf ppf "final: %a@." State.pp o.final_base;
+  if o.failed_expectations > 0 then
+    Format.fprintf ppf "%d expectation(s) FAILED@." o.failed_expectations

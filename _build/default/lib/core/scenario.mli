@@ -1,0 +1,46 @@
+(** Scripted replication scenarios.
+
+    A scenario file drives one base node and any number of mobile nodes
+    through an explicit sequence of transactions and reconnections, with
+    assertions — executable documentation for the merge protocol:
+
+    {v
+    // Example 1-flavoured session (one resynchronization window)
+    init a=10 b=20 ledger=0
+    base  Tb1 { a := a + 5; }
+    mobile M Tm1 { b := b * 2; }
+    mobile M Tm2 { ledger := ledger + b; }
+    connect M
+    expect b=40
+    state
+    v}
+
+    Commands, one per line ([//] comments allowed):
+    - [init x=v ...] — the common origin state (must come first);
+    - [base NAME { stmts }] — run a transaction at the base node;
+    - [mobile ID NAME { stmts }] — run a tentative transaction at mobile
+      [ID] (created on first use);
+    - [connect ID] — merge that mobile's tentative history into the base
+      (the paper's protocol); [connect ID reprocess] uses two-tier
+      re-execution instead;
+    - [expect x=v] — assert on the base state;
+    - [state] — record the base state in the log.
+
+    Bodies use the profile language's statement syntax with global item
+    names. The whole scenario plays inside a single resynchronization
+    window: every tentative history takes the [init] state as its origin
+    (Strategy 2). *)
+
+open Repro_txn
+
+type outcome = {
+  log : string list;  (** one line per command, in order *)
+  final_base : State.t;
+  failed_expectations : int;
+}
+
+(** [run source] executes a scenario given as text. *)
+val run :
+  ?config:Repro_replication.Protocol.merge_config -> string -> (outcome, string) result
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,51 @@
+(** One-call driver for a full merge session — the library's quickstart
+    API.
+
+    [merge_once] plays both roles of a reconnection: it executes the base
+    history on a fresh base-node engine, executes the tentative history
+    from the same origin (the mobile side), then runs the paper's protocol
+    end to end — precedence graph, back-out, rewrite, prune, forward,
+    re-execute — and returns the merged state together with everything
+    observable along the way. [compare_protocols] additionally runs
+    two-tier reprocessing on an identical setup and reports both cost
+    tallies (the Section 7.1 comparison). *)
+
+open Repro_txn
+open Repro_history
+open Repro_replication
+
+type result = {
+  precedence : Repro_precedence.Precedence.t;
+  report : Protocol.merge_report;
+  merged_state : State.t;  (** base state after the session *)
+}
+
+val merge_once :
+  ?config:Protocol.merge_config ->
+  ?params:Cost.params ->
+  s0:State.t ->
+  tentative:Program.t list ->
+  base:Program.t list ->
+  unit ->
+  result
+
+type comparison = {
+  merge_result : result;
+  merge_cost : Cost.tally;
+  reprocess_state : State.t;
+  reprocess_cost : Cost.tally;
+  reprocess_txns : Protocol.txn_report list;
+}
+
+val compare_protocols :
+  ?config:Protocol.merge_config ->
+  ?params:Cost.params ->
+  s0:State.t ->
+  tentative:Program.t list ->
+  base:Program.t list ->
+  unit ->
+  comparison
+
+(** Convenience: build a history from programs (checked for duplicate
+    names). *)
+val history : Program.t list -> History.t

@@ -1,0 +1,1 @@
+lib/db/engine.ml: Hashtbl Interp Item List Repro_history Repro_txn State Wal

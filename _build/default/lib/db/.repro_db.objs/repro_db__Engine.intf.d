@@ -1,0 +1,1 @@
+lib/db/engine.mli: Fix Interp Item Program Repro_history Repro_txn State Stdlib Wal

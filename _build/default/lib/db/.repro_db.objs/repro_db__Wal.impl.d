@@ -1,0 +1,1 @@
+lib/db/wal.ml: Format In_channel Item List Out_channel Printf Repro_txn State String

@@ -1,0 +1,132 @@
+open Repro_txn
+
+type t = {
+  mutable state : State.t;
+  mutable initial : State.t;  (* state at engine creation: recovery base *)
+  wal : Wal.t;
+  mutable next_txid : int;
+  mutable committed : int;
+}
+
+let create s0 =
+  let t = { state = s0; initial = s0; wal = Wal.create (); next_txid = 1; committed = 0 } in
+  Wal.append t.wal (Wal.Checkpoint s0);
+  Wal.force t.wal;
+  t
+
+let state t = t.state
+
+let log_record t txid (r : Interp.record) =
+  Wal.append t.wal (Wal.Begin txid);
+  List.iter (fun (x, v) -> Wal.append t.wal (Wal.Read (txid, x, v))) r.Interp.reads;
+  List.iter (fun (x, b, a) -> Wal.append t.wal (Wal.Write (txid, x, b, a))) r.Interp.writes;
+  Wal.append t.wal (Wal.Commit txid)
+
+let run_one ?fix t program =
+  let txid = t.next_txid in
+  t.next_txid <- txid + 1;
+  let r = Interp.run ?fix t.state program in
+  log_record t txid r;
+  t.state <- r.Interp.after;
+  t.committed <- t.committed + 1;
+  r
+
+let execute ?fix ?(durably = true) t program =
+  let r = run_one ?fix t program in
+  if durably then Wal.force t.wal;
+  r
+
+let execute_batch t entries =
+  let records =
+    List.map
+      (fun (e : Repro_history.History.entry) ->
+        run_one ~fix:e.Repro_history.History.fix t e.Repro_history.History.program)
+      entries
+  in
+  Wal.force t.wal;
+  records
+
+let apply_updates t values items =
+  let txid = t.next_txid in
+  t.next_txid <- txid + 1;
+  Wal.append t.wal (Wal.Begin txid);
+  Item.Set.iter
+    (fun x ->
+      let before = State.get t.state x in
+      let after = State.get values x in
+      Wal.append t.wal (Wal.Write (txid, x, before, after));
+      t.state <- State.set t.state x after)
+    items;
+  Wal.append t.wal (Wal.Commit txid);
+  Wal.force t.wal;
+  t.committed <- t.committed + 1
+
+let undo t (r : Interp.record) =
+  let txid = t.next_txid in
+  t.next_txid <- txid + 1;
+  Wal.append t.wal (Wal.Begin txid);
+  List.iter
+    (fun (x, before_image, written) ->
+      Wal.append t.wal (Wal.Write (txid, x, written, before_image));
+      t.state <- State.set t.state x before_image)
+    (List.rev r.Interp.writes);
+  Wal.append t.wal (Wal.Commit txid);
+  Wal.force t.wal;
+  t.committed <- t.committed + 1
+
+let checkpoint t =
+  Wal.append t.wal (Wal.Checkpoint t.state);
+  Wal.force t.wal
+
+(* Shared ARIES-lite restart: start from the last checkpoint (or
+   [fallback]) and redo after-images of transactions whose Commit record
+   survived. *)
+let replay_entries ~fallback entries =
+  let committed = Hashtbl.create 64 in
+  List.iter (function Wal.Commit id -> Hashtbl.replace committed id () | _ -> ()) entries;
+  let base =
+    List.fold_left (fun acc e -> match e with Wal.Checkpoint s -> Some s | _ -> acc) None entries
+  in
+  let start = match base with Some s -> s | None -> fallback in
+  let after_ckpt =
+    let rec drop_until_last_ckpt entries kept =
+      match entries with
+      | [] -> List.rev kept
+      | Wal.Checkpoint _ :: rest -> drop_until_last_ckpt rest []
+      | e :: rest -> drop_until_last_ckpt rest (e :: kept)
+    in
+    drop_until_last_ckpt entries []
+  in
+  List.fold_left
+    (fun s e ->
+      match e with
+      | Wal.Write (id, x, _, after) when Hashtbl.mem committed id -> State.set s x after
+      | Wal.Write _ | Wal.Begin _ | Wal.Read _ | Wal.Commit _ | Wal.Abort _ | Wal.Checkpoint _
+        -> s)
+    start after_ckpt
+
+let recover t = replay_entries ~fallback:t.initial (Wal.durable_entries t.wal)
+
+let persist t ~path = Wal.save t.wal ~path
+
+let restart ~path =
+  match Wal.load ~path with
+  | Error msg -> Error msg
+  | Ok entries ->
+    let state = replay_entries ~fallback:State.empty entries in
+    let max_txid =
+      List.fold_left
+        (fun acc e ->
+          match e with
+          | Wal.Begin id | Wal.Commit id | Wal.Abort id | Wal.Read (id, _, _)
+          | Wal.Write (id, _, _, _) ->
+            max acc id
+          | Wal.Checkpoint _ -> acc)
+        0 entries
+    in
+    let t = create state in
+    t.next_txid <- max_txid + 1;
+    Ok t
+
+let log t = t.wal
+let transactions_committed t = t.committed

@@ -1,0 +1,62 @@
+(** A small single-node transactional engine.
+
+    Both node kinds of the two-tier simulator run one: the base node's
+    engine holds master data; each mobile node's engine holds its
+    tentative versions. Transactions execute serially (histories in the
+    paper's model are serial), are logged through {!Wal} ahead of applying
+    writes, and can be undone from their before-images — the physical
+    machinery behind Section 6.2's undo approach and step 6's
+    re-execution.
+
+    [execute] forces the log once per transaction; [execute_batch] and
+    [apply_updates] force once for the whole group — the paper's point
+    that "forwarding the updates of SAV can be done within one
+    transaction. So all the updates need be forced to durable logs only
+    once." *)
+
+open Repro_txn
+
+type t
+
+val create : State.t -> t
+
+(** Current committed state. *)
+val state : t -> State.t
+
+(** [execute t ?fix program] — run, log, commit, force. With
+    [~durably:false] the force is skipped: the commit record stays in the
+    volatile log tail and a crash ({!recover}) loses the transaction —
+    used by the crash tests. *)
+val execute : ?fix:Fix.t -> ?durably:bool -> t -> Program.t -> Interp.record
+
+(** [execute_batch t entries] — run and commit each entry, forcing the log
+    once at the end. *)
+val execute_batch : t -> Repro_history.History.entry list -> Interp.record list
+
+(** [apply_updates t values items] — overwrite [items] with their values
+    in [values] as one logged transaction (the protocol's forwarded
+    updates). *)
+val apply_updates : t -> State.t -> Item.Set.t -> unit
+
+(** [undo t record] — restore the physical before-images of a previously
+    executed transaction (logged as a new transaction). *)
+val undo : t -> Interp.record -> unit
+
+(** [checkpoint t] writes a checkpoint record and forces. *)
+val checkpoint : t -> unit
+
+(** [recover t] — the state a crash-restart would rebuild: last durable
+    checkpoint replayed forward with the after-images of transactions
+    whose [Commit] record is durable. *)
+val recover : t -> State.t
+
+(** [persist t ~path] writes the durable log to disk ({!Wal.save}). *)
+val persist : t -> path:string -> unit
+
+(** [restart ~path] rebuilds an engine from a persisted log: replays it
+    like {!recover}, checkpoints the result, and continues transaction
+    identifiers past the highest seen. *)
+val restart : path:string -> (t, string) Stdlib.result
+
+val log : t -> Wal.t
+val transactions_committed : t -> int

@@ -1,0 +1,114 @@
+open Repro_txn
+
+type entry =
+  | Begin of int
+  | Read of int * Item.t * int
+  | Write of int * Item.t * int * int
+  | Commit of int
+  | Abort of int
+  | Checkpoint of State.t
+
+type t = {
+  mutable rev_entries : entry list;
+  mutable total : int;
+  mutable durable : int;  (* count of entries covered by the last force *)
+  mutable forces : int;
+}
+
+let create () = { rev_entries = []; total = 0; durable = 0; forces = 0 }
+
+let append t e =
+  t.rev_entries <- e :: t.rev_entries;
+  t.total <- t.total + 1
+
+let force t =
+  if t.durable < t.total then begin
+    t.durable <- t.total;
+    t.forces <- t.forces + 1
+  end
+
+let entries t = List.rev t.rev_entries
+
+let durable_entries t =
+  let rec drop n l = if n <= 0 then l else match l with [] -> [] | _ :: tl -> drop (n - 1) tl in
+  List.rev (drop (t.total - t.durable) t.rev_entries)
+
+let force_count t = t.forces
+let length t = t.total
+
+let check_item x =
+  String.iter
+    (fun c ->
+      if c = ' ' || c = '=' || c = ',' then
+        invalid_arg (Printf.sprintf "Wal: item name %S not serializable" x))
+    x;
+  x
+
+let state_to_string s =
+  String.concat ","
+    (List.map (fun (x, v) -> Printf.sprintf "%s=%d" (check_item x) v) (State.to_list s))
+
+let state_of_string str =
+  if String.equal str "" then State.empty
+  else
+    State.of_list
+      (List.map
+         (fun binding ->
+           match String.index_opt binding '=' with
+           | Some i ->
+             ( String.sub binding 0 i,
+               int_of_string (String.sub binding (i + 1) (String.length binding - i - 1)) )
+           | None -> failwith "malformed state binding")
+         (String.split_on_char ',' str))
+
+let entry_to_line = function
+  | Begin id -> Printf.sprintf "begin %d" id
+  | Read (id, x, v) -> Printf.sprintf "read %d %s %d" id (check_item x) v
+  | Write (id, x, b, a) -> Printf.sprintf "write %d %s %d %d" id (check_item x) b a
+  | Commit id -> Printf.sprintf "commit %d" id
+  | Abort id -> Printf.sprintf "abort %d" id
+  | Checkpoint s -> Printf.sprintf "checkpoint %s" (state_to_string s)
+
+let entry_of_line line =
+  let fail msg = Error (Printf.sprintf "%s: %S" msg line) in
+  match String.split_on_char ' ' line with
+  | [ "begin"; id ] -> (try Ok (Begin (int_of_string id)) with _ -> fail "bad begin")
+  | [ "commit"; id ] -> (try Ok (Commit (int_of_string id)) with _ -> fail "bad commit")
+  | [ "abort"; id ] -> (try Ok (Abort (int_of_string id)) with _ -> fail "bad abort")
+  | [ "read"; id; x; v ] -> (
+    try Ok (Read (int_of_string id, x, int_of_string v)) with _ -> fail "bad read")
+  | [ "write"; id; x; b; a ] -> (
+    try Ok (Write (int_of_string id, x, int_of_string b, int_of_string a))
+    with _ -> fail "bad write")
+  | [ "checkpoint" ] -> Ok (Checkpoint State.empty)
+  | [ "checkpoint"; s ] -> (
+    try Ok (Checkpoint (state_of_string s)) with _ -> fail "bad checkpoint")
+  | _ -> fail "unrecognized log line"
+
+let save t ~path =
+  Out_channel.with_open_text path (fun oc ->
+      List.iter
+        (fun e ->
+          Out_channel.output_string oc (entry_to_line e);
+          Out_channel.output_char oc '\n')
+        (durable_entries t))
+
+let load ~path =
+  let lines = In_channel.with_open_text path In_channel.input_lines in
+  let rec go acc n = function
+    | [] -> Ok (List.rev acc)
+    | "" :: rest -> go acc (n + 1) rest
+    | line :: rest -> (
+      match entry_of_line line with
+      | Ok e -> go (e :: acc) (n + 1) rest
+      | Error msg -> Error (Printf.sprintf "line %d: %s" n msg))
+  in
+  go [] 1 lines
+
+let pp_entry ppf = function
+  | Begin id -> Format.fprintf ppf "BEGIN %d" id
+  | Read (id, x, v) -> Format.fprintf ppf "READ %d %a=%d" id Item.pp x v
+  | Write (id, x, b, a) -> Format.fprintf ppf "WRITE %d %a:%d->%d" id Item.pp x b a
+  | Commit id -> Format.fprintf ppf "COMMIT %d" id
+  | Abort id -> Format.fprintf ppf "ABORT %d" id
+  | Checkpoint _ -> Format.fprintf ppf "CHECKPOINT"

@@ -1,0 +1,54 @@
+(** Write-ahead log.
+
+    The engine logs physical before/after images ahead of applying writes,
+    which is exactly the information the paper's protocols consume: undo
+    needs before-images, the merging protocol "can be built by parsing the
+    log for H_m and the log for H_b only once if read operations are
+    recorded in the log" (Section 7.1) — so read records are logged too —
+    and the cost model counts log {e forces}.
+
+    The log is in-memory (the simulator's "durable storage"); a force
+    marks a durability point and is the unit the Section 7.1 cost model
+    charges I/O for. *)
+
+type entry =
+  | Begin of int  (** transaction id *)
+  | Read of int * Repro_txn.Item.t * int  (** observed value *)
+  | Write of int * Repro_txn.Item.t * int * int  (** before and after images *)
+  | Commit of int
+  | Abort of int
+  | Checkpoint of Repro_txn.State.t
+
+type t
+
+val create : unit -> t
+val append : t -> entry -> unit
+
+(** [force t] marks everything appended so far as durable. *)
+val force : t -> unit
+
+(** Entries appended so far, oldest first. *)
+val entries : t -> entry list
+
+(** Entries covered by a force (what survives a crash). *)
+val durable_entries : t -> entry list
+
+val force_count : t -> int
+val length : t -> int
+val pp_entry : Format.formatter -> entry -> unit
+
+(** {2 On-disk persistence}
+
+    Entries serialize one per line; item names must not contain spaces,
+    ['='] or [','] (all generated names satisfy this). Only {e durable}
+    entries are saved — exactly what a crash would leave behind. *)
+
+val entry_to_line : entry -> string
+val entry_of_line : string -> (entry, string) result
+
+(** [save t ~path] writes the durable entries to [path] (truncating). *)
+val save : t -> path:string -> unit
+
+(** [load ~path] reads a log file back.
+    @return [Error] with a line number and message on a malformed line. *)
+val load : path:string -> (entry list, string) result

@@ -1,0 +1,1 @@
+lib/experiments/a1_fixmode.ml: Fix History Item List Mergecase Repro_history Repro_precedence Repro_rewrite Repro_txn Repro_workload Rewrite Semantics State Table

@@ -1,0 +1,1 @@
+lib/experiments/a1_fixmode.mli: Table

@@ -1,0 +1,1 @@
+lib/experiments/a3_strategy.ml: Backout List Mergecase Names Precedence Repro_history Repro_precedence Repro_rewrite Repro_txn Repro_workload Rewrite Table

@@ -1,0 +1,1 @@
+lib/experiments/e1_example1.ml: Affected Backout List Names Precedence Printf Repro_core Repro_graph Repro_history Repro_precedence String Summary Table

@@ -1,0 +1,1 @@
+lib/experiments/e2_sync.ml: Cost List Repro_replication Repro_workload Sync Table

@@ -1,0 +1,1 @@
+lib/experiments/e4_commute.ml: List Mergecase Names Repro_history Repro_precedence Repro_rewrite Repro_txn Repro_workload Rewrite Table

@@ -1,0 +1,1 @@
+lib/experiments/e5_cost.ml: Cost Expr History List Mergecase Names Printf Program Protocol Repro_db Repro_history Repro_replication Repro_txn Repro_workload State Stmt Table

@@ -1,0 +1,1 @@
+lib/experiments/e6_backout.ml: Affected Backout List Mergecase Names Precedence Repro_history Repro_precedence Repro_workload Table

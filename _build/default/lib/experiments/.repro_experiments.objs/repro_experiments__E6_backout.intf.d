@@ -1,0 +1,1 @@
+lib/experiments/e6_backout.mli: Table

@@ -1,0 +1,1 @@
+lib/experiments/e7_prune.ml: List Mergecase Prune Repro_history Repro_precedence Repro_rewrite Repro_txn Repro_workload Rewrite Semantics State Table

@@ -1,0 +1,1 @@
+lib/experiments/e8_scaling.ml: Cost History List Printf Protocol Repro_db Repro_history Repro_replication Repro_workload Table

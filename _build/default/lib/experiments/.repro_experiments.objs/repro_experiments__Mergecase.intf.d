@@ -1,0 +1,1 @@
+lib/experiments/mergecase.mli: Backout History Names Precedence Repro_history Repro_precedence Repro_txn Repro_workload State

@@ -1,0 +1,19 @@
+(** Ablation A1 — fix bookkeeping: Lemma 1 (exact, per-jump accumulation)
+    vs Lemma 2 (coarse, [readset − writeset] wholesale).
+
+    The paper motivates Lemma 2 as the cheaper bookkeeping ("a better way
+    to compute fixes"); the trade-off is fix size — coarse fixes pin every
+    read-only item, exact fixes only the items actually overwritten by
+    movers. Both must stay final-state equivalent. *)
+
+type row = {
+  skew : float;
+  runs : int;
+  avg_fixed_txns : float;  (** suffix transactions carrying a fix *)
+  avg_fix_items_exact : float;
+  avg_fix_items_coarse : float;
+  both_equivalent : bool;
+}
+
+val run : ?seeds:int -> ?tentative_len:int -> ?base_len:int -> skews:float list -> unit -> row list
+val table : row list -> Table.t

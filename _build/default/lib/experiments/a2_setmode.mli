@@ -1,0 +1,24 @@
+(** Ablation A2 — dynamic vs static read/write sets.
+
+    The paper's formulation works on declared (static) read/write sets; a
+    system that records reads in the log (Section 7.1 cites [AJL98] for
+    extracting read sets) can use the sets an execution actually touched.
+    Dynamic sets make can-follow more permissive and shrink the affected
+    set: this ablation quantifies the gap, per skew, for Algorithm 1 and
+    Algorithm 2 — and checks the provable containment (dynamic affected ⊆
+    static affected) on every run. *)
+
+type row = {
+  skew : float;
+  runs : int;
+  affected_static : float;
+  affected_dynamic : float;
+  saved_alg1_static : float;
+  saved_alg1_dynamic : float;
+  saved_alg2_static : float;
+  saved_alg2_dynamic : float;
+  containment : bool;
+}
+
+val run : ?seeds:int -> ?tentative_len:int -> ?base_len:int -> skews:float list -> unit -> row list
+val table : row list -> Table.t

@@ -1,0 +1,17 @@
+(** Ablation A3 — back-out strategy choice, measured end to end.
+
+    E6 compares strategies by |B| and closure damage. What actually
+    matters for the merging protocol is how much work {e survives after
+    rewriting}: a smaller B is no better if its affected set is larger or
+    less rescuable. This ablation runs each strategy's B through
+    Algorithm 2 and reports the tentative transactions finally saved. *)
+
+type row = {
+  skew : float;
+  runs : int;
+  per_strategy : (string * float * float) list;
+      (** strategy, mean |B|, mean saved fraction after Algorithm 2 *)
+}
+
+val run : ?seeds:int -> ?tentative_len:int -> ?base_len:int -> skews:float list -> unit -> row list
+val table : row list -> Table.t

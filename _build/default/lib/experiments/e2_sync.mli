@@ -1,0 +1,52 @@
+(** Experiment E2 — Figure 2 / Section 2.2: synchronizing multiple
+    tentative histories.
+
+    A multi-node simulation (banking workload) compares the two isolation
+    strategies under the merging protocol, across fleet sizes:
+
+    - Strategy 1 (snapshot-at-start origins) produces {e anomalies}: a
+      mobile connects and finds that an earlier merger serialized
+      transactions before its snapshot position, so no base sub-history
+      begins at its origin state and the history must fall back to
+      re-execution. The paper predicts exactly this failure.
+    - Strategy 2 (window-origin states) never fails to find a merge
+      point; its price is the {e late} sessions (histories begun in an
+      expired window are re-executed).
+
+    Both must keep the base serializable — the simulator replays every
+    window's logical history against the base state as ground truth. *)
+
+type row = {
+  isolation : string;
+  n_mobiles : int;
+  tentative : int;
+  merges : int;
+  saved : int;
+  reexecuted : int;
+  late : int;
+  anomalies : int;
+  violations : int;
+  total_cost : float;
+}
+
+val run : ?seed:int -> ?duration:float -> fleets:int list -> unit -> row list
+val table : row list -> Table.t
+
+(** Window-length sweep at a fixed fleet (Strategy 2 only): the
+    resynchronization window trades late sessions (short windows) against
+    back-out cost from longer base histories (long windows) — the tension
+    Section 2.2 describes when motivating periodic resets. *)
+type window_row = {
+  window : float;
+  tentative_w : int;
+  merges_w : int;
+  saved_w : int;
+  reexecuted_w : int;
+  late_w : int;
+  avg_backed_out_per_merge : float;
+}
+
+val run_windows :
+  ?seed:int -> ?duration:float -> ?n_mobiles:int -> windows:float list -> unit -> window_row list
+
+val window_table : window_row list -> Table.t

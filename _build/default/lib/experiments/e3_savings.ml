@@ -1,0 +1,102 @@
+open Repro_history
+open Repro_rewrite
+module Gen = Repro_workload.Gen
+
+type row = {
+  skew : float;
+  runs : int;
+  avg_bad : float;
+  avg_affected : float;
+  saved_closure : float;
+  saved_alg1 : float;
+  saved_alg2 : float;
+  saved_cbt : float;
+  thm3_holds : bool;
+  thm4_holds : bool;
+}
+
+let theory = Repro_txn.Semantics.default_theory
+
+let saved_fraction total r = float_of_int (Repro_history.Names.Set.cardinal r.Rewrite.saved) /. float_of_int total
+
+let run ?(seeds = 30) ?(tentative_len = 30) ?(base_len = 10) ?(commuting = 0.5) ~skews () =
+  List.map
+    (fun skew ->
+      (* A roomy universe: the skew knob, not raw density, sets the
+         conflict rate, so the sweep walks from mostly-saved to
+         mostly-backed-out. *)
+      let profile =
+        {
+          Gen.default_profile with
+          Gen.n_items = 150;
+          Gen.zipf_skew = skew;
+          Gen.commuting_fraction = commuting;
+        }
+      in
+      let results =
+        List.init seeds (fun seed ->
+            let case =
+              Mergecase.generate ~seed:(seed + 1) ~profile ~tentative_len ~base_len
+                ~strategy:Repro_precedence.Backout.Two_cycle_then_greedy
+            in
+            let rewrite alg =
+              Rewrite.run ~theory ~fix_mode:Rewrite.Exact alg ~s0:case.Mergecase.s0
+                case.Mergecase.tentative ~bad:case.Mergecase.bad
+            in
+            let closure = rewrite Rewrite.Closure in
+            let alg1 = rewrite Rewrite.Can_follow in
+            let alg2 = rewrite Rewrite.Can_follow_precede in
+            let cbt = rewrite Rewrite.Commute_only in
+            (case, closure, alg1, alg2, cbt))
+      in
+      let frac f = Mergecase.mean (List.map f results) in
+      {
+        skew;
+        runs = seeds;
+        avg_bad =
+          frac (fun (c, _, _, _, _) ->
+              float_of_int (Names.Set.cardinal c.Mergecase.bad));
+        avg_affected =
+          frac (fun (_, _, a1, _, _) -> float_of_int (Names.Set.cardinal a1.Rewrite.affected));
+        saved_closure = frac (fun (_, c, _, _, _) -> saved_fraction tentative_len c);
+        saved_alg1 = frac (fun (_, _, a1, _, _) -> saved_fraction tentative_len a1);
+        saved_alg2 = frac (fun (_, _, _, a2, _) -> saved_fraction tentative_len a2);
+        saved_cbt = frac (fun (_, _, _, _, cb) -> saved_fraction tentative_len cb);
+        thm3_holds =
+          List.for_all
+            (fun (_, c, a1, _, _) -> Names.Set.equal c.Rewrite.saved a1.Rewrite.saved)
+            results;
+        thm4_holds =
+          List.for_all
+            (fun (_, _, _, a2, cb) -> Names.Set.subset cb.Rewrite.saved a2.Rewrite.saved)
+            results;
+      })
+    skews
+
+let table rows =
+  let tbl =
+    Table.make
+      ~title:"E3: saved tentative transactions vs conflict rate (Zipf skew sweep)"
+      ~columns:
+        [ "skew"; "runs"; "|B|"; "|AG|"; "closure"; "Alg1"; "Alg2"; "commute"; "Thm3"; "Thm4" ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row tbl
+        [
+          Table.Float r.skew;
+          Table.Int r.runs;
+          Table.Float r.avg_bad;
+          Table.Float r.avg_affected;
+          Table.Pct r.saved_closure;
+          Table.Pct r.saved_alg1;
+          Table.Pct r.saved_alg2;
+          Table.Pct r.saved_cbt;
+          Table.Str (if r.thm3_holds then "ok" else "VIOLATED");
+          Table.Str (if r.thm4_holds then "ok" else "VIOLATED");
+        ])
+    rows;
+  Table.note tbl
+    "closure and Alg1 save exactly G-AG; Alg2 additionally saves affected transactions; the \
+     commutativity-only rewriter is dominated by Alg2 (Theorem 4).";
+  tbl

@@ -1,0 +1,40 @@
+(** Experiment E3 — Theorem 3 in numbers: transactions saved per rewriter
+    as the tentative/base conflict rate varies.
+
+    The conflict rate is steered by the Zipf skew of item selection (a
+    hotter universe makes the two histories collide more, growing **B**
+    and the affected set). For every sampled case all four rewriters run
+    on the same [(H_m, B)]:
+
+    - reads-from closure and Algorithm 1 must save the same set (they
+      both save exactly [G − AG]; Theorem 3 makes the closure output a
+      prefix of Algorithm 1's);
+    - Algorithm 2 saves a superset;
+    - the commutativity-only rewriter a subset of Algorithm 2
+      (Theorem 4).
+
+    The table reports mean sizes of B / AG and mean saved fractions. *)
+
+type row = {
+  skew : float;
+  runs : int;
+  avg_bad : float;
+  avg_affected : float;
+  saved_closure : float;  (** mean fraction of tentative transactions *)
+  saved_alg1 : float;
+  saved_alg2 : float;
+  saved_cbt : float;
+  thm3_holds : bool;  (** closure = Alg 1 saved set on every run *)
+  thm4_holds : bool;  (** CBT ⊆ Alg 2 on every run *)
+}
+
+val run :
+  ?seeds:int ->
+  ?tentative_len:int ->
+  ?base_len:int ->
+  ?commuting:float ->
+  skews:float list ->
+  unit ->
+  row list
+
+val table : row list -> Table.t

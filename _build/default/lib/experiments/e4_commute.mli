@@ -1,0 +1,31 @@
+(** Experiment E4 — Theorem 4: Algorithm 2 vs the commutativity-only
+    rewriter as the share of commuting (additive) transaction types
+    sweeps from 0 to 1.
+
+    The paper claims [CBTR(H) ⊆ FPR(H)] always, with strict containment
+    "in most cases". The table reports, per commuting fraction: mean
+    saved fractions of both rewriters, the share of cases where Algorithm
+    2 saved strictly more, and the mean number of {e affected}
+    transactions Algorithm 2 rescued (the quantity the paper's machinery
+    exists for). *)
+
+type row = {
+  commuting : float;
+  runs : int;
+  saved_fpr : float;
+  saved_cbtr : float;
+  strict_cases : float;  (** fraction of runs with CBTR ⊂ FPR *)
+  affected_rescued : float;  (** mean |AG ∩ FPR-saved| *)
+  subset_always : bool;  (** Theorem 4 checked on every run *)
+}
+
+val run :
+  ?seeds:int ->
+  ?tentative_len:int ->
+  ?base_len:int ->
+  ?skew:float ->
+  fractions:float list ->
+  unit ->
+  row list
+
+val table : row list -> Table.t

@@ -1,0 +1,29 @@
+(** Experiment E5 — the Section 7.1 cost comparison.
+
+    The paper argues the merging protocol wins when the saved set **SAV**
+    is large and loses when it is small. The size of SAV is steered here
+    by the {e overlap} knob: the probability that a tentative transaction
+    touches the base-shared hot items (and thus conflicts its way into
+    **B**, which no rewriting can save) rather than the mobile's private
+    items. For each overlap the same reconnection is handled by both
+    protocols and the cost tallies compared, category by category —
+    communication, base CPU, base I/O, mobile CPU — locating the
+    crossover the paper predicts. *)
+
+type row = {
+  overlap : float;
+  runs : int;
+  saved_fraction : float;
+  merge_comm : float;
+  merge_base_cpu : float;
+  merge_base_io : float;
+  merge_mobile_cpu : float;
+  merge_total : float;
+  reprocess_total : float;
+  merge_wins : bool;
+}
+
+val run :
+  ?seeds:int -> ?tentative_len:int -> ?base_len:int -> overlaps:float list -> unit -> row list
+
+val table : row list -> Table.t

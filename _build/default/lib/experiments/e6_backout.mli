@@ -1,0 +1,22 @@
+(** Experiment E6 — back-out strategies ([Dav84], used by protocol step
+    2) under a conflict-rate sweep.
+
+    Summary-level workloads (blind writes permitted, as in Davidson's
+    model) with increasing hot-spot skew. For each strategy: mean |B|,
+    mean |B ∪ AG| (the real damage once affected transactions are
+    counted), and how often the strategy matched the exhaustive optimum.
+    Davidson's observation — breaking two-cycles first performs close to
+    optimal — is the claim under test. *)
+
+type row = {
+  skew : float;
+  runs : int;
+  cyclic_fraction : float;  (** cases with at least one cycle *)
+  per_strategy : (string * float * float * float) list;
+      (** strategy, mean |B|, mean |B ∪ AG|, optimal-match rate *)
+}
+
+val run :
+  ?seeds:int -> ?tentative:int -> ?base:int -> ?blind:float -> skews:float list -> unit -> row list
+
+val table : row list -> Table.t

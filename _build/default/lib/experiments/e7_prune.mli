@@ -1,0 +1,27 @@
+(** Experiment E7 — pruning rewritten histories (Section 6).
+
+    Compares the two pruning approaches on the same rewritten histories:
+    fixed compensation (Section 6.1) where every suffix transaction has a
+    derivable compensator, and undo + undo-repair actions (Algorithm 3,
+    Section 6.2) always. Both must land on the state of re-executing the
+    repaired history; the table reports how often compensation was
+    available, the work done by each approach (compensators run, physical
+    images restored, undo-repair statements executed) and correctness
+    against serial re-execution. *)
+
+type row = {
+  commuting : float;
+  runs : int;
+  avg_suffix : float;  (** transactions pruned away *)
+  avg_saved_affected : float;  (** URAs needed *)
+  compensation_available : float;  (** share of runs fully compensable *)
+  avg_compensators : float;
+  avg_images_restored : float;
+  avg_ura_updates : float;
+  all_correct : bool;
+}
+
+val run :
+  ?seeds:int -> ?tentative_len:int -> ?base_len:int -> fractions:float list -> unit -> row list
+
+val table : row list -> Table.t

@@ -1,0 +1,31 @@
+open Repro_txn
+open Repro_history
+open Repro_precedence
+module Gen = Repro_workload.Gen
+module Rng = Repro_workload.Rng
+
+type t = {
+  s0 : State.t;
+  tentative : History.t;
+  base : History.t;
+  pg : Precedence.t;
+  bad : Names.Set.t;
+}
+
+let generate ~seed ~profile ~tentative_len ~base_len ~strategy =
+  let rng = Rng.create seed in
+  let pool = Gen.pool profile in
+  let s0 = Gen.initial_state pool rng in
+  let tentative, base = Gen.mobile_base_pair pool rng ~tentative_len ~base_len in
+  let pg =
+    Precedence.of_executions ~tentative:(History.execute s0 tentative)
+      ~base:(History.execute s0 base)
+  in
+  let bad =
+    if Precedence.is_acyclic pg then Names.Set.empty else Backout.compute ~strategy pg
+  in
+  { s0; tentative; base; pg; bad }
+
+let mean = function
+  | [] -> 0.0
+  | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)

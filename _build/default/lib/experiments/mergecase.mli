@@ -1,0 +1,27 @@
+(** Shared experiment scaffolding: a reproducible "merge case" — an
+    initial state, a tentative and a base history drawn from one canned
+    pool, the precedence graph of their executions, and the back-out set
+    [B] a given strategy selects. E3, E4, E6 and E7 all consume these. *)
+
+open Repro_txn
+open Repro_history
+open Repro_precedence
+
+type t = {
+  s0 : State.t;
+  tentative : History.t;
+  base : History.t;
+  pg : Precedence.t;
+  bad : Names.Set.t;
+}
+
+val generate :
+  seed:int ->
+  profile:Repro_workload.Gen.profile ->
+  tentative_len:int ->
+  base_len:int ->
+  strategy:Backout.strategy ->
+  t
+
+(** Mean of a list of floats ([0.] on empty). *)
+val mean : float list -> float

@@ -1,0 +1,53 @@
+type cell = Str of string | Int of int | Float of float | Pct of float
+
+type t = {
+  title : string;
+  columns : string list;
+  mutable rev_rows : cell list list;
+  mutable notes : string list;
+}
+
+let make ~title ~columns = { title; columns; rev_rows = []; notes = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.columns then
+    invalid_arg (Printf.sprintf "Table.add_row (%s): wrong arity" t.title);
+  t.rev_rows <- cells :: t.rev_rows
+
+let title t = t.title
+let note t text = t.notes <- text :: t.notes
+
+let cell_to_string = function
+  | Str s -> s
+  | Int n -> string_of_int n
+  | Float f -> Printf.sprintf "%.2f" f
+  | Pct f -> Printf.sprintf "%.1f%%" (100.0 *. f)
+
+let pp ppf t =
+  let rows = List.rev t.rev_rows in
+  let header = t.columns in
+  let as_strings = header :: List.map (List.map cell_to_string) rows in
+  let widths =
+    List.fold_left
+      (fun acc row -> List.map2 (fun w s -> max w (String.length s)) acc row)
+      (List.map String.length header)
+      (List.map (List.map cell_to_string) rows)
+  in
+  ignore as_strings;
+  let pad w s = s ^ String.make (max 0 (w - String.length s)) ' ' in
+  let print_row cells =
+    Format.fprintf ppf "  %s@," (String.concat "  " (List.map2 pad widths cells))
+  in
+  Format.fprintf ppf "@[<v>%s@," t.title;
+  Format.fprintf ppf "  %s@," (String.make (String.length t.title) '=');
+  print_row header;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter (fun row -> print_row (List.map cell_to_string row)) rows;
+  List.iter (fun n -> Format.fprintf ppf "  note: %s@," n) (List.rev t.notes);
+  Format.fprintf ppf "@]"
+
+let to_csv t =
+  let escape s = if String.contains s ',' then "\"" ^ s ^ "\"" else s in
+  let line cells = String.concat "," (List.map escape cells) in
+  String.concat "\n"
+    (line t.columns :: List.rev_map (fun row -> line (List.map cell_to_string row)) t.rev_rows)

@@ -1,0 +1,22 @@
+(** Plain-text result tables.
+
+    Every experiment produces one or more tables; the benchmark harness
+    and the CLI print them in aligned plain text (and optionally CSV), so
+    EXPERIMENTS.md can quote them verbatim. *)
+
+type cell = Str of string | Int of int | Float of float | Pct of float
+
+type t
+
+val make : title:string -> columns:string list -> t
+val add_row : t -> cell list -> unit
+val title : t -> string
+
+(** Rendered with aligned columns and a separator line. *)
+val pp : Format.formatter -> t -> unit
+
+val to_csv : t -> string
+
+(** [note tbl text] attaches a free-form caption printed under the
+    table. *)
+val note : t -> string -> unit

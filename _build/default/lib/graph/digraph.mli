@@ -1,0 +1,39 @@
+(** Directed graphs over dense integer node identifiers [0 .. n-1].
+
+    The precedence-graph machinery only needs adjacency queries, node
+    removal (simulated by masks), SCC decomposition, topological sort and
+    bounded cycle enumeration, so the representation is a plain adjacency
+    structure with O(1) edge tests. *)
+
+type t
+
+(** [create n] is an edgeless graph over nodes [0 .. n-1]. *)
+val create : int -> t
+
+val node_count : t -> int
+val edge_count : t -> int
+
+(** [add_edge g u v] adds the edge [u -> v]; duplicate additions are
+    idempotent. Self-edges are permitted (they are cycles). *)
+val add_edge : t -> int -> int -> unit
+
+val mem_edge : t -> int -> int -> bool
+
+(** Successors of [u], in insertion order. *)
+val successors : t -> int -> int list
+
+(** Predecessors of [u], in insertion order. *)
+val predecessors : t -> int -> int list
+
+val edges : t -> (int * int) list
+val nodes : t -> int list
+
+(** [induced g keep] is the subgraph over the nodes for which [keep]
+    holds (node identifiers are preserved; dropped nodes become
+    isolated and are excluded from [nodes]). *)
+val induced : t -> (int -> bool) -> t
+
+(** [transpose g] reverses every edge. *)
+val transpose : t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,24 @@
+(** Strongly connected components (Tarjan's algorithm, iterative) and the
+    cycle queries the back-out strategies need. *)
+
+(** The strongly connected components of the graph, each as a list of
+    nodes; components are returned in reverse topological order of the
+    condensation. *)
+val components : Digraph.t -> int list list
+
+(** A node lies on a cycle iff its component has ≥ 2 nodes or it has a
+    self-edge. *)
+val nodes_on_cycles : Digraph.t -> int list
+
+(** [is_acyclic g] — no node lies on a cycle. *)
+val is_acyclic : Digraph.t -> bool
+
+(** [two_cycles g] — all unordered pairs [(u, v)], [u < v], with both
+    [u -> v] and [v -> u]. Davidson's "breaking two-cycles optimally"
+    strategy consumes these. *)
+val two_cycles : Digraph.t -> (int * int) list
+
+(** [cycles ?limit g] enumerates elementary cycles (as node lists) up to
+    [limit] (default 10_000), via Johnson-style DFS within components.
+    Intended for tests and small instances. *)
+val cycles : ?limit:int -> Digraph.t -> int list list

@@ -1,0 +1,34 @@
+module Int_set = Set.Make (Int)
+
+(* Kahn's algorithm with a sorted-set frontier for deterministic,
+   smallest-identifier-first tie-breaking. *)
+let sort g =
+  let nodes = Digraph.nodes g in
+  let indegree = Hashtbl.create 64 in
+  List.iter (fun v -> Hashtbl.replace indegree v (List.length (Digraph.predecessors g v))) nodes;
+  let initial =
+    List.fold_left
+      (fun acc v -> if Hashtbl.find indegree v = 0 then Int_set.add v acc else acc)
+      Int_set.empty nodes
+  in
+  let rec drain frontier acc taken =
+    match Int_set.min_elt_opt frontier with
+    | None -> if taken = List.length nodes then Some (List.rev acc) else None
+    | Some v ->
+      let frontier = Int_set.remove v frontier in
+      let frontier =
+        List.fold_left
+          (fun fr w ->
+            let d = Hashtbl.find indegree w - 1 in
+            Hashtbl.replace indegree w d;
+            if d = 0 then Int_set.add w fr else fr)
+          frontier (Digraph.successors g v)
+      in
+      drain frontier (v :: acc) (taken + 1)
+  in
+  drain initial [] 0
+
+let sort_exn g =
+  match sort g with
+  | Some order -> order
+  | None -> invalid_arg "Topo.sort_exn: graph is cyclic"

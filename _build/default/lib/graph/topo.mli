@@ -1,0 +1,14 @@
+(** Topological sorting.
+
+    The merging protocol's correctness argument needs a serial order of
+    the merged transactions compatible with the (acyclic, reduced)
+    precedence graph; [sort] produces one. *)
+
+(** [sort g] is [Some order] — the live nodes in a topological order of
+    [g] — or [None] if [g] is cyclic. Ties are broken by smallest node
+    identifier, making the order deterministic. *)
+val sort : Digraph.t -> int list option
+
+(** [sort_exn g] is [sort g] or
+    @raise Invalid_argument when the graph is cyclic. *)
+val sort_exn : Digraph.t -> int list

@@ -1,0 +1,1 @@
+lib/history/equivalence.ml: Array History Interp Item List Names Program Repro_txn State String

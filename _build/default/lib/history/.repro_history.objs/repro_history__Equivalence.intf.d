@@ -1,0 +1,1 @@
+lib/history/equivalence.mli: History Repro_txn

@@ -1,0 +1,1 @@
+lib/history/history.ml: Fix Format Hashtbl Interp Item List Names Program Repro_txn State String

@@ -1,0 +1,1 @@
+lib/history/names.ml: Format Stdlib String

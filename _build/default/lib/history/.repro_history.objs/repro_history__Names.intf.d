@@ -1,0 +1,1 @@
+lib/history/names.mli: Format Stdlib

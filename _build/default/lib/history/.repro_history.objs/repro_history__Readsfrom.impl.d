@@ -1,0 +1,1 @@
+lib/history/readsfrom.ml: Format History Interp Item List Names Program Repro_txn String

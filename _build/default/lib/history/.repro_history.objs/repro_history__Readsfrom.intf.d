@@ -1,0 +1,1 @@
+lib/history/readsfrom.mli: Format History Names Repro_txn

@@ -1,0 +1,16 @@
+type t = string
+
+module Set = struct
+  include Stdlib.Set.Make (String)
+
+  let pp ppf s =
+    Format.fprintf ppf "{%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+         Format.pp_print_string)
+      (elements s)
+
+  let of_names = of_list
+end
+
+module Map = Stdlib.Map.Make (String)

@@ -1,0 +1,14 @@
+(** Transaction names. Within one history every transaction instance has a
+    unique name ([Tm1], [Tb2], ...); the rewriting machinery and the
+    theorem-checking tests manipulate sets of names. *)
+
+type t = string
+
+module Set : sig
+  include Stdlib.Set.S with type elt = t
+
+  val pp : Format.formatter -> t -> unit
+  val of_names : string list -> t
+end
+
+module Map : Stdlib.Map.S with type key = t

@@ -1,0 +1,45 @@
+open Repro_txn
+
+type edge = { reader : Names.t; writer : Names.t; item : Item.t }
+
+let edges (exec : History.execution) =
+  (* Scan the execution in order, tracking the last writer of each item. *)
+  let last_writer : Names.t Item.Map.t ref = ref Item.Map.empty in
+  let out = ref [] in
+  List.iter
+    (fun (r : Interp.record) ->
+      let reader = r.Interp.program.Program.name in
+      List.iter
+        (fun (x, _) ->
+          match Item.Map.find_opt x !last_writer with
+          | Some writer -> out := { reader; writer; item = x } :: !out
+          | None -> ())
+        r.Interp.reads;
+      List.iter
+        (fun (x, _, _) -> last_writer := Item.Map.add x reader !last_writer)
+        r.Interp.writes)
+    exec.History.records;
+  List.rev !out
+
+let affected exec ~bad =
+  let reads_from = edges exec in
+  (* One forward pass suffices: the execution is in history order, so a
+     transaction's suppliers precede it and are already classified. *)
+  let tainted = ref bad in
+  List.iter
+    (fun (r : Interp.record) ->
+      let name = r.Interp.program.Program.name in
+      if not (Names.Set.mem name !tainted) then
+        let supplied_by_tainted =
+          List.exists
+            (fun e -> String.equal e.reader name && Names.Set.mem e.writer !tainted)
+            reads_from
+        in
+        if supplied_by_tainted then tainted := Names.Set.add name !tainted)
+    exec.History.records;
+  Names.Set.diff !tainted bad
+
+let closure exec ~bad = Names.Set.union bad (affected exec ~bad)
+
+let pp_edge ppf e =
+  Format.fprintf ppf "%s reads %a from %s" e.reader Item.pp e.item e.writer

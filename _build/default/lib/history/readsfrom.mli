@@ -1,0 +1,26 @@
+(** The reads-from relation and the affected set.
+
+    [T_j] {e reads} [x] {e from} [T_i] when [T_j] read [x] after [T_i]
+    updated it, with no intervening update of [x] (the paper's footnote in
+    Section 2). The {e affected} transactions [AG] are those in the
+    reads-from transitive closure of the undesirable set [B]: they saw
+    data produced directly or indirectly by [B], which is why the
+    closure-based back-out of [Dav84] discards them and why the paper's
+    rewriting algorithms work to save them. *)
+
+type edge = { reader : Names.t; writer : Names.t; item : Repro_txn.Item.t }
+
+(** All reads-from edges of an execution, computed from the dynamic
+    interpreter records (actual reads, not static sets). *)
+val edges : History.execution -> edge list
+
+(** [affected exec ~bad] is the set of {e good} transactions in the
+    reads-from transitive closure of [bad] (the paper's [AG]; it never
+    includes members of [bad] itself). *)
+val affected : History.execution -> bad:Names.Set.t -> Names.Set.t
+
+(** [closure exec ~bad] is [bad ∪ affected exec ~bad]: everything the
+    closure-based approach backs out. *)
+val closure : History.execution -> bad:Names.Set.t -> Names.Set.t
+
+val pp_edge : Format.formatter -> edge -> unit

@@ -1,0 +1,1 @@
+lib/lang/analyze.ml: Analysis Ast Compensation Elaborate Format Item List Printf Program Repro_txn Semantics String

@@ -1,0 +1,1 @@
+lib/lang/analyze.mli: Ast Format Item Repro_txn

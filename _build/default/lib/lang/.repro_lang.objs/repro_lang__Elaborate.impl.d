@@ -1,0 +1,1 @@
+lib/lang/elaborate.ml: Ast Expr Item List Pred Printf Program Repro_txn Stmt

@@ -1,0 +1,1 @@
+lib/lang/printer.ml: Ast Format List

@@ -1,0 +1,126 @@
+open Repro_txn
+
+type type_report = {
+  tname : string;
+  globals : Item.Set.t;
+  readset : Item.Set.t;
+  writeset : Item.Set.t;
+  additive : bool;
+  compensable : bool;
+  blind : bool;
+}
+
+type pair_report = {
+  mover : string;
+  target : string;
+  disjoint_can_precede : bool;
+  shared_can_precede : bool;
+}
+
+type report = { system : string; types : type_report list; pairs : pair_report list }
+
+exception Analysis_error of string
+
+let item_formals (d : Ast.decl) =
+  List.filter_map (fun (k, n) -> if k = Ast.Item_param then Some n else None) d.Ast.params
+
+let int_formals (d : Ast.decl) =
+  List.filter_map (fun (k, n) -> if k = Ast.Int_param then Some n else None) d.Ast.params
+
+(* Canonical instance: item formal f of type t bound to "t.f" (or a caller
+   prefix), int formals bound to 1. *)
+let canonical ?(prefix = "") (d : Ast.decl) =
+  let items = List.map (fun f -> (f, Printf.sprintf "%s%s.%s" prefix d.Ast.tname f)) (item_formals d) in
+  let ints = List.map (fun f -> (f, 1)) (int_formals d) in
+  try Elaborate.instantiate d ~name:(prefix ^ d.Ast.tname) ~items ~ints
+  with Elaborate.Elab_error msg | Program.Ill_formed msg -> raise (Analysis_error msg)
+
+let rec has_blind = function
+  | [] -> false
+  | Ast.Assign _ :: _ -> true
+  | (Ast.Read _ | Ast.Update _) :: rest -> has_blind rest
+  | Ast.If (_, ss1, ss2) :: rest -> has_blind ss1 || has_blind ss2 || has_blind rest
+
+let type_report (d : Ast.decl) =
+  let p = canonical d in
+  {
+    tname = d.Ast.tname;
+    globals = Elaborate.free_globals d;
+    readset = Program.readset p;
+    writeset = Program.writeset p;
+    additive = Analysis.is_additive_program p;
+    compensable = Compensation.derivable p;
+    blind = has_blind d.Ast.body;
+  }
+
+(* A shared-item instantiation: both types' first item formals bound to
+   the single item "shared"; remaining formals stay disjoint. *)
+let shared_instance tag (d : Ast.decl) =
+  match item_formals d with
+  | [] -> canonical ~prefix:tag d
+  | first :: rest ->
+    let items =
+      (first, "shared")
+      :: List.map (fun f -> (f, Printf.sprintf "%s%s.%s" tag d.Ast.tname f)) rest
+    in
+    let ints = List.map (fun f -> (f, 1)) (int_formals d) in
+    (try Elaborate.instantiate d ~name:(tag ^ d.Ast.tname) ~items ~ints
+     with Elaborate.Elab_error msg | Program.Ill_formed msg -> raise (Analysis_error msg))
+
+let pair_report theory (mover_decl : Ast.decl) (target_decl : Ast.decl) =
+  let can_precede mover target =
+    Semantics.can_precede ~theory ~fix_domain:(Program.read_only_items target) ~mover ~target
+  in
+  let disjoint =
+    can_precede (canonical ~prefix:"m." mover_decl) (canonical ~prefix:"t." target_decl)
+  in
+  let shared = can_precede (shared_instance "m." mover_decl) (shared_instance "t." target_decl) in
+  {
+    mover = mover_decl.Ast.tname;
+    target = target_decl.Ast.tname;
+    disjoint_can_precede = disjoint;
+    shared_can_precede = shared;
+  }
+
+let analyze (sys : Ast.system) =
+  let theory = Semantics.default_theory in
+  let types = List.map type_report sys.Ast.decls in
+  let pairs =
+    List.concat_map
+      (fun mover -> List.map (fun target -> pair_report theory mover target) sys.Ast.decls)
+      sys.Ast.decls
+  in
+  { system = sys.Ast.sname; types; pairs }
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>system %s: %d transaction types@,@," r.system (List.length r.types);
+  List.iter
+    (fun t ->
+      Format.fprintf ppf "type %-16s reads=%a writes=%a%s%s%s@," t.tname Item.Set.pp t.readset
+        Item.Set.pp t.writeset
+        (if t.additive then " [additive]" else "")
+        (if t.compensable then " [compensable]" else "")
+        (if t.blind then " [blind-writes]" else ""))
+    r.types;
+  Format.fprintf ppf "@,can-precede matrix (mover row, target column; D=disjoint items, S=shared hot item):@,";
+  let names = List.map (fun t -> t.tname) r.types in
+  let cell mover target =
+    let p = List.find (fun p -> p.mover = mover && p.target = target) r.pairs in
+    match (p.disjoint_can_precede, p.shared_can_precede) with
+    | true, true -> "DS"
+    | true, false -> "D-"
+    | false, true -> "-S"
+    | false, false -> "--"
+  in
+  let width = List.fold_left (fun acc n -> max acc (String.length n)) 2 names in
+  let pad s = s ^ String.make (max 0 (width - String.length s)) ' ' in
+  Format.fprintf ppf "%s" (pad "");
+  List.iter (fun n -> Format.fprintf ppf "  %s" (pad n)) names;
+  Format.fprintf ppf "@,";
+  List.iter
+    (fun mover ->
+      Format.fprintf ppf "%s" (pad mover);
+      List.iter (fun target -> Format.fprintf ppf "  %s" (pad (cell mover target))) names;
+      Format.fprintf ppf "@,")
+    names;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,45 @@
+(** Offline profile analysis — the canned-system preprocessing the paper
+    describes: "since transactions are of limited number of types and the
+    code of each transaction type is available, the can precede relation
+    between two transactions can be pre-detected by detecting the relation
+    between the corresponding two transaction types in advance"
+    (Section 5.1), and read-set extraction from profiles per [AJL98]
+    (Section 7.1).
+
+    For every type: read/write sets of a canonical instance, whether its
+    updates are all commuting additive deltas, whether a compensating
+    transaction is derivable, and whether it blind-writes. For every
+    ordered type pair: the can-precede answer under two representative
+    instantiations — item formals bound to {e disjoint} fresh items, and
+    both types' first item formals bound to one {e shared} item (the
+    hot-spot case). *)
+
+open Repro_txn
+
+type type_report = {
+  tname : string;
+  globals : Item.Set.t;  (** global item literals the body touches *)
+  readset : Item.Set.t;  (** of the canonical instance *)
+  writeset : Item.Set.t;
+  additive : bool;
+  compensable : bool;
+  blind : bool;  (** uses at least one blind write *)
+}
+
+type pair_report = {
+  mover : string;
+  target : string;
+  disjoint_can_precede : bool;
+  shared_can_precede : bool;  (** meaningful when both types have item formals *)
+}
+
+type report = { system : string; types : type_report list; pairs : pair_report list }
+
+exception Analysis_error of string
+
+(** [analyze system] — instantiate canonical representatives and run the
+    static detectors. The can-precede fix domain used for each target is
+    its [readset − writeset] (the Lemma 2 coarse fix). *)
+val analyze : Ast.system -> report
+
+val pp_report : Format.formatter -> report -> unit

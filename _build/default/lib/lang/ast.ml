@@ -1,0 +1,35 @@
+type binop = Add | Sub | Mul | Div | Mod | Min | Max
+
+type expr =
+  | Int of int
+  | Ref of string
+  | Neg of expr
+  | Bin of binop * expr * expr
+
+type relop = Eq | Ne | Lt | Le | Gt | Ge
+
+type pred =
+  | True
+  | False
+  | Rel of relop * expr * expr
+  | Not of pred
+  | And of pred * pred
+  | Or of pred * pred
+
+type stmt =
+  | Read of string
+  | Update of string * expr
+  | Assign of string * expr
+  | If of pred * stmt list * stmt list
+
+type param_kind = Item_param | Int_param
+
+type decl = {
+  tname : string;
+  params : (param_kind * string) list;
+  body : stmt list;
+}
+
+type system = { sname : string; decls : decl list }
+
+let find_decl sys name = List.find_opt (fun d -> String.equal d.tname name) sys.decls

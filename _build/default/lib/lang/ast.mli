@@ -1,0 +1,64 @@
+(** Surface syntax for transaction-type profiles.
+
+    The paper's "canned systems" ship transaction {e profiles}: the code
+    of each transaction type, analyzed offline for read/write sets and
+    can-precede relations (Sections 5.1 and 7.1). This library gives
+    profiles a concrete syntax:
+
+    {v
+    system banking
+
+    type deposit(item acct, int amt) {
+      acct := acct + amt;
+      ledger := ledger + amt;
+    }
+
+    type reserve(item seats, item revenue, int fare) {
+      if (seats > 0) {
+        seats := seats - 1;
+        revenue := revenue + fare;
+      }
+    }
+    v}
+
+    Identifiers in bodies resolve at elaboration time: an [item] formal
+    becomes the concrete item it is instantiated with; an [int] formal
+    becomes a transaction parameter; any other identifier is a global
+    item literal (like [ledger] above). [x := e] is an ordinary update
+    (implicit self-read); [x <- e] is a blind write. *)
+
+type binop = Add | Sub | Mul | Div | Mod | Min | Max
+
+type expr =
+  | Int of int
+  | Ref of string  (** resolved at elaboration: item formal / int formal / global item *)
+  | Neg of expr
+  | Bin of binop * expr * expr
+
+type relop = Eq | Ne | Lt | Le | Gt | Ge
+
+type pred =
+  | True
+  | False
+  | Rel of relop * expr * expr
+  | Not of pred
+  | And of pred * pred
+  | Or of pred * pred
+
+type stmt =
+  | Read of string
+  | Update of string * expr  (** [x := e] *)
+  | Assign of string * expr  (** [x <- e], blind *)
+  | If of pred * stmt list * stmt list
+
+type param_kind = Item_param | Int_param
+
+type decl = {
+  tname : string;
+  params : (param_kind * string) list;  (** in declaration order *)
+  body : stmt list;
+}
+
+type system = { sname : string; decls : decl list }
+
+val find_decl : system -> string -> decl option

@@ -1,0 +1,109 @@
+open Repro_txn
+
+exception Elab_error of string
+
+type env = {
+  item_bindings : (string * Item.t) list;
+  int_formals : string list;
+}
+
+let resolve_ref env name =
+  if List.mem name env.int_formals then `Param name
+  else
+    match List.assoc_opt name env.item_bindings with
+    | Some concrete -> `Item concrete
+    | None -> `Item name (* global literal *)
+
+let rec elab_expr env (e : Ast.expr) : Expr.t =
+  match e with
+  | Ast.Int n -> Expr.Const n
+  | Ast.Neg a -> Expr.Neg (elab_expr env a)
+  | Ast.Ref name -> (
+    match resolve_ref env name with `Param p -> Expr.Param p | `Item x -> Expr.Item x)
+  | Ast.Bin (op, a, b) ->
+    let a = elab_expr env a and b = elab_expr env b in
+    (match op with
+    | Ast.Add -> Expr.Add (a, b)
+    | Ast.Sub -> Expr.Sub (a, b)
+    | Ast.Mul -> Expr.Mul (a, b)
+    | Ast.Div -> Expr.Div (a, b)
+    | Ast.Mod -> Expr.Mod (a, b)
+    | Ast.Min -> Expr.Min (a, b)
+    | Ast.Max -> Expr.Max (a, b))
+
+let rec elab_pred env (p : Ast.pred) : Pred.t =
+  match p with
+  | Ast.True -> Pred.True
+  | Ast.False -> Pred.False
+  | Ast.Not q -> Pred.Not (elab_pred env q)
+  | Ast.And (a, b) -> Pred.And (elab_pred env a, elab_pred env b)
+  | Ast.Or (a, b) -> Pred.Or (elab_pred env a, elab_pred env b)
+  | Ast.Rel (op, a, b) ->
+    let a = elab_expr env a and b = elab_expr env b in
+    (match op with
+    | Ast.Eq -> Pred.Eq (a, b)
+    | Ast.Ne -> Pred.Ne (a, b)
+    | Ast.Lt -> Pred.Lt (a, b)
+    | Ast.Le -> Pred.Le (a, b)
+    | Ast.Gt -> Pred.Gt (a, b)
+    | Ast.Ge -> Pred.Ge (a, b))
+
+let elab_target env name =
+  match resolve_ref env name with
+  | `Item x -> x
+  | `Param _ -> raise (Elab_error (Printf.sprintf "cannot assign to int parameter %s" name))
+
+let rec elab_stmt env (s : Ast.stmt) : Stmt.t =
+  match s with
+  | Ast.Read x -> Stmt.Read (elab_target env x)
+  | Ast.Update (x, e) -> Stmt.Update (elab_target env x, elab_expr env e)
+  | Ast.Assign (x, e) -> Stmt.Assign (elab_target env x, elab_expr env e)
+  | Ast.If (p, ss1, ss2) ->
+    Stmt.If (elab_pred env p, List.map (elab_stmt env) ss1, List.map (elab_stmt env) ss2)
+
+let instantiate (decl : Ast.decl) ~name ~items ~ints =
+  let item_formals =
+    List.filter_map (fun (k, n) -> if k = Ast.Item_param then Some n else None) decl.Ast.params
+  in
+  let int_formals =
+    List.filter_map (fun (k, n) -> if k = Ast.Int_param then Some n else None) decl.Ast.params
+  in
+  let check_bindings kind formals bound =
+    List.iter
+      (fun f ->
+        if not (List.mem_assoc f bound) then
+          raise (Elab_error (Printf.sprintf "%s: missing %s binding for %s" decl.Ast.tname kind f)))
+      formals;
+    List.iter
+      (fun (b, _) ->
+        if not (List.mem b formals) then
+          raise (Elab_error (Printf.sprintf "%s: unknown %s binding %s" decl.Ast.tname kind b)))
+      bound
+  in
+  check_bindings "item" item_formals items;
+  check_bindings "int" int_formals ints;
+  let env = { item_bindings = items; int_formals } in
+  Program.make ~name ~ttype:decl.Ast.tname ~params:ints (List.map (elab_stmt env) decl.Ast.body)
+
+let free_globals (decl : Ast.decl) =
+  let formals = List.map snd decl.Ast.params in
+  let add acc name = if List.mem name formals then acc else Item.Set.add name acc in
+  let rec expr acc : Ast.expr -> Item.Set.t = function
+    | Ast.Int _ -> acc
+    | Ast.Ref name -> add acc name
+    | Ast.Neg a -> expr acc a
+    | Ast.Bin (_, a, b) -> expr (expr acc a) b
+  in
+  let rec pred acc : Ast.pred -> Item.Set.t = function
+    | Ast.True | Ast.False -> acc
+    | Ast.Rel (_, a, b) -> expr (expr acc a) b
+    | Ast.Not q -> pred acc q
+    | Ast.And (a, b) | Ast.Or (a, b) -> pred (pred acc a) b
+  in
+  let rec stmt acc : Ast.stmt -> Item.Set.t = function
+    | Ast.Read x -> add acc x
+    | Ast.Update (x, e) | Ast.Assign (x, e) -> expr (add acc x) e
+    | Ast.If (p, ss1, ss2) ->
+      List.fold_left stmt (List.fold_left stmt (pred acc p) ss1) ss2
+  in
+  List.fold_left stmt Item.Set.empty decl.Ast.body

@@ -1,0 +1,25 @@
+(** Elaboration of parsed transaction types into executable
+    {!Repro_txn.Program} instances.
+
+    Identifier resolution: an [item] formal takes the concrete item bound
+    at instantiation; an [int] formal becomes a transaction parameter;
+    any other identifier is a global item literal. *)
+
+open Repro_txn
+
+exception Elab_error of string
+
+(** [instantiate decl ~name ~items ~ints] — bind every formal and build
+    the program ([ttype] = the declaration name).
+
+    @raise Elab_error on a missing/extra binding, or on an item formal
+    bound to an item also used as a global literal ambiguously.
+    @raise Program.Ill_formed if the instantiated body is invalid (e.g.
+    two formals bound to the same item making one path update it
+    twice). *)
+val instantiate :
+  Ast.decl -> name:string -> items:(string * Item.t) list -> ints:(string * int) list -> Program.t
+
+(** [free_globals decl] — global item literals mentioned by the body
+    (identifiers that are not formals). *)
+val free_globals : Ast.decl -> Item.Set.t

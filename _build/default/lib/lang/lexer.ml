@@ -1,0 +1,228 @@
+type token =
+  | IDENT of string
+  | INT of int
+  | KW_SYSTEM
+  | KW_TYPE
+  | KW_ITEM
+  | KW_INT
+  | KW_READ
+  | KW_IF
+  | KW_ELSE
+  | KW_TRUE
+  | KW_FALSE
+  | KW_MIN
+  | KW_MAX
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | SEMI
+  | WALRUS
+  | LARROW
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | EQEQ
+  | BANGEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | ANDAND
+  | OROR
+  | BANG
+  | EOF
+
+type located = { token : token; line : int; col : int }
+
+exception Lex_error of string * int * int
+
+let keyword_of = function
+  | "system" -> Some KW_SYSTEM
+  | "type" -> Some KW_TYPE
+  | "item" -> Some KW_ITEM
+  | "int" -> Some KW_INT
+  | "read" -> Some KW_READ
+  | "if" -> Some KW_IF
+  | "else" -> Some KW_ELSE
+  | "true" -> Some KW_TRUE
+  | "false" -> Some KW_FALSE
+  | "min" -> Some KW_MIN
+  | "max" -> Some KW_MAX
+  | _ -> None
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+type cursor = { src : string; mutable pos : int; mutable line : int; mutable col : int }
+
+let peek cur = if cur.pos < String.length cur.src then Some cur.src.[cur.pos] else None
+
+let peek2 cur =
+  if cur.pos + 1 < String.length cur.src then Some cur.src.[cur.pos + 1] else None
+
+let advance cur =
+  (match peek cur with
+  | Some '\n' ->
+    cur.line <- cur.line + 1;
+    cur.col <- 1
+  | Some _ -> cur.col <- cur.col + 1
+  | None -> ());
+  cur.pos <- cur.pos + 1
+
+let rec skip_trivia cur =
+  match peek cur with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance cur;
+    skip_trivia cur
+  | Some '/' when peek2 cur = Some '/' ->
+    let rec to_eol () =
+      match peek cur with
+      | Some '\n' | None -> ()
+      | Some _ ->
+        advance cur;
+        to_eol ()
+    in
+    to_eol ();
+    skip_trivia cur
+  | _ -> ()
+
+let lex_ident cur =
+  let start = cur.pos in
+  while (match peek cur with Some c -> is_ident_char c | None -> false) do
+    advance cur
+  done;
+  String.sub cur.src start (cur.pos - start)
+
+let lex_int cur =
+  let start = cur.pos in
+  while (match peek cur with Some c -> is_digit c | None -> false) do
+    advance cur
+  done;
+  int_of_string (String.sub cur.src start (cur.pos - start))
+
+let tokenize src =
+  let cur = { src; pos = 0; line = 1; col = 1 } in
+  let out = ref [] in
+  let emit ~line ~col token = out := { token; line; col } :: !out in
+  let rec loop () =
+    skip_trivia cur;
+    let line = cur.line and col = cur.col in
+    match peek cur with
+    | None -> emit ~line ~col EOF
+    | Some c when is_ident_start c ->
+      let word = lex_ident cur in
+      emit ~line ~col (match keyword_of word with Some kw -> kw | None -> IDENT word);
+      loop ()
+    | Some c when is_digit c ->
+      emit ~line ~col (INT (lex_int cur));
+      loop ()
+    | Some c ->
+      let two target tok_two tok_one =
+        advance cur;
+        if peek cur = Some target then begin
+          advance cur;
+          emit ~line ~col tok_two
+        end
+        else
+          match tok_one with
+          | Some t -> emit ~line ~col t
+          | None -> raise (Lex_error (Printf.sprintf "unexpected character %C" c, line, col))
+      in
+      (match c with
+      | '(' ->
+        advance cur;
+        emit ~line ~col LPAREN
+      | ')' ->
+        advance cur;
+        emit ~line ~col RPAREN
+      | '{' ->
+        advance cur;
+        emit ~line ~col LBRACE
+      | '}' ->
+        advance cur;
+        emit ~line ~col RBRACE
+      | ',' ->
+        advance cur;
+        emit ~line ~col COMMA
+      | ';' ->
+        advance cur;
+        emit ~line ~col SEMI
+      | '+' ->
+        advance cur;
+        emit ~line ~col PLUS
+      | '-' ->
+        advance cur;
+        emit ~line ~col MINUS
+      | '*' ->
+        advance cur;
+        emit ~line ~col STAR
+      | '/' ->
+        advance cur;
+        emit ~line ~col SLASH
+      | '%' ->
+        advance cur;
+        emit ~line ~col PERCENT
+      | ':' -> two '=' WALRUS None
+      | '=' -> two '=' EQEQ None
+      | '!' -> two '=' BANGEQ (Some BANG)
+      | '&' -> two '&' ANDAND None
+      | '|' -> two '|' OROR None
+      | '<' -> (
+        advance cur;
+        match peek cur with
+        | Some '=' ->
+          advance cur;
+          emit ~line ~col LE
+        | Some '-' ->
+          advance cur;
+          emit ~line ~col LARROW
+        | _ -> emit ~line ~col LT)
+      | '>' -> two '=' GE (Some GT)
+      | _ -> raise (Lex_error (Printf.sprintf "unexpected character %C" c, line, col)));
+      loop ()
+  in
+  loop ();
+  List.rev !out
+
+let token_name = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT n -> Printf.sprintf "integer %d" n
+  | KW_SYSTEM -> "'system'"
+  | KW_TYPE -> "'type'"
+  | KW_ITEM -> "'item'"
+  | KW_INT -> "'int'"
+  | KW_READ -> "'read'"
+  | KW_IF -> "'if'"
+  | KW_ELSE -> "'else'"
+  | KW_TRUE -> "'true'"
+  | KW_FALSE -> "'false'"
+  | KW_MIN -> "'min'"
+  | KW_MAX -> "'max'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | COMMA -> "','"
+  | SEMI -> "';'"
+  | WALRUS -> "':='"
+  | LARROW -> "'<-'"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | STAR -> "'*'"
+  | SLASH -> "'/'"
+  | PERCENT -> "'%'"
+  | EQEQ -> "'=='"
+  | BANGEQ -> "'!='"
+  | LT -> "'<'"
+  | LE -> "'<='"
+  | GT -> "'>'"
+  | GE -> "'>='"
+  | ANDAND -> "'&&'"
+  | OROR -> "'||'"
+  | BANG -> "'!'"
+  | EOF -> "end of input"

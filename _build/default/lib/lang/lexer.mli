@@ -1,0 +1,50 @@
+(** Hand-written lexer for the profile language. Tracks line/column for
+    error reporting; [//] starts a comment to end of line. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | KW_SYSTEM
+  | KW_TYPE
+  | KW_ITEM
+  | KW_INT
+  | KW_READ
+  | KW_IF
+  | KW_ELSE
+  | KW_TRUE
+  | KW_FALSE
+  | KW_MIN
+  | KW_MAX
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | SEMI
+  | WALRUS  (** [:=] *)
+  | LARROW  (** [<-] *)
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | EQEQ
+  | BANGEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | ANDAND
+  | OROR
+  | BANG
+  | EOF
+
+type located = { token : token; line : int; col : int }
+
+exception Lex_error of string * int * int  (** message, line, col *)
+
+(** [tokenize source] — the token stream, ending with [EOF].
+    @raise Lex_error on an unrecognized character. *)
+val tokenize : string -> located list
+
+val token_name : token -> string

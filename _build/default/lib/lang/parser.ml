@@ -1,0 +1,252 @@
+open Lexer
+
+exception Parse_error of string * int * int
+
+type stream = { mutable tokens : located list }
+
+let peek st = match st.tokens with [] -> assert false | t :: _ -> t
+
+let next st =
+  let t = peek st in
+  (match st.tokens with [] -> () | _ :: rest -> st.tokens <- rest);
+  t
+
+let error (t : located) expected =
+  raise
+    (Parse_error
+       (Printf.sprintf "expected %s but found %s" expected (token_name t.token), t.line, t.col))
+
+let expect st token expected =
+  let t = next st in
+  if t.token <> token then error t expected
+
+let ident st =
+  let t = next st in
+  match t.token with IDENT s -> s | _ -> error t "an identifier"
+
+(* Expressions: term-level precedence, left associative. *)
+let rec parse_expr st =
+  let lhs = parse_term st in
+  parse_expr_rest st lhs
+
+and parse_expr_rest st lhs =
+  match (peek st).token with
+  | PLUS ->
+    ignore (next st);
+    parse_expr_rest st (Ast.Bin (Ast.Add, lhs, parse_term st))
+  | MINUS ->
+    ignore (next st);
+    parse_expr_rest st (Ast.Bin (Ast.Sub, lhs, parse_term st))
+  | _ -> lhs
+
+and parse_term st =
+  let lhs = parse_factor st in
+  parse_term_rest st lhs
+
+and parse_term_rest st lhs =
+  match (peek st).token with
+  | STAR ->
+    ignore (next st);
+    parse_term_rest st (Ast.Bin (Ast.Mul, lhs, parse_factor st))
+  | SLASH ->
+    ignore (next st);
+    parse_term_rest st (Ast.Bin (Ast.Div, lhs, parse_factor st))
+  | PERCENT ->
+    ignore (next st);
+    parse_term_rest st (Ast.Bin (Ast.Mod, lhs, parse_factor st))
+  | _ -> lhs
+
+and parse_factor st =
+  let t = next st in
+  match t.token with
+  | INT n -> Ast.Int n
+  | MINUS -> Ast.Neg (parse_factor st)
+  | IDENT s -> Ast.Ref s
+  | LPAREN ->
+    let e = parse_expr st in
+    expect st RPAREN "')'";
+    e
+  | KW_MIN | KW_MAX ->
+    let op = if t.token = KW_MIN then Ast.Min else Ast.Max in
+    expect st LPAREN "'('";
+    let a = parse_expr st in
+    expect st COMMA "','";
+    let b = parse_expr st in
+    expect st RPAREN "')'";
+    Ast.Bin (op, a, b)
+  | _ -> error t "an expression"
+
+(* Predicates: ! binds tightest, then relations, && over ||. *)
+let rec parse_pred st =
+  let lhs = parse_conj st in
+  match (peek st).token with
+  | OROR ->
+    ignore (next st);
+    Ast.Or (lhs, parse_pred st)
+  | _ -> lhs
+
+and parse_conj st =
+  let lhs = parse_pred_atom st in
+  match (peek st).token with
+  | ANDAND ->
+    ignore (next st);
+    Ast.And (lhs, parse_conj st)
+  | _ -> lhs
+
+and parse_pred_atom st =
+  match (peek st).token with
+  | BANG ->
+    ignore (next st);
+    Ast.Not (parse_pred_atom st)
+  | KW_TRUE ->
+    ignore (next st);
+    Ast.True
+  | KW_FALSE ->
+    ignore (next st);
+    Ast.False
+  | LPAREN -> (
+    (* Could be a parenthesized predicate or a parenthesized expression
+       starting a relation; try the predicate interpretation first by
+       lookahead on the token after the matching content. Simplest robust
+       approach: attempt to parse a relation; on failure at the relop,
+       treat as nested predicate. We implement it by saving the stream. *)
+    let saved = st.tokens in
+    try
+      let lhs = parse_expr st in
+      let relop = parse_relop st in
+      let rhs = parse_expr st in
+      Ast.Rel (relop, lhs, rhs)
+    with Parse_error _ ->
+      st.tokens <- saved;
+      ignore (next st);
+      let p = parse_pred st in
+      expect st RPAREN "')'";
+      p)
+  | _ ->
+    let lhs = parse_expr st in
+    let relop = parse_relop st in
+    let rhs = parse_expr st in
+    Ast.Rel (relop, lhs, rhs)
+
+and parse_relop st =
+  let t = next st in
+  match t.token with
+  | EQEQ -> Ast.Eq
+  | BANGEQ -> Ast.Ne
+  | LT -> Ast.Lt
+  | LE -> Ast.Le
+  | GT -> Ast.Gt
+  | GE -> Ast.Ge
+  | _ -> error t "a comparison operator"
+
+let rec parse_stmt st =
+  let t = peek st in
+  match t.token with
+  | KW_READ ->
+    ignore (next st);
+    let x = ident st in
+    expect st SEMI "';'";
+    Ast.Read x
+  | KW_IF ->
+    ignore (next st);
+    expect st LPAREN "'('";
+    let p = parse_pred st in
+    expect st RPAREN "')'";
+    let then_ = parse_block st in
+    let else_ =
+      match (peek st).token with
+      | KW_ELSE ->
+        ignore (next st);
+        parse_block st
+      | _ -> []
+    in
+    Ast.If (p, then_, else_)
+  | IDENT x -> (
+    ignore (next st);
+    let op = next st in
+    match op.token with
+    | WALRUS ->
+      let e = parse_expr st in
+      expect st SEMI "';'";
+      Ast.Update (x, e)
+    | LARROW ->
+      let e = parse_expr st in
+      expect st SEMI "';'";
+      Ast.Assign (x, e)
+    | _ -> error op "':=' or '<-'")
+  | _ -> error t "a statement"
+
+and parse_block st =
+  expect st LBRACE "'{'";
+  let rec stmts acc =
+    match (peek st).token with
+    | RBRACE ->
+      ignore (next st);
+      List.rev acc
+    | _ -> stmts (parse_stmt st :: acc)
+  in
+  stmts []
+
+let parse_params st =
+  expect st LPAREN "'('";
+  match (peek st).token with
+  | RPAREN ->
+    ignore (next st);
+    []
+  | _ ->
+    let rec params acc =
+      let t = next st in
+      let kind =
+        match t.token with
+        | KW_ITEM -> Ast.Item_param
+        | KW_INT -> Ast.Int_param
+        | _ -> error t "'item' or 'int'"
+      in
+      let name = ident st in
+      let acc = (kind, name) :: acc in
+      let t = next st in
+      match t.token with
+      | COMMA -> params acc
+      | RPAREN -> List.rev acc
+      | _ -> error t "',' or ')'"
+    in
+    params []
+
+let parse_decl_stream st =
+  expect st KW_TYPE "'type'";
+  let tname = ident st in
+  let params = parse_params st in
+  let body = parse_block st in
+  { Ast.tname; Ast.params; Ast.body }
+
+let parse_system_stream st =
+  expect st KW_SYSTEM "'system'";
+  let sname = ident st in
+  let rec decls acc =
+    match (peek st).token with
+    | EOF -> List.rev acc
+    | _ -> decls (parse_decl_stream st :: acc)
+  in
+  { Ast.sname; Ast.decls = decls [] }
+
+let with_stream source f =
+  let st = { tokens = Lexer.tokenize source } in
+  let result = f st in
+  (match (peek st).token with
+  | EOF -> ()
+  | _ -> error (peek st) "end of input");
+  result
+
+let parse_system source = with_stream source parse_system_stream
+let parse_decl source = with_stream source parse_decl_stream
+
+let render_error f source =
+  match f source with
+  | v -> Ok v
+  | exception Parse_error (msg, line, col) ->
+    Error (Printf.sprintf "parse error at %d:%d: %s" line col msg)
+  | exception Lexer.Lex_error (msg, line, col) ->
+    Error (Printf.sprintf "lex error at %d:%d: %s" line col msg)
+
+let system_of_string = render_error parse_system
+let decl_of_string = render_error parse_decl

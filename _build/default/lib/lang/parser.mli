@@ -1,0 +1,16 @@
+(** Recursive-descent parser for the profile language (grammar in
+    {!Ast}'s documentation). Errors carry source positions. *)
+
+exception Parse_error of string * int * int  (** message, line, col *)
+
+(** [parse_system source] parses a whole [system] file.
+    @raise Parse_error / @raise Lexer.Lex_error on malformed input. *)
+val parse_system : string -> Ast.system
+
+(** [parse_decl source] parses a single [type] declaration. *)
+val parse_decl : string -> Ast.decl
+
+(** Result-typed wrappers with rendered error messages. *)
+
+val system_of_string : string -> (Ast.system, string) result
+val decl_of_string : string -> (Ast.decl, string) result

@@ -1,0 +1,70 @@
+(* Output is fully parenthesized so that re-parsing reconstructs the tree
+   without precedence surprises. *)
+
+let binop_symbol = function
+  | Ast.Add -> "+"
+  | Ast.Sub -> "-"
+  | Ast.Mul -> "*"
+  | Ast.Div -> "/"
+  | Ast.Mod -> "%"
+  | Ast.Min -> "min"
+  | Ast.Max -> "max"
+
+let rec pp_expr ppf = function
+  | Ast.Int n -> Format.pp_print_int ppf n
+  | Ast.Ref s -> Format.pp_print_string ppf s
+  | Ast.Neg (Ast.Int n) -> Format.fprintf ppf "-%d" n
+  | Ast.Neg (Ast.Ref s) -> Format.fprintf ppf "-%s" s
+  | Ast.Neg e -> Format.fprintf ppf "-(%a)" pp_expr e
+  | Ast.Bin ((Ast.Min | Ast.Max) as op, a, b) ->
+    Format.fprintf ppf "%s(%a, %a)" (binop_symbol op) pp_expr a pp_expr b
+  | Ast.Bin (op, a, b) ->
+    Format.fprintf ppf "(%a %s %a)" pp_expr a (binop_symbol op) pp_expr b
+
+let relop_symbol = function
+  | Ast.Eq -> "=="
+  | Ast.Ne -> "!="
+  | Ast.Lt -> "<"
+  | Ast.Le -> "<="
+  | Ast.Gt -> ">"
+  | Ast.Ge -> ">="
+
+let rec pp_pred ppf = function
+  | Ast.True -> Format.pp_print_string ppf "true"
+  | Ast.False -> Format.pp_print_string ppf "false"
+  | Ast.Rel (op, a, b) -> Format.fprintf ppf "%a %s %a" pp_expr a (relop_symbol op) pp_expr b
+  | Ast.Not p -> Format.fprintf ppf "!(%a)" pp_pred p
+  | Ast.And (a, b) -> Format.fprintf ppf "(%a) && (%a)" pp_pred a pp_pred b
+  | Ast.Or (a, b) -> Format.fprintf ppf "(%a) || (%a)" pp_pred a pp_pred b
+
+let rec pp_stmt ppf = function
+  | Ast.Read x -> Format.fprintf ppf "read %s;" x
+  | Ast.Update (x, e) -> Format.fprintf ppf "%s := %a;" x pp_expr e
+  | Ast.Assign (x, e) -> Format.fprintf ppf "%s <- %a;" x pp_expr e
+  | Ast.If (p, ss1, []) -> Format.fprintf ppf "@[<v 2>if (%a) {%a@]@,}" pp_pred p pp_block ss1
+  | Ast.If (p, ss1, ss2) ->
+    Format.fprintf ppf "@[<v 2>if (%a) {%a@]@,@[<v 2>} else {%a@]@,}" pp_pred p pp_block ss1
+      pp_block ss2
+
+and pp_block ppf = function
+  | [] -> ()
+  | ss -> List.iter (fun s -> Format.fprintf ppf "@,%a" pp_stmt s) ss
+
+let pp_params ppf params =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+    (fun ppf (kind, name) ->
+      Format.fprintf ppf "%s %s" (match kind with Ast.Item_param -> "item" | Ast.Int_param -> "int") name)
+    ppf params
+
+let pp_decl ppf (d : Ast.decl) =
+  Format.fprintf ppf "@[<v 2>type %s(%a) {%a@]@,}" d.Ast.tname pp_params d.Ast.params pp_block
+    d.Ast.body
+
+let pp_system ppf (s : Ast.system) =
+  Format.fprintf ppf "@[<v>system %s@,@,%a@]" s.Ast.sname
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "@,@,") pp_decl)
+    s.Ast.decls
+
+let decl_to_string d = Format.asprintf "%a" pp_decl d
+let system_to_string s = Format.asprintf "%a" pp_system s

@@ -1,0 +1,10 @@
+(** Pretty-printer back to the concrete profile syntax. The round trip
+    [parse (print d) = d] is property-tested. *)
+
+val pp_expr : Format.formatter -> Ast.expr -> unit
+val pp_pred : Format.formatter -> Ast.pred -> unit
+val pp_stmt : Format.formatter -> Ast.stmt -> unit
+val pp_decl : Format.formatter -> Ast.decl -> unit
+val pp_system : Format.formatter -> Ast.system -> unit
+val decl_to_string : Ast.decl -> string
+val system_to_string : Ast.system -> string

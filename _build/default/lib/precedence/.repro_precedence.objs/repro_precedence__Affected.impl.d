@@ -1,0 +1,1 @@
+lib/precedence/affected.ml: Item List Names Repro_history Repro_txn Summary

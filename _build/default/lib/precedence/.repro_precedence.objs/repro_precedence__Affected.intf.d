@@ -1,0 +1,1 @@
+lib/precedence/affected.mli: Repro_history Summary

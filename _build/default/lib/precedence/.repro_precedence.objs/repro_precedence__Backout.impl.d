@@ -1,0 +1,1 @@
+lib/precedence/backout.ml: Affected Array List Names Precedence Repro_graph Repro_history Seq Summary

@@ -1,0 +1,1 @@
+lib/precedence/backout.mli: Precedence Repro_history

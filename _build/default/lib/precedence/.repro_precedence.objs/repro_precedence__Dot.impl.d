@@ -1,0 +1,1 @@
+lib/precedence/dot.ml: Array Buffer List Names Precedence Printf Repro_graph Repro_history Summary

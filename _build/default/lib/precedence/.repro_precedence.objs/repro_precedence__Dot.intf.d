@@ -1,0 +1,1 @@
+lib/precedence/dot.mli: Precedence Repro_history

@@ -1,0 +1,1 @@
+lib/precedence/precedence.ml: Array Format Hashtbl Item List Names Option Repro_graph Repro_history Repro_txn Summary

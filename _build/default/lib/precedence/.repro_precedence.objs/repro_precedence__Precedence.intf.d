@@ -1,0 +1,1 @@
+lib/precedence/precedence.mli: Format Repro_graph Repro_history Summary

@@ -1,0 +1,1 @@
+lib/precedence/summary.ml: Format Interp Item List Program Repro_history Repro_txn

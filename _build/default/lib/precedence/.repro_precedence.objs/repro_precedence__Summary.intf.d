@@ -1,0 +1,1 @@
+lib/precedence/summary.mli: Format Repro_history Repro_txn

@@ -1,0 +1,25 @@
+open Repro_txn
+open Repro_history
+
+let affected summaries ~bad =
+  let tainted = ref bad in
+  let last_writer : Names.t Item.Map.t ref = ref Item.Map.empty in
+  List.iter
+    (fun (s : Summary.t) ->
+      let reads_tainted =
+        Item.Set.exists
+          (fun x ->
+            match Item.Map.find_opt x !last_writer with
+            | Some w -> Names.Set.mem w !tainted
+            | None -> false)
+          s.Summary.readset
+      in
+      if reads_tainted && not (Names.Set.mem s.Summary.name !tainted) then
+        tainted := Names.Set.add s.Summary.name !tainted;
+      Item.Set.iter
+        (fun x -> last_writer := Item.Map.add x s.Summary.name !last_writer)
+        s.Summary.writeset)
+    summaries;
+  Names.Set.diff !tainted bad
+
+let closure summaries ~bad = Names.Set.union bad (affected summaries ~bad)

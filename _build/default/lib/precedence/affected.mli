@@ -1,0 +1,15 @@
+(** Affected set at the summary level.
+
+    When only read/write sets are known (the information the mobile node
+    ships), the reads-from relation is approximated positionally: [T_j]
+    reads [x] from the latest preceding transaction that wrote [x]. The
+    program-level, dynamic version lives in {!Repro_history.Readsfrom};
+    this one serves summary-only workloads such as the paper's Example 1,
+    where [T_m4] is affected because it reads [d_6] from [T_m3]. *)
+
+(** [affected summaries ~bad] — good transactions in the reads-from
+    transitive closure of [bad]; [summaries] in history order. *)
+val affected : Summary.t list -> bad:Repro_history.Names.Set.t -> Repro_history.Names.Set.t
+
+(** [closure summaries ~bad] = [bad ∪ affected summaries ~bad]. *)
+val closure : Summary.t list -> bad:Repro_history.Names.Set.t -> Repro_history.Names.Set.t

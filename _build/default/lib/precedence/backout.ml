@@ -1,0 +1,151 @@
+open Repro_history
+module Digraph = Repro_graph.Digraph
+module Scc = Repro_graph.Scc
+
+type strategy =
+  | All_in_cycles
+  | Greedy_degree
+  | Two_cycle_then_greedy
+  | Greedy_damage
+  | Exhaustive
+
+let all_strategies =
+  [ All_in_cycles; Greedy_degree; Two_cycle_then_greedy; Greedy_damage; Exhaustive ]
+
+let strategy_name = function
+  | All_in_cycles -> "all-in-cycles"
+  | Greedy_degree -> "greedy-degree"
+  | Two_cycle_then_greedy -> "two-cycle-optimal"
+  | Greedy_damage -> "greedy-damage"
+  | Exhaustive -> "exhaustive-minimal"
+
+let name_of pg i = (Precedence.summary_of_node pg i).Summary.name
+
+let breaks_all_cycles pg names = Scc.is_acyclic (Precedence.reduced pg ~removed:names)
+
+let all_in_cycles pg = Precedence.tentative_on_cycles pg
+
+(* Greedy feedback vertex set restricted to tentative nodes: while the
+   reduced graph has a cycle, remove the tentative node with the largest
+   (in+out) degree within its cyclic component. *)
+let greedy pg ~already_removed =
+  let removed = ref already_removed in
+  let rec loop () =
+    let g = Precedence.reduced pg ~removed:!removed in
+    match Scc.nodes_on_cycles g with
+    | [] -> ()
+    | cyclic ->
+      let tentative_cyclic =
+        List.filter (fun i -> Summary.is_tentative (Precedence.summary_of_node pg i)) cyclic
+      in
+      (match tentative_cyclic with
+      | [] -> invalid_arg "Backout: cycle without tentative transaction"
+      | _ ->
+        let degree i =
+          List.length (Digraph.successors g i) + List.length (Digraph.predecessors g i)
+        in
+        let best =
+          List.fold_left
+            (fun acc i -> match acc with
+              | Some j when degree j >= degree i -> acc
+              | _ -> Some i)
+            None tentative_cyclic
+        in
+        (match best with
+        | Some i ->
+          removed := Names.Set.add (name_of pg i) !removed;
+          loop ()
+        | None -> assert false))
+  in
+  loop ();
+  Names.Set.diff !removed already_removed
+
+(* Greedy on damage: the victim minimizing |B ∪ closure(B)| after its
+   removal, where the closure runs over the tentative summaries in history
+   order. Falls back to degree on ties via list order. *)
+let greedy_damage pg =
+  let tentative_summaries =
+    List.filter Summary.is_tentative (Array.to_list (Precedence.summaries pg))
+  in
+  let damage bad = Names.Set.cardinal (Affected.closure tentative_summaries ~bad) in
+  let removed = ref Names.Set.empty in
+  let rec loop () =
+    let g = Precedence.reduced pg ~removed:!removed in
+    match Scc.nodes_on_cycles g with
+    | [] -> ()
+    | cyclic ->
+      let candidates =
+        List.filter (fun i -> Summary.is_tentative (Precedence.summary_of_node pg i)) cyclic
+      in
+      (match candidates with
+      | [] -> invalid_arg "Backout: cycle without tentative transaction"
+      | _ ->
+        let best =
+          List.fold_left
+            (fun acc i ->
+              let cost = damage (Names.Set.add (name_of pg i) !removed) in
+              match acc with
+              | Some (_, best_cost) when best_cost <= cost -> acc
+              | _ -> Some (i, cost))
+            None candidates
+        in
+        (match best with
+        | Some (i, _) ->
+          removed := Names.Set.add (name_of pg i) !removed;
+          loop ()
+        | None -> assert false))
+  in
+  loop ();
+  !removed
+
+let two_cycle_then_greedy pg =
+  let g = Precedence.graph pg in
+  let forced =
+    List.fold_left
+      (fun acc (u, v) ->
+        let su = Precedence.summary_of_node pg u and sv = Precedence.summary_of_node pg v in
+        (* A two-cycle inside one history is impossible (edges point
+           forward), so exactly one endpoint is tentative; it is forced. *)
+        let acc = if Summary.is_tentative su then Names.Set.add su.Summary.name acc else acc in
+        if Summary.is_tentative sv then Names.Set.add sv.Summary.name acc else acc)
+      Names.Set.empty (Scc.two_cycles g)
+  in
+  Names.Set.union forced (greedy pg ~already_removed:forced)
+
+(* Subsets of [candidates] in increasing size, smallest-first; the first
+   subset that acyclifies is optimal. *)
+let exhaustive pg =
+  let candidates = Names.Set.elements (all_in_cycles pg) in
+  let arr = Array.of_list candidates in
+  let n = Array.length arr in
+  let rec subsets_of_size k start acc =
+    if k = 0 then Seq.return acc
+    else if start >= n then Seq.empty
+    else
+      Seq.append
+        (fun () -> subsets_of_size (k - 1) (start + 1) (arr.(start) :: acc) ())
+        (fun () -> subsets_of_size k (start + 1) acc ())
+  in
+  let rec try_size k =
+    if k > n then invalid_arg "Backout.exhaustive: no feasible subset"
+    else
+      let hit =
+        Seq.find
+          (fun subset -> breaks_all_cycles pg (Names.Set.of_names subset))
+          (subsets_of_size k 0 [])
+      in
+      match hit with Some subset -> Names.Set.of_names subset | None -> try_size (k + 1)
+  in
+  try_size 0
+
+let compute ~strategy pg =
+  let b =
+    match strategy with
+    | All_in_cycles -> all_in_cycles pg
+    | Greedy_degree -> greedy pg ~already_removed:Names.Set.empty
+    | Two_cycle_then_greedy -> two_cycle_then_greedy pg
+    | Greedy_damage -> greedy_damage pg
+    | Exhaustive -> exhaustive pg
+  in
+  assert (breaks_all_cycles pg b);
+  b

@@ -1,0 +1,51 @@
+(** Back-out strategies (Section 2.1 step 2, after [Dav84]).
+
+    Given a cyclic precedence graph, compute the set **B** of tentative
+    transactions whose removal breaks every cycle. Only tentative
+    transactions are eligible (base transactions are durable); that is
+    always sufficient because every cycle alternates through at least one
+    tentative node — edges within one history all point forward in its
+    serial order.
+
+    Minimizing |B| is NP-complete ([Dav84]; the paper retains the result),
+    so the practical strategies are heuristics; [Exhaustive] provides the
+    optimum for small instances as ground truth in tests and experiment
+    E6. *)
+
+type strategy =
+  | All_in_cycles
+      (** every tentative transaction lying on a cycle; the coarsest and
+          cheapest strategy *)
+  | Greedy_degree
+      (** repeatedly discard the tentative node with the highest degree
+          inside a still-cyclic strongly connected component — the classic
+          feedback-vertex-set heuristic Davidson evaluates *)
+  | Two_cycle_then_greedy
+      (** Davidson's "breaking two-cycles optimally": all two-cycles are
+          broken first (in our setting a two-cycle pairs a tentative with a
+          base transaction, so the tentative member is forced), then any
+          remaining cycles fall to the greedy rule *)
+  | Greedy_damage
+      (** an extension beyond the paper: greedy like [Greedy_degree], but
+          the victim is chosen to minimize the {e damage}
+          |B ∪ reads-from closure of B| rather than |B| — what actually
+          determines how much work the closure-based back-out discards
+          (the rewriting algorithms later rescue part of it) *)
+  | Exhaustive
+      (** smallest B, by enumerating candidate subsets in increasing size;
+          exponential — intended for ≲ 20 cyclic tentative nodes *)
+
+val all_strategies : strategy list
+val strategy_name : strategy -> string
+
+(** [compute ~strategy pg] — a set of tentative transaction names whose
+    removal makes the graph acyclic. Returns the empty set when the graph
+    is already acyclic.
+
+    @raise Invalid_argument if some cycle contains no tentative
+    transaction (impossible for graphs built by {!Precedence.build}). *)
+val compute : strategy:strategy -> Precedence.t -> Repro_history.Names.Set.t
+
+(** [breaks_all_cycles pg names] — removing [names] leaves an acyclic
+    graph; used by tests and by [compute]'s internal assertion. *)
+val breaks_all_cycles : Precedence.t -> Repro_history.Names.Set.t -> bool

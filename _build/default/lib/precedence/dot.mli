@@ -1,0 +1,8 @@
+(** Graphviz export of precedence graphs.
+
+    [render pg ~removed] emits a [digraph]: tentative transactions as
+    ellipses, base transactions as boxes, transactions in [removed]
+    (typically **B** ∪ unsaved affected) greyed out. Pipe through
+    [dot -Tsvg] to visualize a merge's conflict structure. *)
+
+val render : ?removed:Repro_history.Names.Set.t -> Precedence.t -> string

@@ -1,0 +1,59 @@
+(** The precedence graph [G(H_m, H_b)] of Section 2.1, after [Dav84].
+
+    Nodes are the transactions of both histories. Edges:
+    - [T_i -> T_j] for conflicting tentative transactions with [T_i]
+      before [T_j] in [H_m];
+    - [T_i -> T_j] for conflicting base transactions with [T_i] before
+      [T_j] in [H_b];
+    - [T_m -> T_b] when tentative [T_m] read an item base [T_b] updated
+      ([T_m] saw the common original value, so it must serialize before
+      [T_b]);
+    - [T_b -> T_m] when base [T_b] read an item tentative [T_m] updated.
+
+    A cycle means no merged serial history can honour all reads
+    (Theorem 1); the back-out strategies then select tentative
+    transactions to discard.
+
+    Blind-write adaptation: when two cross-history transactions overlap
+    only on writes (neither reads the shared item — impossible under the
+    paper's no-blind-writes assumption), an ordering edge
+    [base -> tentative] is added so the merged serial order agrees with
+    the protocol's forwarded updates (the tentative write wins). *)
+
+type t
+
+(** [build ~tentative ~base] constructs the graph; list order is history
+    order. All names must be distinct across both lists. *)
+val build : tentative:Summary.t list -> base:Summary.t list -> t
+
+(** [of_executions ~tentative ~base] builds from the dynamic read/write
+    sets of two executions. *)
+val of_executions :
+  tentative:Repro_history.History.execution ->
+  base:Repro_history.History.execution ->
+  t
+
+val graph : t -> Repro_graph.Digraph.t
+val summaries : t -> Summary.t array
+
+(** Node identifier of a transaction name.
+    @raise Not_found for unknown names. *)
+val node_of : t -> Repro_history.Names.t -> int
+
+val summary_of_node : t -> int -> Summary.t
+val is_acyclic : t -> bool
+
+(** Names of tentative transactions lying on at least one cycle. *)
+val tentative_on_cycles : t -> Repro_history.Names.Set.t
+
+(** [reduced t ~removed] — the graph induced by dropping the named
+    transactions (used to check that a candidate B breaks all cycles). *)
+val reduced : t -> removed:Repro_history.Names.Set.t -> Repro_graph.Digraph.t
+
+(** [merge_order t ~removed] — a serial order (names) of the remaining
+    transactions compatible with the reduced graph, or [None] if still
+    cyclic. Conflicting pairs within each history keep their original
+    relative order. *)
+val merge_order : t -> removed:Repro_history.Names.Set.t -> Repro_history.Names.t list option
+
+val pp : Format.formatter -> t -> unit

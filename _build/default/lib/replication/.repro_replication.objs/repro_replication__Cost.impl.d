@@ -1,0 +1,1 @@
+lib/replication/cost.ml: Format

@@ -1,0 +1,1 @@
+lib/replication/protocol.mli: Backout Cost History Interp Names Program Repro_db Repro_history Repro_precedence Repro_rewrite Repro_txn Rewrite Semantics State

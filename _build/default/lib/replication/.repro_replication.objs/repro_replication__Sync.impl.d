@@ -1,0 +1,1 @@
+lib/replication/sync.ml: Array Cost Format History Interp List Pqueue Printf Program Protocol Repro_db Repro_history Repro_txn Repro_workload State

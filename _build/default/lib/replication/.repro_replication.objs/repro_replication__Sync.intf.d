@@ -1,0 +1,1 @@
+lib/replication/sync.mli: Cost Format Program Protocol Repro_txn Repro_workload State

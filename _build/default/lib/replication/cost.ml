@@ -1,0 +1,53 @@
+type params = {
+  comm_per_unit : float;
+  code_units_per_stmt : float;
+  parse_per_txn : float;
+  exec_per_stmt : float;
+  cc_per_txn : float;
+  io_per_force : float;
+  graph_per_edge : float;
+  backout_per_node : float;
+  rewrite_per_check : float;
+  prune_per_action : float;
+  mobile_exec_per_stmt : float;
+}
+
+(* Unit prices chosen so that one statement execution at the base is the
+   numeraire; query-processing overhead dominates per-transaction cost
+   (parsing, validation, optimization), I/O forces are expensive, and
+   mobile CPU is cheaper than base CPU (the base is the contended
+   resource the paper worries about). *)
+let default_params =
+  {
+    comm_per_unit = 0.5;
+    code_units_per_stmt = 2.0;
+    parse_per_txn = 10.0;
+    exec_per_stmt = 1.0;
+    cc_per_txn = 2.0;
+    io_per_force = 20.0;
+    graph_per_edge = 0.1;
+    backout_per_node = 0.5;
+    rewrite_per_check = 0.2;
+    prune_per_action = 1.0;
+    mobile_exec_per_stmt = 0.5;
+  }
+
+type tally = {
+  mutable communication : float;
+  mutable base_cpu : float;
+  mutable base_io : float;
+  mutable mobile_cpu : float;
+}
+
+let zero () = { communication = 0.0; base_cpu = 0.0; base_io = 0.0; mobile_cpu = 0.0 }
+let total t = t.communication +. t.base_cpu +. t.base_io +. t.mobile_cpu
+
+let add into from =
+  into.communication <- into.communication +. from.communication;
+  into.base_cpu <- into.base_cpu +. from.base_cpu;
+  into.base_io <- into.base_io +. from.base_io;
+  into.mobile_cpu <- into.mobile_cpu +. from.mobile_cpu
+
+let pp ppf t =
+  Format.fprintf ppf "comm=%.1f base-cpu=%.1f base-io=%.1f mobile-cpu=%.1f total=%.1f"
+    t.communication t.base_cpu t.base_io t.mobile_cpu (total t)

@@ -1,0 +1,44 @@
+(** The Section 7.1 cost model.
+
+    The paper compares the two protocols by breaking their costs into
+    (1) mobile-base communication, (2) computation at the mobile node and
+    (3) computation and I/O at the base node. Costs here are abstract
+    units accumulated against parameterized unit prices, so experiment E5
+    can sweep the trade-off exactly along the paper's axes.
+
+    Reprocessing a tentative transaction at the base pays: code + argument
+    transmission, query processing (parse, validate, optimize — the
+    per-transaction overhead), per-statement execution, concurrency
+    control, and one log force. Merging pays: read/write-set and
+    precedence-graph transmission, graph construction per edge, back-out
+    computation per node, O(n²) relation checks at the mobile, pruning
+    actions at the mobile, update-value transmission for the saved set,
+    and a single log force for the whole forwarded batch. *)
+
+type params = {
+  comm_per_unit : float;  (** transmitting one item / value / code unit *)
+  code_units_per_stmt : float;  (** code size per statement (reprocessing) *)
+  parse_per_txn : float;  (** query processing overhead per re-executed txn *)
+  exec_per_stmt : float;  (** base CPU per executed statement *)
+  cc_per_txn : float;  (** concurrency control per txn at the base *)
+  io_per_force : float;  (** one durable log force *)
+  graph_per_edge : float;  (** precedence-graph construction per edge *)
+  backout_per_node : float;  (** back-out strategy work per graph node *)
+  rewrite_per_check : float;  (** one can-follow / can-precede test *)
+  prune_per_action : float;  (** one compensation / undo-repair action *)
+  mobile_exec_per_stmt : float;  (** mobile CPU per executed statement *)
+}
+
+val default_params : params
+
+type tally = {
+  mutable communication : float;
+  mutable base_cpu : float;
+  mutable base_io : float;
+  mutable mobile_cpu : float;
+}
+
+val zero : unit -> tally
+val total : tally -> float
+val add : tally -> tally -> unit
+val pp : Format.formatter -> tally -> unit

@@ -1,0 +1,15 @@
+(** A mutable binary min-heap keyed by float timestamps — the event queue
+    of the discrete-event simulator. Ties are served in insertion order,
+    keeping simulations deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+val push : 'a t -> float -> 'a -> unit
+
+(** Smallest key with its value, or [None] when empty. *)
+val pop : 'a t -> (float * 'a) option
+
+val peek_key : 'a t -> float option

@@ -1,0 +1,303 @@
+open Repro_txn
+open Repro_history
+open Repro_precedence
+open Repro_rewrite
+module Engine = Repro_db.Engine
+module Digraph = Repro_graph.Digraph
+
+type acceptance = original:Interp.record -> replayed:Interp.record -> bool
+
+let accept_always ~original:_ ~replayed:_ = true
+
+let accept_same_shape ~original ~replayed =
+  Item.Set.equal (Interp.dynamic_writeset original) (Interp.dynamic_writeset replayed)
+
+let accept_within ~tolerance ~original ~replayed =
+  let value_of writes x = List.find_map (fun (y, _, v) -> if Item.equal x y then Some v else None) writes in
+  Item.Set.for_all
+    (fun x ->
+      match (value_of original.Interp.writes x, value_of replayed.Interp.writes x) with
+      | Some a, Some b -> abs (a - b) <= tolerance
+      | None, None -> true
+      | Some _, None | None, Some _ -> false)
+    (Item.Set.union (Interp.dynamic_writeset original) (Interp.dynamic_writeset replayed))
+
+type base_txn = { program : Program.t; record : Interp.record }
+type outcome = Merged | Reexecuted | Rejected
+type txn_report = { name : Names.t; outcome : outcome }
+
+type merge_config = {
+  theory : Semantics.theory;
+  algorithm : Rewrite.algorithm;
+  strategy : Backout.strategy;
+  fix_mode : Rewrite.fix_mode;
+  prefer_compensation : bool;
+  acceptance : acceptance;
+}
+
+let default_merge_config =
+  {
+    theory = Semantics.default_theory;
+    algorithm = Rewrite.Can_follow_precede;
+    strategy = Backout.Two_cycle_then_greedy;
+    fix_mode = Rewrite.Exact;
+    prefer_compensation = true;
+    acceptance = accept_always;
+  }
+
+type merge_report = {
+  bad : Names.Set.t;
+  affected : Names.Set.t;
+  saved : Names.Set.t;
+  backed_out : Names.Set.t;
+  txns : txn_report list;
+  new_history : base_txn list;
+  rewrite : Rewrite.result;
+  pruned_by_compensation : bool;
+  cost : Cost.tally;
+}
+
+type reprocess_report = {
+  txns : txn_report list;
+  appended : base_txn list;
+  cost : Cost.tally;
+}
+
+let rec stmt_count_list stmts =
+  List.fold_left
+    (fun acc s ->
+      match s with
+      | Stmt.Read _ | Stmt.Update _ | Stmt.Assign _ -> acc + 1
+      | Stmt.If (_, ss1, ss2) -> acc + 1 + stmt_count_list ss1 + stmt_count_list ss2)
+    0 stmts
+
+let stmt_count (p : Program.t) = stmt_count_list p.Program.body
+
+(* A topological order of the reduced precedence graph that disturbs the
+   existing base history as little as possible: base transactions are
+   emitted in their original order whenever available, tentative ones only
+   when an edge forces them earlier (or at the end). *)
+let stable_merge_order pg ~removed =
+  let g = Precedence.reduced pg ~removed in
+  let nodes = Digraph.nodes g in
+  let indegree = Hashtbl.create 64 in
+  List.iter (fun v -> Hashtbl.replace indegree v (List.length (Digraph.predecessors g v))) nodes;
+  let better a b =
+    let ta = Summary.is_tentative (Precedence.summary_of_node pg a) in
+    let tb = Summary.is_tentative (Precedence.summary_of_node pg b) in
+    match (ta, tb) with
+    | false, true -> true
+    | true, false -> false
+    | _ -> a < b
+  in
+  let rec drain available acc remaining =
+    if remaining = 0 then List.rev acc
+    else
+      let next =
+        List.fold_left
+          (fun best v ->
+            match best with Some b when better b v -> best | _ -> Some v)
+          None available
+      in
+      match next with
+      | None -> invalid_arg "stable_merge_order: graph is cyclic"
+      | Some v ->
+        let available = List.filter (fun w -> w <> v) available in
+        let newly =
+          List.filter
+            (fun w ->
+              let d = Hashtbl.find indegree w - 1 in
+              Hashtbl.replace indegree w d;
+              d = 0)
+            (Digraph.successors g v)
+        in
+        drain (available @ newly) (v :: acc) (remaining - 1)
+  in
+  let initial = List.filter (fun v -> Hashtbl.find indegree v = 0) nodes in
+  List.map
+    (fun v -> (Precedence.summary_of_node pg v).Summary.name)
+    (drain initial [] (List.length nodes))
+
+let reexecute_backed_out ~acceptance ~params ~base ~tentative_exec ~cost names_in_order =
+  List.map
+    (fun (program : Program.t) ->
+      let name = program.Program.name in
+      (* Ship code and arguments, transform, re-execute with full query
+         processing, one force per transaction. *)
+      let stmts = float_of_int (stmt_count program) in
+      cost.Cost.communication <-
+        cost.Cost.communication
+        +. (params.Cost.comm_per_unit
+           *. ((params.Cost.code_units_per_stmt *. stmts)
+              +. float_of_int (List.length program.Program.params)));
+      cost.Cost.base_cpu <-
+        cost.Cost.base_cpu +. params.Cost.parse_per_txn
+        +. (params.Cost.exec_per_stmt *. stmts)
+        +. params.Cost.cc_per_txn;
+      let replayed = Interp.run (Engine.state base) program in
+      let original = History.record_of tentative_exec name in
+      if acceptance ~original ~replayed then begin
+        ignore (Engine.execute base program);
+        cost.Cost.base_io <- cost.Cost.base_io +. params.Cost.io_per_force;
+        ({ name; outcome = Reexecuted }, Some { program; record = replayed })
+      end
+      else ({ name; outcome = Rejected }, None))
+    names_in_order
+
+let merge ~config ~params ~base ~base_history ~origin ~tentative =
+  let cost = Cost.zero () in
+  let tentative_exec = History.execute origin tentative in
+  let tent_summaries = Summary.of_execution ~kind:Summary.Tentative tentative_exec in
+  let base_summaries =
+    List.map (fun bt -> Summary.of_record ~kind:Summary.Base bt.record) base_history
+  in
+  let pg = Precedence.build ~tentative:tent_summaries ~base:base_summaries in
+  (* Step 1: ship read/write sets and G(H_m); build G(H_m, H_b). *)
+  let rwset_units =
+    List.fold_left
+      (fun acc (s : Summary.t) ->
+        acc + Item.Set.cardinal s.Summary.readset + Item.Set.cardinal s.Summary.writeset)
+      0 tent_summaries
+  in
+  let tentative_names = History.name_set tentative in
+  let intra_tentative_edges =
+    List.length
+      (List.filter
+         (fun (u, v) ->
+           Names.Set.mem (Precedence.summary_of_node pg u).Summary.name tentative_names
+           && Names.Set.mem (Precedence.summary_of_node pg v).Summary.name tentative_names)
+         (Digraph.edges (Precedence.graph pg)))
+  in
+  cost.Cost.communication <-
+    cost.Cost.communication
+    +. (params.Cost.comm_per_unit *. float_of_int (rwset_units + intra_tentative_edges));
+  cost.Cost.base_cpu <-
+    cost.Cost.base_cpu
+    +. (params.Cost.graph_per_edge *. float_of_int (Digraph.edge_count (Precedence.graph pg)));
+  (* Step 2: compute B. *)
+  let bad =
+    if Precedence.is_acyclic pg then Names.Set.empty
+    else begin
+      cost.Cost.base_cpu <-
+        cost.Cost.base_cpu
+        +. (params.Cost.backout_per_node
+           *. float_of_int (Digraph.node_count (Precedence.graph pg)));
+      Backout.compute ~strategy:config.strategy pg
+    end
+  in
+  cost.Cost.communication <-
+    cost.Cost.communication +. (params.Cost.comm_per_unit *. float_of_int (Names.Set.cardinal bad));
+  (* Steps 3-4: rewrite and prune on the mobile. *)
+  let rw =
+    Rewrite.run ~theory:config.theory ~fix_mode:config.fix_mode config.algorithm ~s0:origin
+      tentative ~bad
+  in
+  cost.Cost.mobile_cpu <-
+    cost.Cost.mobile_cpu +. (params.Cost.rewrite_per_check *. float_of_int rw.Rewrite.pair_checks);
+  let pruned_state, pruned_by_compensation, prune_actions, ura_stmts =
+    if config.prefer_compensation then
+      match Prune.compensate rw with
+      | Ok o -> (o.Prune.final, true, o.Prune.compensators_run, 0)
+      | Error _ ->
+        let o = Prune.undo rw in
+        (o.Prune.final, false, o.Prune.items_restored + o.Prune.uras_run, o.Prune.ura_updates)
+    else
+      let o = Prune.undo rw in
+      (o.Prune.final, false, o.Prune.items_restored + o.Prune.uras_run, o.Prune.ura_updates)
+  in
+  cost.Cost.mobile_cpu <-
+    cost.Cost.mobile_cpu
+    +. (params.Cost.prune_per_action *. float_of_int prune_actions)
+    +. (params.Cost.mobile_exec_per_stmt *. float_of_int ura_stmts);
+  (* New logical history: merged serial order over base ∪ repaired. *)
+  let backed_out = Names.Set.diff (History.name_set tentative) rw.Rewrite.saved in
+  let merged_names = stable_merge_order pg ~removed:backed_out in
+  let base_by_name =
+    List.fold_left
+      (fun m bt -> Names.Map.add bt.program.Program.name bt m)
+      Names.Map.empty base_history
+  in
+  let merged_core =
+    List.map
+      (fun name ->
+        match Names.Map.find_opt name base_by_name with
+        | Some bt -> bt
+        | None ->
+          {
+            program = (History.find tentative name).History.program;
+            record = History.record_of tentative_exec name;
+          })
+      merged_names
+  in
+  (* Step 5: forward final values of the repaired history's writes — but
+     only for items whose last writer in the merged serial order is
+     tentative. A base transaction's blind write may legitimately follow a
+     repaired tentative write (edge Tm -> Tb only); overwriting it would
+     lose a committed base update. With no blind writes the restriction is
+     vacuous: any write-write overlap forms a two-cycle and is backed
+     out. *)
+  let last_writer =
+    List.fold_left
+      (fun acc bt ->
+        Item.Set.fold
+          (fun x acc -> Item.Map.add x bt.program.Program.name acc)
+          (Interp.dynamic_writeset bt.record) acc)
+      Item.Map.empty merged_core
+  in
+  let forwarded_items =
+    Names.Set.fold
+      (fun name acc ->
+        Item.Set.union acc (Interp.dynamic_writeset (History.record_of tentative_exec name)))
+      rw.Rewrite.saved Item.Set.empty
+  in
+  let forwarded_items =
+    Item.Set.filter
+      (fun x ->
+        match Item.Map.find_opt x last_writer with
+        | Some w -> Names.Set.mem w rw.Rewrite.saved
+        | None -> true)
+      forwarded_items
+  in
+  cost.Cost.communication <-
+    cost.Cost.communication
+    +. (params.Cost.comm_per_unit *. float_of_int (Item.Set.cardinal forwarded_items));
+  if not (Item.Set.is_empty forwarded_items) then begin
+    Engine.apply_updates base pruned_state forwarded_items;
+    cost.Cost.base_cpu <- cost.Cost.base_cpu +. params.Cost.cc_per_txn;
+    cost.Cost.base_io <- cost.Cost.base_io +. params.Cost.io_per_force
+  end;
+  (* Step 6: re-execute the backed-out tentative transactions. *)
+  let backed_out_programs =
+    List.filter
+      (fun (p : Program.t) -> Names.Set.mem p.Program.name backed_out)
+      (History.programs tentative)
+  in
+  let reexec_results =
+    reexecute_backed_out ~acceptance:config.acceptance ~params ~base ~tentative_exec ~cost
+      backed_out_programs
+  in
+  let txns =
+    List.map (fun name -> { name; outcome = Merged }) (Names.Set.elements rw.Rewrite.saved)
+    @ List.map fst reexec_results
+  in
+  let appended = List.filter_map snd reexec_results in
+  {
+    bad;
+    affected = rw.Rewrite.affected;
+    saved = rw.Rewrite.saved;
+    backed_out;
+    txns;
+    new_history = merged_core @ appended;
+    rewrite = rw;
+    pruned_by_compensation;
+    cost;
+  }
+
+let reprocess ~acceptance ~params ~base ~origin ~tentative =
+  let cost = Cost.zero () in
+  let tentative_exec = History.execute origin tentative in
+  let results =
+    reexecute_backed_out ~acceptance ~params ~base ~tentative_exec ~cost
+      (History.programs tentative)
+  in
+  { txns = List.map fst results; appended = List.filter_map snd results; cost }

@@ -1,0 +1,108 @@
+(** The two reconnection protocols, run against a base-node engine.
+
+    {!reprocess} is Gray et al.'s two-tier replication: every tentative
+    transaction is shipped to the base (code and arguments), transformed
+    into a base transaction and re-executed, paying query processing,
+    concurrency control and a log force per transaction.
+
+    {!merge} is the paper's protocol (Section 2.1): ship read/write sets
+    and the tentative precedence graph, build [G(H_m, H_b)], compute
+    {b B} if cyclic, rewrite the tentative history on the mobile, prune
+    it, forward only the final values of the repaired history's writes
+    (one transaction, one force), and re-execute only the backed-out
+    transactions.
+
+    Both return the new {e logical} base history — the serial order the
+    merged transactions are equivalent to — which the multi-node
+    simulator maintains across successive mergers (Section 2.2,
+    Strategy 2). *)
+
+open Repro_txn
+open Repro_history
+open Repro_precedence
+open Repro_rewrite
+
+(** Acceptance criterion for a re-executed tentative transaction: given
+    the tentative execution and the base re-execution, accept or reject
+    (the paper leaves "unacceptable differences" application-defined). *)
+type acceptance = original:Interp.record -> replayed:Interp.record -> bool
+
+val accept_always : acceptance
+
+(** Accept iff the re-execution wrote the same items (same guard
+    decisions), regardless of values. *)
+val accept_same_shape : acceptance
+
+(** Accept iff every rewritten value differs from the tentative one by at
+    most [tolerance]. *)
+val accept_within : tolerance:int -> acceptance
+
+(** One transaction of the logical base history: its program plus the
+    execution record that stands for it (dynamic read/write sets). *)
+type base_txn = { program : Program.t; record : Interp.record }
+
+type outcome =
+  | Merged  (** saved by the rewrite; updates forwarded *)
+  | Reexecuted  (** backed out, then re-executed successfully at the base *)
+  | Rejected  (** backed out and re-execution failed acceptance *)
+
+type txn_report = { name : Names.t; outcome : outcome }
+
+type merge_config = {
+  theory : Semantics.theory;
+  algorithm : Rewrite.algorithm;
+  strategy : Backout.strategy;
+  fix_mode : Rewrite.fix_mode;
+  prefer_compensation : bool;
+      (** prune by compensation when every suffix transaction has a
+          derivable compensator, otherwise by undo + undo-repair *)
+  acceptance : acceptance;
+}
+
+val default_merge_config : merge_config
+
+type merge_report = {
+  bad : Names.Set.t;
+  affected : Names.Set.t;
+  saved : Names.Set.t;
+  backed_out : Names.Set.t;
+  txns : txn_report list;
+  new_history : base_txn list;  (** updated logical base history *)
+  rewrite : Rewrite.result;
+  pruned_by_compensation : bool;
+  cost : Cost.tally;
+}
+
+(** [merge ~config ~params ~base ~base_history ~origin ~tentative] merges
+    [tentative] (executed from [origin] on the mobile) into the base,
+    whose logical history since the common [origin] is [base_history].
+    The base engine's state is updated (forwarded updates plus
+    re-executions). *)
+val merge :
+  config:merge_config ->
+  params:Cost.params ->
+  base:Repro_db.Engine.t ->
+  base_history:base_txn list ->
+  origin:State.t ->
+  tentative:History.t ->
+  merge_report
+
+type reprocess_report = {
+  txns : txn_report list;
+  appended : base_txn list;  (** transactions committed at the base *)
+  cost : Cost.tally;
+}
+
+(** [reprocess ~acceptance ~params ~base ~origin ~tentative] re-executes
+    every tentative transaction at the base, in order. *)
+val reprocess :
+  acceptance:acceptance ->
+  params:Cost.params ->
+  base:Repro_db.Engine.t ->
+  origin:State.t ->
+  tentative:History.t ->
+  reprocess_report
+
+(** Syntactic statement count of a program (code-size proxy for the cost
+    model). *)
+val stmt_count : Program.t -> int

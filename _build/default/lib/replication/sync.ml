@@ -1,0 +1,269 @@
+open Repro_txn
+open Repro_history
+module Engine = Repro_db.Engine
+module Rng = Repro_workload.Rng
+
+type isolation = Strategy1 | Strategy2
+type protocol = Merging of Protocol.merge_config | Reprocessing
+
+type workload = {
+  initial : State.t;
+  make_mobile_txn : Rng.t -> name:string -> Program.t;
+  make_base_txn : Rng.t -> name:string -> Program.t;
+}
+
+type config = {
+  n_mobiles : int;
+  duration : float;
+  window : float;
+  mean_connect_gap : float;
+  mean_mobile_txn_gap : float;
+  mean_base_txn_gap : float;
+  protocol : protocol;
+  isolation : isolation;
+  params : Cost.params;
+  seed : int;
+}
+
+let default_config =
+  {
+    n_mobiles = 4;
+    duration = 100.0;
+    window = 25.0;
+    mean_connect_gap = 10.0;
+    mean_mobile_txn_gap = 2.0;
+    mean_base_txn_gap = 1.0;
+    protocol = Merging Protocol.default_merge_config;
+    isolation = Strategy2;
+    params = Cost.default_params;
+    seed = 7;
+  }
+
+type stats = {
+  base_txns : int;
+  tentative_txns : int;
+  merges : int;
+  saved : int;
+  reexecuted : int;
+  rejected : int;
+  late_sessions : int;
+  late_txns : int;
+  anomalies : int;
+  windows_checked : int;
+  serializability_violations : int;
+  cost : Cost.tally;
+  final_base : State.t;
+}
+
+type mobile = {
+  id : int;
+  mutable engine : Engine.t;
+  mutable tentative_rev : Program.t list;
+  mutable origin : State.t;
+  mutable origin_pos : int;  (* Strategy 1: logical-history position of the snapshot *)
+  mutable window_started : int;  (* Strategy 2: window of the history's origin *)
+  mutable txn_counter : int;
+}
+
+type event = Mobile_txn of int | Base_txn | Connect of int | Window_boundary
+
+let exponential rng mean = -.mean *. log (1.0 -. Rng.float rng)
+
+let replay_programs s0 (txns : Protocol.base_txn list) =
+  List.fold_left (fun s (bt : Protocol.base_txn) -> Interp.apply s bt.Protocol.program) s0 txns
+
+let run config workload =
+  let rng = Rng.create config.seed in
+  let base = Engine.create workload.initial in
+  let logical : Protocol.base_txn list ref = ref [] in
+  let window_origin = ref workload.initial in
+  let window_index = ref 0 in
+  let cost = Cost.zero () in
+  let base_txns = ref 0
+  and tentative_txns = ref 0
+  and merges = ref 0
+  and saved = ref 0
+  and reexecuted = ref 0
+  and rejected = ref 0
+  and late_sessions = ref 0
+  and late_txns = ref 0
+  and anomalies = ref 0
+  and windows_checked = ref 0
+  and violations = ref 0 in
+  let mobiles =
+    Array.init config.n_mobiles (fun id ->
+        {
+          id;
+          engine = Engine.create workload.initial;
+          tentative_rev = [];
+          origin = workload.initial;
+          origin_pos = 0;
+          window_started = 0;
+          txn_counter = 0;
+        })
+  in
+  let queue = Pqueue.create () in
+  let schedule time ev = Pqueue.push queue time ev in
+  for i = 0 to config.n_mobiles - 1 do
+    schedule (exponential rng config.mean_mobile_txn_gap) (Mobile_txn i);
+    schedule (exponential rng config.mean_connect_gap) (Connect i)
+  done;
+  schedule (exponential rng config.mean_base_txn_gap) Base_txn;
+  schedule config.window Window_boundary;
+
+  let count_txn_reports txns =
+    List.iter
+      (fun (r : Protocol.txn_report) ->
+        match r.Protocol.outcome with
+        | Protocol.Merged -> incr saved
+        | Protocol.Reexecuted -> incr reexecuted
+        | Protocol.Rejected -> incr rejected)
+      txns
+  in
+
+  let acceptance_of = function
+    | Merging mc -> mc.Protocol.acceptance
+    | Reprocessing -> Protocol.accept_always
+  in
+
+  let reprocess_session m history =
+    let report =
+      Protocol.reprocess
+        ~acceptance:(acceptance_of config.protocol)
+        ~params:config.params ~base ~origin:m.origin ~tentative:history
+    in
+    logical := !logical @ report.Protocol.appended;
+    count_txn_reports report.Protocol.txns;
+    Cost.add cost report.Protocol.cost
+  in
+
+  let reset_mobile m =
+    m.tentative_rev <- [];
+    (match config.isolation with
+    | Strategy2 ->
+      m.origin <- !window_origin;
+      m.window_started <- !window_index
+    | Strategy1 ->
+      m.origin <- Engine.state base;
+      m.origin_pos <- List.length !logical);
+    m.engine <- Engine.create m.origin
+  in
+
+  let handle_connect m =
+    (match (m.tentative_rev, config.protocol) with
+    | [], _ -> ()
+    | _, Reprocessing ->
+      let history = History.of_programs (List.rev m.tentative_rev) in
+      reprocess_session m history
+    | _, Merging mc -> (
+      let history = History.of_programs (List.rev m.tentative_rev) in
+      match config.isolation with
+      | Strategy2 ->
+        if m.window_started < !window_index then begin
+          (* Connected too late: the next window is already open. *)
+          incr late_sessions;
+          late_txns := !late_txns + History.length history;
+          reprocess_session m history
+        end
+        else begin
+          let report =
+            Protocol.merge ~config:mc ~params:config.params ~base ~base_history:!logical
+              ~origin:!window_origin ~tentative:history
+          in
+          logical := report.Protocol.new_history;
+          incr merges;
+          count_txn_reports report.Protocol.txns;
+          Cost.add cost report.Protocol.cost
+        end
+      | Strategy1 ->
+        (* Does the recorded base sub-history still begin at this mobile's
+           snapshot? An earlier merge serialized before the snapshot breaks
+           this — the paper's Strategy 1 anomaly. *)
+        let rec split_at n l =
+          if n = 0 then ([], l)
+          else match l with [] -> ([], []) | x :: tl -> let a, b = split_at (n - 1) tl in (x :: a, b)
+        in
+        let prefix, suffix = split_at m.origin_pos !logical in
+        if not (State.equal (replay_programs workload.initial prefix) m.origin) then begin
+          incr anomalies;
+          reprocess_session m history
+        end
+        else begin
+          let report =
+            Protocol.merge ~config:mc ~params:config.params ~base ~base_history:suffix
+              ~origin:m.origin ~tentative:history
+          in
+          logical := prefix @ report.Protocol.new_history;
+          incr merges;
+          count_txn_reports report.Protocol.txns;
+          Cost.add cost report.Protocol.cost
+        end));
+    reset_mobile m
+  in
+
+  let check_window () =
+    incr windows_checked;
+    let origin = match config.isolation with Strategy2 -> !window_origin | Strategy1 -> workload.initial in
+    if not (State.equal (replay_programs origin !logical) (Engine.state base)) then incr violations;
+    match config.isolation with
+    | Strategy2 ->
+      window_origin := Engine.state base;
+      logical := [];
+      incr window_index
+    | Strategy1 -> ()
+  in
+
+  let rec loop () =
+    match Pqueue.pop queue with
+    | None -> ()
+    | Some (t, _) when t > config.duration -> ()
+    | Some (t, ev) ->
+      (match ev with
+      | Mobile_txn i ->
+        let m = mobiles.(i) in
+        m.txn_counter <- m.txn_counter + 1;
+        let name = Printf.sprintf "M%dT%d" i m.txn_counter in
+        let p = workload.make_mobile_txn rng ~name in
+        ignore (Engine.execute m.engine p);
+        m.tentative_rev <- p :: m.tentative_rev;
+        incr tentative_txns;
+        schedule (t +. exponential rng config.mean_mobile_txn_gap) (Mobile_txn i)
+      | Base_txn ->
+        incr base_txns;
+        let name = Printf.sprintf "B%d" !base_txns in
+        let p = workload.make_base_txn rng ~name in
+        let record = Engine.execute base p in
+        logical := !logical @ [ { Protocol.program = p; Protocol.record = record } ];
+        schedule (t +. exponential rng config.mean_base_txn_gap) Base_txn
+      | Connect i ->
+        handle_connect mobiles.(i);
+        schedule (t +. exponential rng config.mean_connect_gap) (Connect i)
+      | Window_boundary ->
+        check_window ();
+        schedule (t +. config.window) Window_boundary);
+      loop ()
+  in
+  loop ();
+  check_window ();
+  {
+    base_txns = !base_txns;
+    tentative_txns = !tentative_txns;
+    merges = !merges;
+    saved = !saved;
+    reexecuted = !reexecuted;
+    rejected = !rejected;
+    late_sessions = !late_sessions;
+    late_txns = !late_txns;
+    anomalies = !anomalies;
+    windows_checked = !windows_checked;
+    serializability_violations = !violations;
+    cost;
+    final_base = Engine.state base;
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "@[<v>base=%d tentative=%d merges=%d saved=%d reexec=%d rejected=%d late=%d anomalies=%d@ \
+     windows=%d violations=%d@ cost: %a@]"
+    s.base_txns s.tentative_txns s.merges s.saved s.reexecuted s.rejected s.late_sessions
+    s.anomalies s.windows_checked s.serializability_violations Cost.pp s.cost

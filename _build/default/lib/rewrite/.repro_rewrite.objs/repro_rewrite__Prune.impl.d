@@ -1,0 +1,1 @@
+lib/rewrite/prune.ml: Compensation Format History Interp Item List Names Program Readsfrom Repro_history Repro_txn Rewrite State Stmt String Ura

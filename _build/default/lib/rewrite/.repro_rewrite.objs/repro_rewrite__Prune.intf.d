@@ -1,0 +1,1 @@
+lib/rewrite/prune.mli: Format Names Repro_history Repro_txn Rewrite State Stdlib

@@ -1,0 +1,1 @@
+lib/rewrite/rewrite.ml: Array Fix Format History Interp Item List Names Printf Program Readsfrom Repro_history Repro_txn Semantics String

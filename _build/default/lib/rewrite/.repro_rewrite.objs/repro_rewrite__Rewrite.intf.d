@@ -1,0 +1,1 @@
+lib/rewrite/rewrite.mli: Format History Names Repro_history Repro_txn Semantics State

@@ -1,0 +1,1 @@
+lib/rewrite/ura.ml: Expr Interp Item List Pred Program Repro_txn State Stmt

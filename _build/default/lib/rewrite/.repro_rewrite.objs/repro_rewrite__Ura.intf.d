@@ -1,0 +1,1 @@
+lib/rewrite/ura.mli: Interp Item Program Repro_txn

@@ -1,0 +1,118 @@
+open Repro_txn
+open Repro_history
+
+type outcome = {
+  final : State.t;
+  suffix_length : int;
+  compensators_run : int;
+  items_restored : int;
+  uras_run : int;
+  ura_updates : int;
+}
+
+type error = Missing_compensator of Names.t
+
+let expected (r : Rewrite.result) =
+  History.final_state r.Rewrite.execution.History.initial r.Rewrite.repaired
+
+let compensate (r : Rewrite.result) =
+  let suffix = Rewrite.suffix r in
+  let rec unwind state compensators_run = function
+    | [] ->
+      Ok
+        {
+          final = state;
+          suffix_length = List.length suffix;
+          compensators_run;
+          items_restored = 0;
+          uras_run = 0;
+          ura_updates = 0;
+        }
+    | (e : History.entry) :: rest -> (
+      match Compensation.derive e.History.program with
+      | None -> Error (Missing_compensator e.History.program.Program.name)
+      | Some comp ->
+        let state = Interp.apply ~fix:e.History.fix state comp in
+        unwind state (compensators_run + 1) rest)
+  in
+  unwind r.Rewrite.execution.History.final 0 (List.rev suffix)
+
+let rec count_updates = function
+  | [] -> 0
+  | Stmt.Read _ :: rest -> count_updates rest
+  | (Stmt.Update _ | Stmt.Assign _) :: rest -> 1 + count_updates rest
+  | Stmt.If (_, ss1, ss2) :: rest -> count_updates ss1 + count_updates ss2 + count_updates rest
+
+let undo (r : Rewrite.result) =
+  let exec = r.Rewrite.execution in
+  let suffix_names =
+    Names.Set.of_names
+      (List.map (fun (e : History.entry) -> e.History.program.Program.name) (Rewrite.suffix r))
+  in
+  (* Phase 1: restore physical before-images of the suffix transactions, in
+     reverse original-history order. *)
+  let restored = ref 0 in
+  let state = ref exec.History.final in
+  List.iter
+    (fun (rec_ : Interp.record) ->
+      let name = rec_.Interp.program.Program.name in
+      if Names.Set.mem name suffix_names then
+        List.iter
+          (fun (x, before_image, _) ->
+            state := State.set !state x before_image;
+            incr restored)
+          rec_.Interp.writes)
+    (List.rev exec.History.records);
+  (* Phase 2: undo-repair actions, in repaired-history order. Algorithm 3
+     phrases its item sets in terms of B ∪ AG; the sound generalization —
+     needed because the commutativity-only rewriter can leave a {e stuck
+     good} transaction (∉ B ∪ AG) in the suffix while saving a
+     transaction that read from it — is the reads-from closure of the
+     transactions actually undone. For Algorithms 1 and 2 the two
+     coincide: there the suffix is exactly B ∪ (unsaved) AG, and every
+     saved reader of the suffix is itself affected. *)
+  let ba = Readsfrom.closure exec ~bad:suffix_names in
+  let dyn_writes_of name = Interp.dynamic_writeset (History.record_of exec name) in
+  let union_writes names =
+    Names.Set.fold (fun n acc -> Item.Set.union acc (dyn_writes_of n)) names Item.Set.empty
+  in
+  let preceding_ba name =
+    (* members of B ∪ AG strictly before [name] in the original history *)
+    let rec collect acc = function
+      | [] -> acc
+      | (rec_ : Interp.record) :: rest ->
+        let n = rec_.Interp.program.Program.name in
+        if String.equal n name then acc
+        else collect (if Names.Set.mem n ba then Names.Set.add n acc else acc) rest
+    in
+    collect Names.Set.empty exec.History.records
+  in
+  let uras_run = ref 0 and ura_updates = ref 0 in
+  List.iter
+    (fun (e : History.entry) ->
+      let name = e.History.program.Program.name in
+      if Names.Set.mem name ba then begin
+        let record = History.record_of exec name in
+        let ura =
+          Ura.build
+            ~updated_by_other:(union_writes (Names.Set.remove name ba))
+            ~updated_by_preceding:(union_writes (preceding_ba name))
+            record
+        in
+        incr uras_run;
+        ura_updates := !ura_updates + count_updates ura.Program.body;
+        state := Interp.apply !state ura
+      end)
+    (History.entries r.Rewrite.repaired);
+  {
+    final = !state;
+    suffix_length = Names.Set.cardinal suffix_names;
+    compensators_run = 0;
+    items_restored = !restored;
+    uras_run = !uras_run;
+    ura_updates = !ura_updates;
+  }
+
+let pp_error ppf = function
+  | Missing_compensator name ->
+    Format.fprintf ppf "no compensating transaction derivable for %s" name

@@ -1,0 +1,49 @@
+(** Pruning rewritten histories (Section 6).
+
+    A rewritten history [H_e^s] ends in the backed-out block; pruning
+    removes that block's effects from the database so that exactly the
+    repaired history [H_r^s] remains in force. Two approaches, per the
+    paper:
+
+    - {e compensation} (Section 6.1): run the fixed compensating
+      transaction [T^{(-1,F)}] of every suffix transaction, in reverse
+      order, on the final state. Requires derivable compensators
+      ({!Repro_txn.Compensation}); fails cleanly when some suffix
+      transaction has none.
+    - {e undo} (Section 6.2): physically restore the before-images of
+      every suffix transaction (reverse history order), then run the
+      undo-repair actions (Algorithm 3, {!Ura}) of the saved transactions
+      in the suffix's reads-from closure, in repaired-history order
+      (Theorem 5; the closure-of-suffix formulation generalizes the
+      paper's "affected" to the commutativity-only rewriter, which can
+      strand unaffected-but-stuck transactions in the suffix).
+
+    Both must land on the final state of executing [H_r^s] from [s0]; the
+    test suite checks they agree with each other and with that serial
+    re-execution. *)
+
+open Repro_txn
+open Repro_history
+
+type outcome = {
+  final : State.t;  (** database state after pruning *)
+  suffix_length : int;  (** transactions removed *)
+  compensators_run : int;
+  items_restored : int;  (** physical before-images written (undo) *)
+  uras_run : int;  (** undo-repair actions executed *)
+  ura_updates : int;  (** update statements across all URAs *)
+}
+
+type error = Missing_compensator of Names.t
+
+(** [compensate result] prunes by fixed compensation. *)
+val compensate : Rewrite.result -> (outcome, error) Stdlib.result
+
+(** [undo result] prunes by undo + undo-repair actions. *)
+val undo : Rewrite.result -> outcome
+
+(** [expected result] — the reference state: [H_r^s] re-executed from the
+    original initial state. *)
+val expected : Rewrite.result -> State.t
+
+val pp_error : Format.formatter -> error -> unit

@@ -1,0 +1,99 @@
+open Repro_txn
+
+(* Substitute [Const] for every bindable item occurrence in an expression:
+   an operand is bindable when neither a preceding statement of AG_k nor a
+   preceding backed-out-or-affected transaction updated it, in which case
+   the value AG_k originally saw (its before state) is still the correct
+   H_r value. *)
+let rec subst_expr ~bindable ~before e =
+  let go = subst_expr ~bindable ~before in
+  match e with
+  | Expr.Const _ | Expr.Param _ -> e
+  | Expr.Item y -> if bindable y then Expr.Const (State.get before y) else e
+  | Expr.Neg a -> Expr.Neg (go a)
+  | Expr.Add (a, b) -> Expr.Add (go a, go b)
+  | Expr.Sub (a, b) -> Expr.Sub (go a, go b)
+  | Expr.Mul (a, b) -> Expr.Mul (go a, go b)
+  | Expr.Div (a, b) -> Expr.Div (go a, go b)
+  | Expr.Mod (a, b) -> Expr.Mod (go a, go b)
+  | Expr.Min (a, b) -> Expr.Min (go a, go b)
+  | Expr.Max (a, b) -> Expr.Max (go a, go b)
+
+let rec subst_pred ~bindable ~before p =
+  let ge = subst_expr ~bindable ~before in
+  let go = subst_pred ~bindable ~before in
+  match p with
+  | Pred.True | Pred.False -> p
+  | Pred.Eq (a, b) -> Pred.Eq (ge a, ge b)
+  | Pred.Ne (a, b) -> Pred.Ne (ge a, ge b)
+  | Pred.Lt (a, b) -> Pred.Lt (ge a, ge b)
+  | Pred.Le (a, b) -> Pred.Le (ge a, ge b)
+  | Pred.Gt (a, b) -> Pred.Gt (ge a, ge b)
+  | Pred.Ge (a, b) -> Pred.Ge (ge a, ge b)
+  | Pred.Not q -> Pred.Not (go q)
+  | Pred.And (a, b) -> Pred.And (go a, go b)
+  | Pred.Or (a, b) -> Pred.Or (go a, go b)
+
+let build ~updated_by_other ~updated_by_preceding (record : Interp.record) =
+  let before = record.Interp.before and after = record.Interp.after in
+  (* [local] tracks items updated by preceding statements along the current
+     path; parallel branches are threaded separately and joined by union. *)
+  let bindable local y =
+    (not (Item.Set.mem y local)) && not (Item.Set.mem y updated_by_preceding)
+  in
+  let rec transform local stmt =
+    match stmt with
+    | Stmt.Read _ -> ([ stmt ], local)
+    | Stmt.Update (x, e) ->
+      let local' = Item.Set.add x local in
+      if not (Item.Set.mem x updated_by_other) then ([], local')
+      else if not (Item.Set.mem x updated_by_preceding) then
+        ([ Stmt.Update (x, Expr.Const (State.get after x)) ], local')
+      else ([ Stmt.Update (x, subst_expr ~bindable:(bindable local) ~before e) ], local')
+    | Stmt.Assign (x, e) ->
+      let local' = Item.Set.add x local in
+      if not (Item.Set.mem x updated_by_other) then ([], local')
+      else if not (Item.Set.mem x updated_by_preceding) then
+        ([ Stmt.Assign (x, Expr.Const (State.get after x)) ], local')
+      else ([ Stmt.Assign (x, subst_expr ~bindable:(bindable local) ~before e) ], local')
+    | Stmt.If (c, ss1, ss2) ->
+      let c' = subst_pred ~bindable:(bindable local) ~before c in
+      let ss1', l1 = transform_seq local ss1 in
+      let ss2', l2 = transform_seq local ss2 in
+      let local' = Item.Set.union l1 l2 in
+      if ss1' = [] && ss2' = [] then ([], local') else ([ Stmt.If (c', ss1', ss2') ], local')
+  and transform_seq local stmts =
+    List.fold_left
+      (fun (acc, local) s ->
+        let s', local' = transform local s in
+        (acc @ s', local'))
+      ([], local) stmts
+  in
+  let body, _ = transform_seq Item.Set.empty record.Interp.program.Program.body in
+  (* Third pass: drop read statements that no longer feed anything. *)
+  let rec used stmts =
+    List.fold_left
+      (fun acc s ->
+        match s with
+        | Stmt.Read _ -> acc
+        | Stmt.Update (_, e) | Stmt.Assign (_, e) -> Item.Set.union acc (Expr.items e)
+        | Stmt.If (c, ss1, ss2) ->
+          Item.Set.union acc
+            (Item.Set.union (Pred.items c) (Item.Set.union (used ss1) (used ss2))))
+      Item.Set.empty stmts
+  in
+  let live = used body in
+  let rec prune_reads stmts =
+    List.filter_map
+      (fun s ->
+        match s with
+        | Stmt.Read x -> if Item.Set.mem x live then Some s else None
+        | Stmt.Update _ | Stmt.Assign _ -> Some s
+        | Stmt.If (c, ss1, ss2) -> Some (Stmt.If (c, prune_reads ss1, prune_reads ss2)))
+      stmts
+  in
+  let p = record.Interp.program in
+  Program.make
+    ~name:(p.Program.name ^ "!ura")
+    ~ttype:("ura:" ^ p.Program.ttype)
+    ~params:p.Program.params (prune_reads body)

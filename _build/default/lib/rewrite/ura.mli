@@ -1,0 +1,37 @@
+(** Undo-repair actions — Algorithm 3 (Section 6.2).
+
+    After the undo phase physically restores the before-images of every
+    backed-out transaction, the write effects of {e saved affected}
+    transactions on items shared with backed-out ones have been wiped, and
+    their reads of contaminated items must be replayed against clean
+    values. Algorithm 3 builds, for each saved affected transaction
+    [AG_k], a reduced program [URA_k] that re-establishes exactly those
+    effects:
+
+    - an update of [x] untouched by any other backed-out-or-affected
+      transaction is dropped (its effect survived the undo);
+    - an update of [x] touched only by {e later} such transactions is
+      replaced by [x := AG_k.afterstate.x];
+    - an update of [x] touched by a {e preceding} such transaction is
+      re-executed, with every operand that was neither written earlier by
+      [AG_k] itself nor by a preceding backed-out-or-affected transaction
+      bound to its value in [AG_k]'s before state;
+    - finally, read statements that no longer feed any surviving update
+      are discarded.
+
+    The construction assumes — as the paper's program model does — that a
+    transaction does not read an item after a parallel-branch update of
+    it; {!Repro_workload} generators respect this. *)
+
+open Repro_txn
+
+(** [build ~updated_by_other ~updated_by_preceding record] — the
+    undo-repair action for the transaction executed as [record].
+    [updated_by_other] is the union of the dynamic write sets of all
+    {e other} transactions in [B ∪ AG]; [updated_by_preceding] restricts
+    that union to those preceding [AG_k] in the original history. *)
+val build :
+  updated_by_other:Item.Set.t ->
+  updated_by_preceding:Item.Set.t ->
+  Interp.record ->
+  Program.t

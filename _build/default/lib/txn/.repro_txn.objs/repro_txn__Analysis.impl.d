@@ -1,0 +1,1 @@
+lib/txn/analysis.ml: Expr Item List Pred Program Stmt

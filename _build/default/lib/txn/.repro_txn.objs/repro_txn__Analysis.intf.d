@@ -1,0 +1,1 @@
+lib/txn/analysis.mli: Expr Item Program

@@ -1,0 +1,1 @@
+lib/txn/compensation.ml: Analysis Expr Item List Pred Program Stmt

@@ -1,0 +1,1 @@
+lib/txn/expr.ml: Format Item

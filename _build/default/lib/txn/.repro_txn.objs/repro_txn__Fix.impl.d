@@ -1,0 +1,1 @@
+lib/txn/fix.ml: Format Int Item List State

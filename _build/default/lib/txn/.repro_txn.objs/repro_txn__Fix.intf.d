@@ -1,0 +1,1 @@
+lib/txn/fix.mli: Format Item State

@@ -1,0 +1,1 @@
+lib/txn/interp.ml: Expr Fix Format Item List Pred Program State Stmt

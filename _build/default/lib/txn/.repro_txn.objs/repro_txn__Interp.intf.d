@@ -1,0 +1,1 @@
+lib/txn/interp.mli: Fix Format Item Program State

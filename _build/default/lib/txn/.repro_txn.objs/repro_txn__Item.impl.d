@@ -1,0 +1,1 @@
+lib/txn/item.ml: Format Stdlib String

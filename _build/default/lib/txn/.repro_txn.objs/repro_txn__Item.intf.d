@@ -1,0 +1,1 @@
+lib/txn/item.mli: Format Stdlib

@@ -1,0 +1,1 @@
+lib/txn/oracle.ml: Fix Interp Item List Seq State

@@ -1,0 +1,1 @@
+lib/txn/oracle.mli: Fix Item Program Seq State

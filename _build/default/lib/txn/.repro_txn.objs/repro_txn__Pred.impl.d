@@ -1,0 +1,1 @@
+lib/txn/pred.ml: Expr Format Item

@@ -1,0 +1,1 @@
+lib/txn/pred.mli: Expr Format Item

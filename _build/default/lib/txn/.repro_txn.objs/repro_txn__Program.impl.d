@@ -1,0 +1,1 @@
+lib/txn/program.ml: Format Item List Printf Stmt

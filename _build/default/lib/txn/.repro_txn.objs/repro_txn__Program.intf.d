@@ -1,0 +1,1 @@
+lib/txn/program.mli: Format Item Stmt

@@ -1,0 +1,1 @@
+lib/txn/semantics.ml: Analysis Item List Program String

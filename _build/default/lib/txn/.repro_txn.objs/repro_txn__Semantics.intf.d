@@ -1,0 +1,1 @@
+lib/txn/semantics.mli: Item Program

@@ -1,0 +1,1 @@
+lib/txn/state.ml: Format Item List

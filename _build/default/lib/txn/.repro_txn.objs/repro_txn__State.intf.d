@@ -1,0 +1,1 @@
+lib/txn/state.mli: Format Item

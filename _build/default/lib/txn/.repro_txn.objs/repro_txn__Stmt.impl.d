@@ -1,0 +1,1 @@
+lib/txn/stmt.ml: Expr Format Item List Pred

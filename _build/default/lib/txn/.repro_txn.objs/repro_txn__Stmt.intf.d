@@ -1,0 +1,1 @@
+lib/txn/stmt.mli: Expr Format Item Pred

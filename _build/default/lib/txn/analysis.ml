@@ -1,0 +1,51 @@
+type update_site = { item : Item.t; rhs : Expr.t; guards : Item.Set.t }
+
+let update_sites (t : Program.t) =
+  let rec walk guards acc stmt =
+    match stmt with
+    | Stmt.Read _ -> acc
+    | Stmt.Update (x, e) | Stmt.Assign (x, e) -> { item = x; rhs = e; guards } :: acc
+    | Stmt.If (c, ss1, ss2) ->
+      let guards = Item.Set.union guards (Pred.items c) in
+      let acc = List.fold_left (walk guards) acc ss1 in
+      List.fold_left (walk guards) acc ss2
+  in
+  List.rev (List.fold_left (walk Item.Set.empty) [] t.Program.body)
+
+let update_sites_of t x = List.filter (fun site -> Item.equal site.item x) (update_sites t)
+
+let additive_delta x rhs =
+  let without_x e = not (Item.Set.mem x (Expr.items e)) in
+  match rhs with
+  | Expr.Add (Expr.Item y, e) when Item.equal x y && without_x e -> Some e
+  | Expr.Add (e, Expr.Item y) when Item.equal x y && without_x e -> Some e
+  | Expr.Sub (Expr.Item y, e) when Item.equal x y && without_x e -> Some (Expr.Neg e)
+  | _ -> None
+
+let is_additive_program t =
+  let writes = Program.writeset t in
+  List.for_all
+    (fun site ->
+      match additive_delta site.item site.rhs with
+      | Some delta -> Item.Set.disjoint (Expr.items delta) writes
+      | None -> false)
+    (update_sites t)
+
+let essential_reads ~self_additive (t : Program.t) =
+  let rec walk acc stmt =
+    match stmt with
+    | Stmt.Read x -> Item.Set.add x acc
+    | Stmt.Update (x, e) ->
+      if Item.Set.mem x self_additive then begin
+        match additive_delta x e with
+        | Some delta -> Item.Set.union acc (Expr.items delta)
+        | None -> Item.Set.union acc (Item.Set.add x (Expr.items e))
+      end
+      else Item.Set.union acc (Item.Set.add x (Expr.items e))
+    | Stmt.Assign (_, e) -> Item.Set.union acc (Expr.items e)
+    | Stmt.If (c, ss1, ss2) ->
+      let acc = Item.Set.union acc (Pred.items c) in
+      let acc = List.fold_left walk acc ss1 in
+      List.fold_left walk acc ss2
+  in
+  List.fold_left walk Item.Set.empty t.Program.body

@@ -1,0 +1,39 @@
+(** Static analysis of transaction bodies.
+
+    The can-precede relation (Definition 4) is detected, as the paper
+    prescribes for canned systems, by analysing transaction code. The
+    analysis here extracts the facts that detection needs: where each item
+    is updated, under which guards, whether the update is a commuting
+    additive delta, and which reads are {e essential} (influence the final
+    state or a branch decision) as opposed to the self-operand reads of
+    additive updates. *)
+
+(** One update statement occurrence: the updated item, its right-hand
+    side, and the items read by every enclosing guard. *)
+type update_site = { item : Item.t; rhs : Expr.t; guards : Item.Set.t }
+
+(** All update sites of a program, in syntactic order. An item may have
+    several sites when branches update it on different paths (never twice
+    on one path — {!Program.make} validates that). *)
+val update_sites : Program.t -> update_site list
+
+val update_sites_of : Program.t -> Item.t -> update_site list
+
+(** [additive_delta x rhs] is [Some delta] when [rhs] has the shape
+    [x + delta] or [x - delta'] with [x] not occurring in the delta — the
+    commuting-update shape. *)
+val additive_delta : Item.t -> Expr.t -> Expr.t option
+
+(** [is_additive_program t] holds when every update site of [t] is an
+    additive delta whose expression does not read any item [t] writes;
+    such transactions admit derived compensating transactions. *)
+val is_additive_program : Program.t -> bool
+
+(** [essential_reads ~self_additive t] is the set of items whose value can
+    influence [t]'s final-state effect other than as the self-operand of an
+    additive update of an item in [self_additive]: guard reads, RHS reads,
+    explicit [Read] statements, and self-operands of non-exempt updates.
+
+    [essential_reads ~self_additive:Item.Set.empty t] is a superset of
+    [readset t - writeset t]. *)
+val essential_reads : self_additive:Item.Set.t -> Program.t -> Item.Set.t

@@ -1,0 +1,31 @@
+let rec invert_stmt writes stmt =
+  match stmt with
+  | Stmt.Read _ -> Some stmt
+  | Stmt.Assign _ -> None
+  | Stmt.Update (x, e) -> (
+    match Analysis.additive_delta x e with
+    | Some delta when Item.Set.disjoint (Expr.items delta) writes ->
+      Some (Stmt.Update (x, Expr.Sub (Expr.Item x, delta)))
+    | Some _ | None -> None)
+  | Stmt.If (c, ss1, ss2) ->
+    if Item.Set.disjoint (Pred.items c) writes then
+      match (invert_seq writes ss1, invert_seq writes ss2) with
+      | Some ss1', Some ss2' -> Some (Stmt.If (c, ss1', ss2'))
+      | _ -> None
+    else None
+
+and invert_seq writes stmts =
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | s :: rest -> ( match invert_stmt writes s with Some s' -> go (s' :: acc) rest | None -> None)
+  in
+  go [] stmts
+
+let derive (t : Program.t) =
+  let writes = Program.writeset t in
+  match invert_seq writes t.body with
+  | Some body ->
+    Some (Program.make ~name:(t.name ^ "~1") ~ttype:("comp:" ^ t.ttype) ~params:t.params body)
+  | None -> None
+
+let derivable t = derive t <> None

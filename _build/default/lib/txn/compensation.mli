@@ -1,0 +1,22 @@
+(** Compensating transactions (Section 6.1).
+
+    [T^{-1}] semantically undoes [T] from any state reached by running
+    [T]: it is derived, not replayed from a log, so it stays correct when
+    other transactions ran in between — the property the compensation
+    pruning approach needs. The {e fixed} compensating transaction
+    [T^{(-1,F)}] is [T^{-1}] run with the same fix [F] (Definition 5);
+    Lemma 4 makes it an exact inverse whenever [F ∩ T.writeset = ∅].
+
+    Compensators are derivable for the additive fragment: every update is
+    [x := x ± delta] where neither the delta nor any guard reads an item
+    the transaction writes. The paper notes compensating transactions "may
+    not be specified in some systems"; [derive] returns [None] exactly
+    then, and callers fall back to the undo approach of Section 6.2. *)
+
+(** [derive t] is the compensating transaction of [t], when one is
+    derivable. [derive] on a read-only transaction yields an empty-bodied
+    compensator. *)
+val derive : Program.t -> Program.t option
+
+(** [derivable t] = [derive t <> None]. *)
+val derivable : Program.t -> bool

@@ -1,0 +1,14 @@
+type t = int Item.Map.t
+
+let empty = Item.Map.empty
+let is_empty = Item.Map.is_empty
+let of_list bindings = List.fold_left (fun m (k, v) -> Item.Map.add k v m) empty bindings
+let to_list fix = Item.Map.bindings fix
+let find fix x = Item.Map.find_opt x fix
+let mem fix x = Item.Map.mem x fix
+let domain fix = Item.Map.keys fix
+let add fix x v = if Item.Map.mem x fix then fix else Item.Map.add x v fix
+let union f1 f2 = Item.Map.union (fun _ v1 _ -> Some v1) f1 f2
+let of_state items state = Item.Set.fold (fun x acc -> Item.Map.add x (State.get state x) acc) items empty
+let equal = Item.Map.equal Int.equal
+let pp = Item.Map.pp Format.pp_print_int

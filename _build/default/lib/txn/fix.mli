@@ -1,0 +1,36 @@
+(** Fixes (the paper's Definition 1).
+
+    A fix [F_i] for transaction [T_i] pins the values [T_i] reads for a set
+    of items: when [T_i^{F_i}] executes, reads of a pinned item take the
+    pinned value rather than the value in the before state (reads of items
+    the transaction has already updated itself still see the local write).
+    Fixes are what keep rewritten histories final-state equivalent when a
+    transaction is pushed past others that wrote items it read. *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+val of_list : (Item.t * int) list -> t
+val to_list : t -> (Item.t * int) list
+
+(** [find fix x] is the pinned value of [x], if pinned. *)
+val find : t -> Item.t -> int option
+
+val mem : t -> Item.t -> bool
+val domain : t -> Item.Set.t
+
+(** [add fix x v] pins [x] to [v]; if [x] is already pinned the original
+    pin wins (Lemma 1 accumulates the values first read in the original
+    history, so the earliest pin is authoritative). *)
+val add : t -> Item.t -> int -> t
+
+(** [union f1 f2] merges pins, [f1] winning on conflicts. *)
+val union : t -> t -> t
+
+(** [of_state items state] pins every item of [items] at its value in
+    [state]; used to build Lemma 1 / Lemma 2 fixes from a before state. *)
+val of_state : Item.Set.t -> State.t -> t
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

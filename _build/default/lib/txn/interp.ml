@@ -1,0 +1,98 @@
+type record = {
+  program : Program.t;
+  fix : Fix.t;
+  before : State.t;
+  after : State.t;
+  reads : (Item.t * int) list;
+  writes : (Item.t * int * int) list;
+}
+
+type env = {
+  mutable state : State.t;
+  mutable written : Item.Set.t;  (* items this transaction has updated *)
+  mutable rev_reads : (Item.t * int) list;
+  mutable read_items : Item.Set.t;
+  mutable rev_writes : (Item.t * int * int) list;
+  before : State.t;
+  fix : Fix.t;
+  prog : Program.t;
+}
+
+let record_read env x v =
+  if not (Item.Set.mem x env.read_items) then begin
+    env.read_items <- Item.Set.add x env.read_items;
+    env.rev_reads <- (x, v) :: env.rev_reads
+  end
+
+let read env x =
+  if Item.Set.mem x env.written then State.get env.state x
+  else
+    let v = match Fix.find env.fix x with Some v -> v | None -> State.get env.before x in
+    record_read env x v;
+    v
+
+let rec exec_stmt env stmt =
+  let param = Program.param env.prog in
+  match stmt with
+  | Stmt.Read x -> ignore (read env x)
+  | Stmt.Update (x, e) ->
+    (* The written item is read first: the no-blind-writes assumption. *)
+    ignore (read env x);
+    let v = Expr.eval ~param ~read:(read env) e in
+    let before_image = State.get env.before x in
+    env.rev_writes <- (x, before_image, v) :: env.rev_writes;
+    env.state <- State.set env.state x v;
+    env.written <- Item.Set.add x env.written
+  | Stmt.Assign (x, e) ->
+    (* Blind write: no self-read. *)
+    let v = Expr.eval ~param ~read:(read env) e in
+    let before_image = State.get env.before x in
+    env.rev_writes <- (x, before_image, v) :: env.rev_writes;
+    env.state <- State.set env.state x v;
+    env.written <- Item.Set.add x env.written
+  | Stmt.If (c, ss1, ss2) ->
+    if Pred.eval ~param ~read:(read env) c then List.iter (exec_stmt env) ss1
+    else List.iter (exec_stmt env) ss2
+
+let run ?(fix = Fix.empty) state program =
+  let env =
+    {
+      state;
+      written = Item.Set.empty;
+      rev_reads = [];
+      read_items = Item.Set.empty;
+      rev_writes = [];
+      before = state;
+      fix;
+      prog = program;
+    }
+  in
+  List.iter (exec_stmt env) program.Program.body;
+  {
+    program;
+    fix;
+    before = state;
+    after = env.state;
+    reads = List.rev env.rev_reads;
+    writes = List.rev env.rev_writes;
+  }
+
+let apply ?fix state program = (run ?fix state program).after
+
+let dynamic_readset r =
+  List.fold_left (fun acc (x, _) -> Item.Set.add x acc) Item.Set.empty r.reads
+
+let dynamic_writeset r =
+  List.fold_left (fun acc (x, _, _) -> Item.Set.add x acc) Item.Set.empty r.writes
+
+let read_value r x = List.assoc_opt x r.reads
+
+let pp_record ppf r =
+  let pp_read ppf (x, v) = Format.fprintf ppf "%a=%d" Item.pp x v in
+  let pp_write ppf (x, b, a) = Format.fprintf ppf "%a:%d->%d" Item.pp x b a in
+  Format.fprintf ppf "@[<v 2>%a%s@ reads: %a@ writes: %a@]" Program.pp r.program
+    (if Fix.is_empty r.fix then "" else Format.asprintf "^%a" Fix.pp r.fix)
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp_read)
+    r.reads
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp_write)
+    r.writes

@@ -1,0 +1,42 @@
+(** Deterministic interpreter for transaction programs.
+
+    Executing [T^F] on a state produces the after state together with an
+    execution record: the external reads actually performed (with the
+    values observed) and the writes performed (with physical before-images,
+    which the undo approach of Section 6.2 restores).
+
+    Read resolution order: a read of [x] sees the transaction's own earlier
+    write of [x] if any; otherwise the pinned value if [x] is in the fix;
+    otherwise the value in the before state. *)
+
+type record = {
+  program : Program.t;
+  fix : Fix.t;
+  before : State.t;  (** state the transaction executed on *)
+  after : State.t;  (** resulting state *)
+  reads : (Item.t * int) list;
+      (** external reads (from fix or before state) in first-read order;
+          each item appears once *)
+  writes : (Item.t * int * int) list;
+      (** [(x, before_image, new_value)] in write order; the before-image is
+          the physical value of [x] in the before state *)
+}
+
+(** [run ?fix state program] executes [program^fix] on [state]. *)
+val run : ?fix:Fix.t -> State.t -> Program.t -> record
+
+(** [apply ?fix state program] is [(run ?fix state program).after]. *)
+val apply : ?fix:Fix.t -> State.t -> Program.t -> State.t
+
+(** Items actually read externally during this execution. Always a subset
+    of the static {!Program.readset}. *)
+val dynamic_readset : record -> Item.Set.t
+
+(** Items actually written during this execution. Always a subset of the
+    static {!Program.writeset}. *)
+val dynamic_writeset : record -> Item.Set.t
+
+(** Value of [x] observed by this execution, if it read [x] externally. *)
+val read_value : record -> Item.t -> int option
+
+val pp_record : Format.formatter -> record -> unit

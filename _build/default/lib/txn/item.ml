@@ -1,0 +1,32 @@
+type t = string
+
+let compare = String.compare
+let equal = String.equal
+let pp = Format.pp_print_string
+
+module Set = struct
+  include Stdlib.Set.Make (String)
+
+  let pp ppf s =
+    Format.fprintf ppf "{%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+         Format.pp_print_string)
+      (elements s)
+
+  let of_names names = of_list names
+end
+
+module Map = struct
+  include Stdlib.Map.Make (String)
+
+  let pp pp_v ppf m =
+    let pp_binding ppf (k, v) = Format.fprintf ppf "%s=%a" k pp_v v in
+    Format.fprintf ppf "{%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+         pp_binding)
+      (bindings m)
+
+  let keys m = fold (fun k _ acc -> Set.add k acc) m Set.empty
+end

@@ -1,0 +1,28 @@
+(** Data items.
+
+    A data item is the unit of replication and of read/write conflict
+    detection throughout the reproduction: the paper's [d_1 ... d_n], [x],
+    [y], [z], [u]. Items are identified by name. *)
+
+type t = string
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+(** Sets of data items, used pervasively for read and write sets. *)
+module Set : sig
+  include Stdlib.Set.S with type elt = t
+
+  val pp : Format.formatter -> t -> unit
+  val of_names : string list -> t
+end
+
+(** Finite maps keyed by data items; database states and fixes are such
+    maps. *)
+module Map : sig
+  include Stdlib.Map.S with type key = t
+
+  val pp : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit
+  val keys : 'a t -> Set.t
+end

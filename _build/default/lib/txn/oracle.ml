@@ -1,0 +1,35 @@
+(* All functions [vars -> values] enumerated as association lists. *)
+let rec assignments vars values =
+  match vars with
+  | [] -> Seq.return []
+  | v :: rest ->
+    Seq.concat_map
+      (fun tail -> Seq.map (fun value -> (v, value) :: tail) (List.to_seq values))
+      (assignments rest values)
+
+let states ~items ~values = Seq.map State.of_list (assignments items values)
+
+let fixes ~fix_domain ~values =
+  Seq.map Fix.of_list (assignments (Item.Set.elements fix_domain) values)
+
+let can_precede ~items ~values ~fix_domain ~mover ~target =
+  Seq.for_all
+    (fun fix ->
+      Seq.for_all
+        (fun s0 ->
+          let target_first = Interp.apply (Interp.apply ~fix s0 target) mover in
+          let mover_first = Interp.apply ~fix (Interp.apply s0 mover) target in
+          State.equal target_first mover_first)
+        (states ~items ~values))
+    (fixes ~fix_domain ~values)
+
+let commutes_backward_through ~items ~values ~mover ~target =
+  can_precede ~items ~values ~fix_domain:Item.Set.empty ~mover ~target
+
+let compensates ~items ~values ~fix ~of_ candidate =
+  Seq.for_all
+    (fun s0 ->
+      let after = Interp.apply ~fix s0 of_ in
+      let back = Interp.apply ~fix after candidate in
+      State.equal back s0)
+    (states ~items ~values)

@@ -1,0 +1,36 @@
+(** Brute-force semantic oracle.
+
+    Definition 4 quantifies over all states and all fix values; over a
+    small item universe and value range, that quantification can be
+    checked exhaustively. The oracle is exact on the enumerated domain and
+    is used by the property-test suite to validate the static detector in
+    {!Semantics}: static [true] must imply oracle [true].
+
+    Enumeration is exponential in [|items|]; keep universes at four or
+    five items and small value ranges. *)
+
+(** All states assigning each of [items] a value from [values]. *)
+val states : items:Item.t list -> values:int list -> State.t Seq.t
+
+(** All fixes assigning each item of [fix_domain] a value from
+    [values]. *)
+val fixes : fix_domain:Item.Set.t -> values:int list -> Fix.t Seq.t
+
+(** Exhaustive check of Definition 4 over the enumerated domain. *)
+val can_precede :
+  items:Item.t list ->
+  values:int list ->
+  fix_domain:Item.Set.t ->
+  mover:Program.t ->
+  target:Program.t ->
+  bool
+
+(** Exhaustive check of commutes-backward-through (empty fix). *)
+val commutes_backward_through :
+  items:Item.t list -> values:int list -> mover:Program.t -> target:Program.t -> bool
+
+(** [compensates ~items ~values ~fix ~of_:t candidate] — executing
+    [t^fix] then [candidate^fix] returns every enumerated state to
+    itself (Lemma 4's fixed-compensation property, checked pointwise). *)
+val compensates :
+  items:Item.t list -> values:int list -> fix:Fix.t -> of_:Program.t -> Program.t -> bool

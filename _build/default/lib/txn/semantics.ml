@@ -1,0 +1,64 @@
+type theory = { declared_can_precede : (string * string) list }
+
+let default_theory = { declared_can_precede = [] }
+
+(* Definition 3 adapted to blind writes: besides "nothing in R reads what
+   T writes", T must not overwrite an item R writes — under the paper's
+   no-blind-writes assumption writeset ⊆ readset makes the second
+   condition redundant, so this is exactly Definition 3 there. *)
+let can_follow_one t r =
+  Item.Set.disjoint (Program.writeset t)
+    (Item.Set.union (Program.readset r) (Program.writeset r))
+
+let can_follow t rs = List.for_all (can_follow_one t) rs
+
+(* Static detection of Definition 4 (see DESIGN.md for the soundness
+   argument). With S = writeset(mover) ∩ writeset(target):
+   - every update site of an S item, in both transactions, must be an
+     additive delta;
+   - the mover's essential reads (exempting additive self-operands on S)
+     must avoid everything the target writes;
+   - the target's essential reads not pinned by the fix must avoid
+     everything the mover writes.
+   Then the mover's behaviour is identical in both orders except for the
+   self-operand reads of S items, whose updates commute additively, and
+   symmetrically for the fixed target. *)
+let static_can_precede ~fix_domain ~mover ~target =
+  let w_mover = Program.writeset mover and w_target = Program.writeset target in
+  (* Read-only transactions commute with anything in the final-state
+     sense: if either side writes nothing, the state trajectory of the
+     other is all that remains, in either order. *)
+  if Item.Set.is_empty w_mover || Item.Set.is_empty w_target then true
+  else
+  let shared = Item.Set.inter w_mover w_target in
+  let additive_on t x =
+    match Analysis.update_sites_of t x with
+    | [] -> true
+    | sites -> List.for_all (fun s -> Analysis.additive_delta x s.Analysis.rhs <> None) sites
+  in
+  Item.Set.for_all (fun x -> additive_on mover x && additive_on target x) shared
+  && Item.Set.disjoint (Analysis.essential_reads ~self_additive:shared mover) w_target
+  &&
+  let target_essential = Analysis.essential_reads ~self_additive:shared target in
+  Item.Set.disjoint (Item.Set.diff target_essential fix_domain) w_mover
+
+let property1 ~fix_domain ~mover ~target =
+  let exposed_target_reads =
+    Item.Set.diff (Item.Set.diff (Program.readset target) (Program.writeset target)) fix_domain
+  in
+  Item.Set.disjoint exposed_target_reads (Program.writeset mover)
+  && Item.Set.disjoint (Program.read_only_items mover) (Program.writeset target)
+
+let declared ~theory ~fix_domain ~mover ~target =
+  List.exists
+    (fun (mt, tt) -> String.equal mt mover.Program.ttype && String.equal tt target.Program.ttype)
+    theory.declared_can_precede
+  && Item.Set.subset fix_domain (Program.read_only_items target)
+  && property1 ~fix_domain ~mover ~target
+
+let can_precede ~theory ~fix_domain ~mover ~target =
+  static_can_precede ~fix_domain ~mover ~target
+  || declared ~theory ~fix_domain ~mover ~target
+
+let commutes_backward_through ~theory ~mover ~target =
+  can_precede ~theory ~fix_domain:Item.Set.empty ~mover ~target

@@ -1,0 +1,52 @@
+(** The semantic relations driving the paper's rewriting algorithms.
+
+    - {e can follow} (Definition 3) is purely syntactic over read/write
+      sets: [T] can follow a sequence [R] iff no transaction of [R] reads
+      an item [T] writes, so [T] may be pushed right past [R].
+    - {e can precede} (Definition 4) is semantic: [T2] can precede
+      [T1^F] iff [T2 T1^F] and [T1^F T2] produce the same final state from
+      every state and for every assignment of values to the fix variables.
+      Detection combines a sound static analysis (uniform additive updates
+      on shared written items, non-interference everywhere else, fix
+      pinning per the paper's H4 example) with optional declared relations
+      for canned transaction types.
+    - {e commutes backward through} ([LMWF94, Wei88]) is can-precede with
+      an empty fix; it drives the comparison rewriter of Theorem 4.
+
+    The static detector is conservative: a [true] answer is sound (the
+    property-test suite validates it against {!Oracle}); a [false] answer
+    may be a missed opportunity. Every [true] answer satisfies the paper's
+    Property 1, which Lemma 3 and Theorem 4 require of the system. *)
+
+(** Declared semantic knowledge for canned systems: pairs
+    [(mover_type, target_type)] asserting that any transaction of
+    [mover_type] can precede any transaction of [target_type] for any fix
+    contained in the target's read-only items. Declarations are trusted —
+    they model the offline, per-type analysis the paper describes in
+    Section 5.1. *)
+type theory = { declared_can_precede : (string * string) list }
+
+val default_theory : theory
+
+(** [can_follow t r] — Definition 3: [t.writeset ∩ r.readset = ∅], plus
+    the blind-write adaptation [t.writeset ∩ r.writeset = ∅] (redundant
+    under the paper's no-blind-writes assumption, where
+    [writeset ⊆ readset]). [r] ranges over a sequence of transactions. *)
+val can_follow : Program.t -> Program.t list -> bool
+
+val can_follow_one : Program.t -> Program.t -> bool
+
+(** [can_precede ~theory ~fix_domain ~mover ~target] — [mover] can precede
+    [target^F] for any fix over [fix_domain] (Definition 4). Pass
+    {!default_theory} when no per-type declarations exist. *)
+val can_precede :
+  theory:theory -> fix_domain:Item.Set.t -> mover:Program.t -> target:Program.t -> bool
+
+(** [commutes_backward_through ~theory ~mover ~target] — [mover] commutes
+    backward through [target]. *)
+val commutes_backward_through : theory:theory -> mover:Program.t -> target:Program.t -> bool
+
+(** [property1 ~fix_domain ~mover ~target] — the paper's Property 1
+    side-conditions, used by tests to check that every positive
+    can-precede answer satisfies them. *)
+val property1 : fix_domain:Item.Set.t -> mover:Program.t -> target:Program.t -> bool

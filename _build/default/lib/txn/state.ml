@@ -1,0 +1,20 @@
+type t = int Item.Map.t
+
+let empty = Item.Map.empty
+let of_list bindings = List.fold_left (fun m (k, v) -> Item.Map.add k v m) empty bindings
+let to_list state = Item.Map.bindings state
+let get state x = match Item.Map.find_opt x state with Some v -> v | None -> 0
+let set state x v = Item.Map.add x v state
+let restrict state items = Item.Map.filter (fun x _ -> Item.Set.mem x items) state
+let equal_on items s1 s2 = Item.Set.for_all (fun x -> get s1 x = get s2 x) items
+
+let items state = Item.Map.keys state
+
+let equal s1 s2 =
+  let universe = Item.Set.union (items s1) (items s2) in
+  equal_on universe s1 s2
+
+let pp = Item.Map.pp Format.pp_print_int
+
+let merge_updates base updates item_set =
+  Item.Set.fold (fun x acc -> set acc x (get updates x)) item_set base

@@ -1,0 +1,45 @@
+(** Database states.
+
+    A state assigns an integer value to every data item of a finite
+    universe. States are persistent (updates share structure), which keeps
+    augmented histories — one state per history position — cheap. Items
+    absent from the map read as [0]; this makes every state total over any
+    item universe, matching the paper's implicit assumption that all items
+    exist from the initial state onwards. *)
+
+type t
+
+val empty : t
+
+(** [of_list bindings] builds a state from item/value pairs. Later bindings
+    win. *)
+val of_list : (Item.t * int) list -> t
+
+val to_list : t -> (Item.t * int) list
+
+(** [get state x] is the value of [x], defaulting to [0] for unbound
+    items. *)
+val get : t -> Item.t -> int
+
+(** [set state x v] rebinds [x] to [v]. *)
+val set : t -> Item.t -> int -> t
+
+(** [restrict state items] keeps only the bindings of [items]; used to
+    compare states over a writeset. *)
+val restrict : t -> Item.Set.t -> t
+
+(** [equal_on items s1 s2] holds when [s1] and [s2] agree on every item in
+    [items]. *)
+val equal_on : Item.Set.t -> t -> t -> bool
+
+(** Structural equality on the non-default bindings, treating missing items
+    as [0] on either side. *)
+val equal : t -> t -> bool
+
+val items : t -> Item.Set.t
+val pp : Format.formatter -> t -> unit
+
+(** [merge_updates base updates items] overwrites [base]'s bindings for
+    [items] with their values in [updates]; this is the protocol's step 5
+    "forward only the final values" operation. *)
+val merge_updates : t -> t -> Item.Set.t -> t

@@ -1,0 +1,1 @@
+lib/workload/banking.ml: Expr History List Pred Printf Program Repro_history Repro_txn Rng State Stmt

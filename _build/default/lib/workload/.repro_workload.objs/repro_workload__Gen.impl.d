@@ -1,0 +1,1 @@
+lib/workload/gen.ml: Array Expr History Item List Pred Printf Program Repro_history Repro_precedence Repro_txn Rng State Stmt Zipf

@@ -1,0 +1,1 @@
+lib/workload/gen.mli: History Item Program Repro_history Repro_precedence Repro_txn Rng State

@@ -1,0 +1,1 @@
+lib/workload/profile_gen.ml: Array History Item List Printf Repro_history Repro_lang Repro_txn Rng State Zipf

@@ -1,0 +1,1 @@
+lib/workload/profile_gen.mli: History Item Program Repro_history Repro_lang Repro_txn Rng State

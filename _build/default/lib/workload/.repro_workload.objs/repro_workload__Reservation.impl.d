@@ -1,0 +1,1 @@
+lib/workload/reservation.ml: Expr History List Pred Printf Program Repro_history Repro_txn Rng State Stmt

@@ -1,0 +1,1 @@
+lib/workload/reservation.mli: History Item Program Repro_history Repro_txn Rng State

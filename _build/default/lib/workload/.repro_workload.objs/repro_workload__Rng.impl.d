@@ -1,0 +1,1 @@
+lib/workload/rng.ml: Array Hashtbl Int64 List

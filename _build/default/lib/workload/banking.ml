@@ -1,0 +1,106 @@
+open Repro_txn
+open Repro_history
+
+type t = { n_accounts : int }
+
+let make ~n_accounts =
+  if n_accounts < 2 then invalid_arg "Banking.make: need at least two accounts";
+  { n_accounts }
+
+let acct i = Printf.sprintf "acct%d" i
+let ledger = "ledger"
+let items t = List.init t.n_accounts acct @ [ ledger ]
+
+let initial_state t =
+  State.of_list ((ledger, 100 * t.n_accounts) :: List.init t.n_accounts (fun i -> (acct i, 100)))
+
+let check t i = if i < 0 || i >= t.n_accounts then invalid_arg "Banking: account out of range"
+
+let deposit t ~name ~account ~amount =
+  check t account;
+  Program.make ~name ~ttype:"deposit"
+    ~params:[ ("amt", amount) ]
+    [
+      Stmt.Update (acct account, Expr.Add (Expr.Item (acct account), Expr.Param "amt"));
+      Stmt.Update (ledger, Expr.Add (Expr.Item ledger, Expr.Param "amt"));
+    ]
+
+let withdraw t ~name ~account ~amount =
+  check t account;
+  Program.make ~name ~ttype:"withdraw"
+    ~params:[ ("amt", amount) ]
+    [
+      Stmt.Update (acct account, Expr.Sub (Expr.Item (acct account), Expr.Param "amt"));
+      Stmt.Update (ledger, Expr.Sub (Expr.Item ledger, Expr.Param "amt"));
+    ]
+
+let transfer t ~name ~from_ ~to_ ~amount =
+  check t from_;
+  check t to_;
+  if from_ = to_ then invalid_arg "Banking.transfer: accounts must differ";
+  Program.make ~name ~ttype:"transfer"
+    ~params:[ ("amt", amount) ]
+    [
+      Stmt.Update (acct from_, Expr.Sub (Expr.Item (acct from_), Expr.Param "amt"));
+      Stmt.Update (acct to_, Expr.Add (Expr.Item (acct to_), Expr.Param "amt"));
+    ]
+
+let apply_fee t ~name ~account =
+  check t account;
+  Program.make ~name ~ttype:"apply_fee"
+    [
+      Stmt.Update (acct account, Expr.Sub (Expr.Item (acct account), Expr.Const 5));
+      Stmt.Update (ledger, Expr.Sub (Expr.Item ledger, Expr.Const 5));
+    ]
+
+let safe_withdraw t ~name ~account ~amount =
+  check t account;
+  Program.make ~name ~ttype:"safe_withdraw"
+    ~params:[ ("amt", amount) ]
+    [
+      Stmt.If
+        ( Pred.Ge (Expr.Item (acct account), Expr.Param "amt"),
+          [
+            Stmt.Update (acct account, Expr.Sub (Expr.Item (acct account), Expr.Param "amt"));
+            Stmt.Update (ledger, Expr.Sub (Expr.Item ledger, Expr.Param "amt"));
+          ],
+          [] );
+    ]
+
+let accrue_interest t ~name ~account =
+  check t account;
+  Program.make ~name ~ttype:"accrue_interest"
+    [
+      Stmt.Update
+        ( acct account,
+          Expr.Add (Expr.Item (acct account), Expr.Div (Expr.Item (acct account), Expr.Const 20))
+        );
+    ]
+
+let audit t ~name ~accounts =
+  List.iter (check t) accounts;
+  Program.make ~name ~ttype:"audit" (List.map (fun i -> Stmt.Read (acct i)) accounts)
+
+let random_transaction t rng ~name ~commuting_bias =
+  let account = Rng.int rng t.n_accounts in
+  let amount = Rng.in_range rng 1 30 in
+  if Rng.bool rng commuting_bias then
+    match Rng.int rng 4 with
+    | 0 -> deposit t ~name ~account ~amount
+    | 1 -> withdraw t ~name ~account ~amount
+    | 2 -> apply_fee t ~name ~account
+    | _ ->
+      let to_ = (account + 1 + Rng.int rng (t.n_accounts - 1)) mod t.n_accounts in
+      transfer t ~name ~from_:account ~to_ ~amount
+  else
+    match Rng.int rng 3 with
+    | 0 -> safe_withdraw t ~name ~account ~amount
+    | 1 -> accrue_interest t ~name ~account
+    | _ ->
+      let others = List.init (min 3 t.n_accounts) (fun k -> (account + k) mod t.n_accounts) in
+      audit t ~name ~accounts:others
+
+let random_history t rng ~prefix ~length ~commuting_bias =
+  History.of_programs
+    (List.init length (fun i ->
+         random_transaction t rng ~name:(Printf.sprintf "%s%d" prefix (i + 1)) ~commuting_bias))

@@ -1,0 +1,44 @@
+(** A canned banking system, the paper's motivating application class
+    ("canned systems which are widely used in real applications such as
+    banking systems").
+
+    Items are account balances [acct0 .. acctN-1] plus a branch ledger
+    total [ledger]. Types:
+
+    - [deposit a amt] / [withdraw a amt] — additive; commute with each
+      other and themselves;
+    - [transfer a b amt] — additive on two accounts;
+    - [apply_fee a] — additive with a fixed fee;
+    - [safe_withdraw a amt] — guarded on the balance: not additive, so not
+      saveable past other writers of [a];
+    - [accrue_interest a] — multiplicative ([b := b + b/20]): conflicts
+      semantically with additive updates;
+    - [audit a b c] — read-only.
+
+    A mobile branch runs deposits/withdrawals/transfers against local
+    replicas while disconnected; the base bank runs the same mix. *)
+
+open Repro_txn
+open Repro_history
+
+type t
+
+val make : n_accounts:int -> t
+val items : t -> Item.t list
+
+(** Every account at [100], the ledger at [100 * n]. *)
+val initial_state : t -> State.t
+
+val deposit : t -> name:string -> account:int -> amount:int -> Program.t
+val withdraw : t -> name:string -> account:int -> amount:int -> Program.t
+val transfer : t -> name:string -> from_:int -> to_:int -> amount:int -> Program.t
+val apply_fee : t -> name:string -> account:int -> Program.t
+val safe_withdraw : t -> name:string -> account:int -> amount:int -> Program.t
+val accrue_interest : t -> name:string -> account:int -> Program.t
+val audit : t -> name:string -> accounts:int list -> Program.t
+
+(** [random_transaction t rng ~name ~commuting_bias] draws from the type
+    mix; [commuting_bias] is the probability of an additive type. *)
+val random_transaction : t -> Rng.t -> name:string -> commuting_bias:float -> Program.t
+
+val random_history : t -> Rng.t -> prefix:string -> length:int -> commuting_bias:float -> History.t

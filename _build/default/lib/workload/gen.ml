@@ -1,0 +1,142 @@
+open Repro_txn
+open Repro_history
+
+type profile = {
+  n_items : int;
+  commuting_fraction : float;
+  writes_per_txn : int * int;
+  extra_reads : int * int;
+  zipf_skew : float;
+  guard_fraction : float;
+}
+
+let default_profile =
+  {
+    n_items = 40;
+    commuting_fraction = 0.5;
+    writes_per_txn = (1, 3);
+    extra_reads = (0, 2);
+    zipf_skew = 0.8;
+    guard_fraction = 0.5;
+  }
+
+type pool = { profile : profile; item_names : Item.t array; zipf : Zipf.t }
+
+let pool profile =
+  {
+    profile;
+    item_names = Array.init profile.n_items (fun i -> Printf.sprintf "d%d" i);
+    zipf = Zipf.make ~n:profile.n_items ~skew:profile.zipf_skew;
+  }
+
+let items p = Array.to_list p.item_names
+
+let initial_state p rng =
+  State.of_list (List.map (fun x -> (x, Rng.in_range rng 50 150)) (items p))
+
+let pick_items p rng k = List.map (fun i -> p.item_names.(i)) (Zipf.sample_distinct p.zipf rng k)
+
+(* Additive type: every update is x := x + $amt, the saveable fragment. *)
+let additive_body rng writes reads =
+  let params = List.mapi (fun i _ -> (Printf.sprintf "amt%d" i, Rng.in_range rng (-20) 20)) writes in
+  let updates =
+    List.mapi
+      (fun i x -> Stmt.Update (x, Expr.Add (Expr.Item x, Expr.Param (Printf.sprintf "amt%d" i))))
+      writes
+  in
+  let read_stmts = List.map (fun x -> Stmt.Read x) reads in
+  (params, read_stmts @ updates)
+
+(* Assignment type: the first write copies scaled foreign values, the rest
+   are multiplicative self-updates; nothing here commutes. *)
+let assignment_body rng writes reads =
+  let params = [ ("c", Rng.in_range rng 1 10) ] in
+  let source = match reads with x :: _ -> Some x | [] -> None in
+  let updates =
+    List.mapi
+      (fun i x ->
+        if i = 0 then
+          match source with
+          | Some y -> Stmt.Update (x, Expr.Add (Expr.Item y, Expr.Param "c"))
+          | None -> Stmt.Update (x, Expr.Mul (Expr.Item x, Expr.Const 2))
+        else Stmt.Update (x, Expr.Mul (Expr.Item x, Expr.Const 2)))
+      writes
+  in
+  let read_stmts = List.map (fun x -> Stmt.Read x) reads in
+  (params, read_stmts @ updates)
+
+(* Guarded type: additive deltas inside a branch whose guard reads the
+   updated item itself — conditional, hence not saveable against other
+   writers of the same item, exercising the detector's guard analysis. *)
+let guarded_body rng writes reads =
+  let params = [ ("thr", Rng.in_range rng 40 120); ("amt", Rng.in_range rng 1 20) ] in
+  let updates =
+    List.map
+      (fun x ->
+        Stmt.If
+          ( Pred.Gt (Expr.Item x, Expr.Param "thr"),
+            [ Stmt.Update (x, Expr.Sub (Expr.Item x, Expr.Param "amt")) ],
+            [ Stmt.Update (x, Expr.Add (Expr.Item x, Expr.Param "amt")) ] ))
+      writes
+  in
+  let read_stmts = List.map (fun x -> Stmt.Read x) reads in
+  (params, read_stmts @ updates)
+
+(* Guarded-additive type: the guard reads a foreign item, updates are
+   additive — saveable against writers that leave the guard item alone. *)
+let guarded_additive_body rng writes reads =
+  let params = [ ("thr", Rng.in_range rng 40 120); ("amt", Rng.in_range rng 1 20) ] in
+  let guard_item = match reads with x :: _ -> Some x | [] -> None in
+  let update x = Stmt.Update (x, Expr.Add (Expr.Item x, Expr.Param "amt")) in
+  let updates =
+    match guard_item with
+    | Some g -> [ Stmt.If (Pred.Gt (Expr.Item g, Expr.Param "thr"), List.map update writes, []) ]
+    | None -> List.map update writes
+  in
+  (params, updates)
+
+let transaction p rng ~name =
+  let lo_w, hi_w = p.profile.writes_per_txn in
+  let lo_r, hi_r = p.profile.extra_reads in
+  let n_writes = max 1 (Rng.in_range rng lo_w hi_w) in
+  let n_reads = Rng.in_range rng lo_r hi_r in
+  let chosen = pick_items p rng (n_writes + n_reads) in
+  let rec split k l = if k = 0 then ([], l) else match l with
+    | [] -> ([], [])
+    | x :: rest -> let a, b = split (k - 1) rest in (x :: a, b)
+  in
+  let writes, reads = split n_writes chosen in
+  let ttype, (params, body) =
+    if Rng.bool rng p.profile.commuting_fraction then ("additive", additive_body rng writes reads)
+    else if Rng.bool rng p.profile.guard_fraction then
+      if Rng.bool rng 0.5 then ("guarded", guarded_body rng writes reads)
+      else ("guarded-additive", guarded_additive_body rng writes reads)
+    else ("assignment", assignment_body rng writes reads)
+  in
+  Program.make ~name ~ttype ~params body
+
+let history p rng ~prefix ~length =
+  History.of_programs
+    (List.init length (fun i -> transaction p rng ~name:(Printf.sprintf "%s%d" prefix (i + 1))))
+
+let mobile_base_pair p rng ~tentative_len ~base_len =
+  let hm = history p rng ~prefix:"Tm" ~length:tentative_len in
+  let hb = history p rng ~prefix:"Tb" ~length:base_len in
+  (hm, hb)
+
+let summaries rng ~n_items ~tentative ~base ~reads ~writes ~skew ~blind =
+  let zipf = Zipf.make ~n:n_items ~skew in
+  let item i = Printf.sprintf "d%d" i in
+  let one kind prefix i =
+    let lo_w, hi_w = writes and lo_r, hi_r = reads in
+    let n_w = Rng.in_range rng lo_w hi_w in
+    let n_r = Rng.in_range rng lo_r hi_r in
+    let ws = List.map item (Zipf.sample_distinct zipf rng n_w) in
+    let rs = List.map item (Zipf.sample_distinct zipf rng n_r) in
+    let read_back = List.filter (fun _ -> not (Rng.bool rng blind)) ws in
+    Repro_precedence.Summary.make
+      ~name:(Printf.sprintf "%s%d" prefix (i + 1))
+      ~kind ~reads:(rs @ read_back) ~writes:ws
+  in
+  ( List.init tentative (one Repro_precedence.Summary.Tentative "Tm"),
+    List.init base (one Repro_precedence.Summary.Base "Tb") )

@@ -1,0 +1,70 @@
+(** Random canned-system workload generator.
+
+    Models the paper's "canned system": a fixed pool of transaction types
+    over a shared item universe, from which histories are drawn. The key
+    experiment knobs are:
+
+    - [commuting_fraction]: share of types whose updates are pure additive
+      deltas (the fragment the can-precede detector can save) — the sweep
+      variable of experiment E4;
+    - [zipf_skew]: hot-spot skew of item selection, which controls the
+      conflict rate between tentative and base histories (E3, E6);
+    - [writes_per_txn] / [extra_reads]: read/write-set sizes (the paper's
+      Section 7.1 lists transaction "characteristics" as the deciding
+      factor between merging and reprocessing).
+
+    Non-commuting types mix value assignments ([x := y + c]),
+    multiplicative updates ([x := x * 2]) and guarded updates; guarded
+    additive types exercise the guard-aware part of the detector. *)
+
+open Repro_txn
+open Repro_history
+
+type profile = {
+  n_items : int;
+  commuting_fraction : float;
+  writes_per_txn : int * int;  (** inclusive range *)
+  extra_reads : int * int;  (** read-only items on top of written ones *)
+  zipf_skew : float;
+  guard_fraction : float;
+      (** among non-commuting instantiations, the share that use guards *)
+}
+
+val default_profile : profile
+
+type pool
+
+(** [pool profile] prepares the item universe and samplers. *)
+val pool : profile -> pool
+
+val items : pool -> Item.t list
+
+(** [initial_state pool rng] — every item bound to a value in [50, 150]
+    (large enough that guards and balances behave realistically). *)
+val initial_state : pool -> Rng.t -> State.t
+
+(** [transaction pool rng ~name] — one random transaction instance. *)
+val transaction : pool -> Rng.t -> name:string -> Program.t
+
+(** [history pool rng ~prefix ~length] — a history of [length] instances
+    named [prefix1 .. prefixN]. *)
+val history : pool -> Rng.t -> prefix:string -> length:int -> History.t
+
+(** [mobile_base_pair pool rng ~tentative_len ~base_len] — an [H_m]/[H_b]
+    pair over the shared universe, named [Tm*]/[Tb*]. *)
+val mobile_base_pair :
+  pool -> Rng.t -> tentative_len:int -> base_len:int -> History.t * History.t
+
+(** Abstract summary-level generator (blind writes permitted), for the
+    back-out strategy experiment E6 where only read/write sets matter.
+    [blind] is the probability that a written item is not read. *)
+val summaries :
+  Rng.t ->
+  n_items:int ->
+  tentative:int ->
+  base:int ->
+  reads:int * int ->
+  writes:int * int ->
+  skew:float ->
+  blind:float ->
+  Repro_precedence.Summary.t list * Repro_precedence.Summary.t list

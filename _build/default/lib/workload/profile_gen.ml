@@ -1,0 +1,58 @@
+open Repro_txn
+open Repro_history
+module Ast = Repro_lang.Ast
+module Elaborate = Repro_lang.Elaborate
+
+type config = {
+  pool_size : int;
+  zipf_skew : float;
+  amount_range : int * int;
+}
+
+let default_config = { pool_size = 20; zipf_skew = 0.8; amount_range = (1, 30) }
+
+type t = {
+  config : config;
+  decls : Ast.decl array;
+  pool : Item.t array;
+  globals : Item.Set.t;
+  zipf : Zipf.t;
+}
+
+let make ?(config = default_config) (sys : Ast.system) =
+  if sys.Ast.decls = [] then invalid_arg "Profile_gen.make: system has no transaction types";
+  let globals =
+    List.fold_left
+      (fun acc d -> Item.Set.union acc (Elaborate.free_globals d))
+      Item.Set.empty sys.Ast.decls
+  in
+  {
+    config;
+    decls = Array.of_list sys.Ast.decls;
+    pool = Array.init config.pool_size (fun i -> Printf.sprintf "i%d" i);
+    globals;
+    zipf = Zipf.make ~n:config.pool_size ~skew:config.zipf_skew;
+  }
+
+let items t = Array.to_list t.pool @ Item.Set.elements t.globals
+
+let initial_state t rng =
+  State.of_list (List.map (fun x -> (x, Rng.in_range rng 50 150)) (items t))
+
+let transaction t rng ~name =
+  let decl = t.decls.(Rng.int rng (Array.length t.decls)) in
+  let item_formals =
+    List.filter_map (fun (k, n) -> if k = Ast.Item_param then Some n else None) decl.Ast.params
+  in
+  let int_formals =
+    List.filter_map (fun (k, n) -> if k = Ast.Int_param then Some n else None) decl.Ast.params
+  in
+  let picks = Zipf.sample_distinct t.zipf rng (List.length item_formals) in
+  let items = List.map2 (fun f i -> (f, t.pool.(i))) item_formals picks in
+  let lo, hi = t.config.amount_range in
+  let ints = List.map (fun f -> (f, Rng.in_range rng lo hi)) int_formals in
+  Elaborate.instantiate decl ~name ~items ~ints
+
+let history t rng ~prefix ~length =
+  History.of_programs
+    (List.init length (fun i -> transaction t rng ~name:(Printf.sprintf "%s%d" prefix (i + 1))))

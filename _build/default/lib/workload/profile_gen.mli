@@ -1,0 +1,38 @@
+(** Workloads driven by parsed transaction-profile systems.
+
+    This is the deployment story the paper assumes: a canned system ships
+    its transaction-type profiles; the replication layer draws both
+    tentative and base histories from those types. Item formals are bound
+    by Zipf-sampling a per-role item pool ("role" = formal position, so a
+    [transfer(item from, item to, ...)] draws both accounts from the same
+    account pool); int formals draw uniformly from [amount_range]. *)
+
+open Repro_txn
+open Repro_history
+
+type t
+
+type config = {
+  pool_size : int;  (** concrete items available per item role *)
+  zipf_skew : float;
+  amount_range : int * int;  (** inclusive bounds for int formals *)
+}
+
+val default_config : config
+
+(** [make ?config system] prepares samplers.
+    @raise Invalid_argument if the system declares no types. *)
+val make : ?config:config -> Repro_lang.Ast.system -> t
+
+(** The concrete item universe: every pool item plus every global literal
+    mentioned by any profile. *)
+val items : t -> Item.t list
+
+(** [initial_state t rng] — every item bound to a value in [50, 150]. *)
+val initial_state : t -> Rng.t -> State.t
+
+(** [transaction t rng ~name] — a random instance of a uniformly chosen
+    type. *)
+val transaction : t -> Rng.t -> name:string -> Program.t
+
+val history : t -> Rng.t -> prefix:string -> length:int -> History.t

@@ -1,0 +1,90 @@
+open Repro_txn
+open Repro_history
+
+type t = { n_flights : int }
+
+let make ~n_flights =
+  if n_flights < 2 then invalid_arg "Reservation.make: need at least two flights";
+  { n_flights }
+
+let seats f = Printf.sprintf "flight%d" f
+let revenue f = Printf.sprintf "revenue%d" f
+let items t = List.init t.n_flights seats @ List.init t.n_flights revenue
+
+let initial_state t ~seats:k =
+  State.of_list
+    (List.init t.n_flights (fun f -> (seats f, k))
+    @ List.init t.n_flights (fun f -> (revenue f, 0)))
+
+let check t f = if f < 0 || f >= t.n_flights then invalid_arg "Reservation: flight out of range"
+
+let block_seats t ~name ~flight ~count =
+  check t flight;
+  Program.make ~name ~ttype:"block_seats"
+    ~params:[ ("k", count) ]
+    [ Stmt.Update (seats flight, Expr.Sub (Expr.Item (seats flight), Expr.Param "k")) ]
+
+let release_seats t ~name ~flight ~count =
+  check t flight;
+  Program.make ~name ~ttype:"release_seats"
+    ~params:[ ("k", count) ]
+    [ Stmt.Update (seats flight, Expr.Add (Expr.Item (seats flight), Expr.Param "k")) ]
+
+let record_revenue t ~name ~flight ~amount =
+  check t flight;
+  Program.make ~name ~ttype:"record_revenue"
+    ~params:[ ("amt", amount) ]
+    [ Stmt.Update (revenue flight, Expr.Add (Expr.Item (revenue flight), Expr.Param "amt")) ]
+
+let reserve t ~name ~flight ~fare =
+  check t flight;
+  Program.make ~name ~ttype:"reserve"
+    ~params:[ ("fare", fare) ]
+    [
+      Stmt.If
+        ( Pred.Gt (Expr.Item (seats flight), Expr.Const 0),
+          [
+            Stmt.Update (seats flight, Expr.Sub (Expr.Item (seats flight), Expr.Const 1));
+            Stmt.Update (revenue flight, Expr.Add (Expr.Item (revenue flight), Expr.Param "fare"));
+          ],
+          [] );
+    ]
+
+let rebook t ~name ~from_ ~to_ =
+  check t from_;
+  check t to_;
+  if from_ = to_ then invalid_arg "Reservation.rebook: flights must differ";
+  Program.make ~name ~ttype:"rebook"
+    [
+      Stmt.If
+        ( Pred.Gt (Expr.Item (seats to_), Expr.Const 0),
+          [
+            Stmt.Update (seats to_, Expr.Sub (Expr.Item (seats to_), Expr.Const 1));
+            Stmt.Update (seats from_, Expr.Add (Expr.Item (seats from_), Expr.Const 1));
+          ],
+          [] );
+    ]
+
+let occupancy t ~name ~flight =
+  check t flight;
+  Program.make ~name ~ttype:"occupancy" [ Stmt.Read (seats flight); Stmt.Read (revenue flight) ]
+
+let random_transaction t rng ~name ~commuting_bias =
+  let flight = Rng.int rng t.n_flights in
+  if Rng.bool rng commuting_bias then
+    match Rng.int rng 3 with
+    | 0 -> block_seats t ~name ~flight ~count:(Rng.in_range rng 1 4)
+    | 1 -> release_seats t ~name ~flight ~count:(Rng.in_range rng 1 4)
+    | _ -> record_revenue t ~name ~flight ~amount:(Rng.in_range rng 50 400)
+  else
+    match Rng.int rng 3 with
+    | 0 -> reserve t ~name ~flight ~fare:(Rng.in_range rng 50 400)
+    | 1 ->
+      let to_ = (flight + 1 + Rng.int rng (t.n_flights - 1)) mod t.n_flights in
+      rebook t ~name ~from_:flight ~to_
+    | _ -> occupancy t ~name ~flight
+
+let random_history t rng ~prefix ~length ~commuting_bias =
+  History.of_programs
+    (List.init length (fun i ->
+         random_transaction t rng ~name:(Printf.sprintf "%s%d" prefix (i + 1)) ~commuting_bias))

@@ -1,0 +1,37 @@
+(** A canned airline-reservation system — the paper's second named
+    application class ("airline ticket reservation systems").
+
+    Items are per-flight free-seat counters [flightF] and per-flight
+    revenue accumulators [revenueF]. Types:
+
+    - [block_seats f k] / [release_seats f k] — additive seat adjustments
+      (group bookings by agents), commuting;
+    - [record_revenue f amt] — additive revenue;
+    - [reserve f] — guarded decrement (only if seats remain): not
+      additive, so not saveable past other writers of the same flight;
+    - [rebook f g] — guarded move between flights;
+    - [occupancy f] — read-only.
+
+    Mobile terminals (travel agents on the road) tentatively block and
+    release seats; the base system runs reservations. *)
+
+open Repro_txn
+open Repro_history
+
+type t
+
+val make : n_flights:int -> t
+val items : t -> Item.t list
+
+(** Every flight starts with [seats] free seats and zero revenue. *)
+val initial_state : t -> seats:int -> State.t
+
+val block_seats : t -> name:string -> flight:int -> count:int -> Program.t
+val release_seats : t -> name:string -> flight:int -> count:int -> Program.t
+val record_revenue : t -> name:string -> flight:int -> amount:int -> Program.t
+val reserve : t -> name:string -> flight:int -> fare:int -> Program.t
+val rebook : t -> name:string -> from_:int -> to_:int -> Program.t
+val occupancy : t -> name:string -> flight:int -> Program.t
+
+val random_transaction : t -> Rng.t -> name:string -> commuting_bias:float -> Program.t
+val random_history : t -> Rng.t -> prefix:string -> length:int -> commuting_bias:float -> History.t

@@ -1,0 +1,68 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let create seed = { state = mix (Int64.of_int seed) }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Shift by 2 so the value fits OCaml's 63-bit int without wrapping
+     negative. *)
+  let v = Int64.to_int (Int64.shift_right_logical (next t) 2) in
+  v mod bound
+
+let in_range t lo hi =
+  if hi < lo then invalid_arg "Rng.in_range: empty range";
+  lo + int t (hi - lo + 1)
+
+let float t =
+  let v = Int64.to_float (Int64.shift_right_logical (next t) 11) in
+  v /. 9007199254740992.0 (* 2^53 *)
+
+let bool t p = float t < p
+
+let pick t l =
+  match l with
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | _ -> List.nth l (int t (List.length l))
+
+let sample t k l =
+  let n = List.length l in
+  if k >= n then l
+  else begin
+    (* Reservoir-free: mark k distinct indices. *)
+    let chosen = Hashtbl.create k in
+    let rec draw remaining =
+      if remaining = 0 then ()
+      else
+        let i = int t n in
+        if Hashtbl.mem chosen i then draw remaining
+        else begin
+          Hashtbl.replace chosen i ();
+          draw (remaining - 1)
+        end
+    in
+    draw k;
+    List.filteri (fun i _ -> Hashtbl.mem chosen i) l
+  end
+
+let shuffle t l =
+  let arr = Array.of_list l in
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  Array.to_list arr
+
+let split t = { state = mix (next t) }

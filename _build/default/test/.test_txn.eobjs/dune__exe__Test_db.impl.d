@@ -1,0 +1,1 @@
+test/test_db.ml: Alcotest Expr Filename Fix Fun History Interp Item List Out_channel Program QCheck QCheck_alcotest Repro_db Repro_history Repro_txn State Stmt Sys Test_support

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Fun List Printf QCheck QCheck_alcotest Repro_graph String

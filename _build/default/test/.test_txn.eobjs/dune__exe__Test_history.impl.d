@@ -1,0 +1,1 @@
+test/test_history.ml: Alcotest Equivalence Expr Fix History Interp List Names Pred Program QCheck QCheck_alcotest Readsfrom Repro_history Repro_txn State Stmt Test_support

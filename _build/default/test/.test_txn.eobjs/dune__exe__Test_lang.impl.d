@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Interp Item List Option Oracle Printf Program QCheck QCheck_alcotest Repro_lang Repro_txn Repro_workload State String Test_support

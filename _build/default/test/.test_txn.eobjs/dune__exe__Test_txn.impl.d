@@ -1,0 +1,1 @@
+test/test_txn.ml: Alcotest Analysis Compensation Expr Fix Interp Item List Oracle Pred Program QCheck QCheck_alcotest Repro_txn Semantics State Stmt Test_support

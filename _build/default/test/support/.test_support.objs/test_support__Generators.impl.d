@@ -1,0 +1,1 @@
+test/support/generators.ml: Alcotest Expr Format History Item List Names Pred Printf Program QCheck Repro_history Repro_txn State Stmt

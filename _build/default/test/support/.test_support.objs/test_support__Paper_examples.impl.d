@@ -1,0 +1,1 @@
+test/support/paper_examples.ml: Repro_core

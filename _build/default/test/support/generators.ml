@@ -1,0 +1,158 @@
+(* QCheck generators shared across the property-test suites. *)
+
+open Repro_txn
+open Repro_history
+module Gen = QCheck.Gen
+
+let small_items = [ "a"; "b"; "c"; "d" ]
+
+(* A random well-formed transaction over [small_items]: update targets are
+   distinct, so the single-update-per-path rule holds by construction.
+   Reads of an item never follow a parallel-branch update of it (the
+   program model restriction assumed by Algorithm 3). With [allow_blind],
+   some updates become blind Assign statements (writes without the
+   implicit self-read), exercising the blind-write adaptation. *)
+let program_gen_general ~allow_blind ~name =
+  let open Gen in
+  let item = oneofl small_items in
+  let delta_expr =
+    oneof
+      [
+        map (fun n -> Expr.Const n) (int_range (-9) 9);
+        map (fun x -> Expr.Item x) item;
+        return (Expr.Param "p");
+      ]
+  in
+  let* n_targets = int_range 1 3 in
+  let* targets =
+    map
+      (fun order -> List.filteri (fun i _ -> i < n_targets) order)
+      (shuffle_l small_items)
+  in
+  let update_stmt x =
+    oneof
+      ([
+        (* additive *)
+        map (fun d -> Stmt.Update (x, Expr.Add (Expr.Item x, d)))
+          (oneof
+             [
+               map (fun n -> Expr.Const n) (int_range (-9) 9);
+               return (Expr.Param "p");
+               map
+                 (fun y -> Expr.Item y)
+                 (oneofl (List.filter (fun y -> y <> x) small_items));
+             ]);
+        (* assignment from another item *)
+        map2
+          (fun y d -> Stmt.Update (x, Expr.Add (Expr.Item y, d)))
+          (oneofl (List.filter (fun y -> y <> x) small_items))
+          delta_expr;
+        (* multiplicative self-update *)
+        return (Stmt.Update (x, Expr.Mul (Expr.Item x, Expr.Const 2)));
+        (* guarded additive with a foreign guard *)
+        map2
+          (fun g n ->
+            Stmt.If
+              ( Pred.Gt (Expr.Item g, Expr.Const 0),
+                [ Stmt.Update (x, Expr.Add (Expr.Item x, Expr.Const n)) ],
+                [] ))
+          (oneofl (List.filter (fun y -> y <> x) small_items))
+          (int_range 1 9);
+        (* guarded two-branch on itself *)
+        map
+          (fun n ->
+            Stmt.If
+              ( Pred.Gt (Expr.Item x, Expr.Const n),
+                [ Stmt.Update (x, Expr.Sub (Expr.Item x, Expr.Const n)) ],
+                [ Stmt.Update (x, Expr.Add (Expr.Item x, Expr.Const n)) ] ))
+          (int_range 1 9);
+      ]
+      @
+      if allow_blind then
+        [
+          (* blind write from a foreign item *)
+          map2
+            (fun y d -> Stmt.Assign (x, Expr.Add (Expr.Item y, d)))
+            (oneofl (List.filter (fun y -> y <> x) small_items))
+            delta_expr;
+          (* blind constant write *)
+          map (fun n -> Stmt.Assign (x, Expr.Const n)) (int_range (-9) 9);
+        ]
+      else [])
+  in
+  let* updates = flatten_l (List.map update_stmt targets) in
+  let* extra_reads = list_size (int_range 0 2) (map (fun x -> Stmt.Read x) item) in
+  let* p = int_range (-9) 9 in
+  return (Program.make ~name ~ttype:"qcheck" ~params:[ ("p", p) ] (extra_reads @ updates))
+
+let program_gen ~name = program_gen_general ~allow_blind:false ~name
+let blind_program_gen ~name = program_gen_general ~allow_blind:true ~name
+
+let state_gen =
+  let open Gen in
+  map
+    (fun vals -> State.of_list (List.combine small_items vals))
+    (flatten_l (List.map (fun _ -> int_range (-20) 20) small_items))
+
+let history_gen_general ~allow_blind ~length =
+  let open Gen in
+  let* programs =
+    flatten_l
+      (List.init length (fun i ->
+           program_gen_general ~allow_blind ~name:(Printf.sprintf "T%d" (i + 1))))
+  in
+  return (History.of_programs programs)
+
+let history_gen ~length = history_gen_general ~allow_blind:false ~length
+
+(* A history plus a random non-empty bad subset of it. *)
+let history_with_bad_gen_general ~allow_blind ~length =
+  let open Gen in
+  let* h = history_gen_general ~allow_blind ~length in
+  let* bad_mask = flatten_l (List.init length (fun _ -> bool)) in
+  let names = History.names h in
+  let bad =
+    List.fold_left2
+      (fun acc name is_bad -> if is_bad then Names.Set.add name acc else acc)
+      Names.Set.empty names bad_mask
+  in
+  (* Ensure at least one bad transaction so the scan has work to do. *)
+  let bad =
+    if Names.Set.is_empty bad then Names.Set.singleton (List.nth names (length / 2)) else bad
+  in
+  return (h, bad)
+
+let history_with_bad_gen ~length = history_with_bad_gen_general ~allow_blind:false ~length
+
+let arbitrary_history_with_bad ~length =
+  QCheck.make
+    ~print:(fun (h, bad) ->
+      Format.asprintf "history: %a; bad: %a" History.pp h Names.Set.pp bad)
+    (history_with_bad_gen ~length)
+
+let arbitrary_program_pair =
+  QCheck.make
+    ~print:(fun (a, b) -> Format.asprintf "%a || %a" Program.pp_full a Program.pp_full b)
+    Gen.(pair (program_gen ~name:"P1") (program_gen ~name:"P2"))
+
+let arbitrary_state_history_bad ~length =
+  QCheck.make
+    ~print:(fun (s, (h, bad)) ->
+      Format.asprintf "s0: %a; history: %a; bad: %a" State.pp s History.pp h Names.Set.pp bad)
+    Gen.(pair state_gen (history_with_bad_gen ~length))
+
+let arbitrary_state_history_bad_blind ~length =
+  QCheck.make
+    ~print:(fun (s, (h, bad)) ->
+      let pp_programs ppf h =
+        Format.pp_print_list ~pp_sep:Format.pp_print_cut Repro_txn.Program.pp_full ppf
+          (History.programs h)
+      in
+      Format.asprintf "@[<v>s0: %a@ bad: %a@ %a@]" State.pp s Names.Set.pp bad pp_programs h)
+    Gen.(pair state_gen (history_with_bad_gen_general ~allow_blind:true ~length))
+
+(* Alcotest testables. *)
+
+let state = Alcotest.testable State.pp State.equal
+let item_set = Alcotest.testable Item.Set.pp Item.Set.equal
+let name_set = Alcotest.testable Names.Set.pp Names.Set.equal

@@ -1,0 +1,3 @@
+(* Re-export of the paper's worked examples from the core library, kept
+   under the historical test-support name. *)
+include Repro_core.Paper

@@ -1,0 +1,235 @@
+(* Tests for the single-node engine: WAL bookkeeping, batch forcing,
+   forwarded-update application, physical undo, checkpointing and crash
+   recovery. *)
+
+open Repro_txn
+open Repro_history
+module Engine = Repro_db.Engine
+module Wal = Repro_db.Wal
+module G = Test_support.Generators
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+let check_state = Alcotest.check G.state
+
+let inc name item delta =
+  Program.make ~name [ Stmt.Update (item, Expr.Add (Expr.Item item, Expr.Const delta)) ]
+
+let s0 = State.of_list [ ("a", 10); ("b", 20); ("c", 30) ]
+
+let test_execute_updates_state () =
+  let e = Engine.create s0 in
+  let r = Engine.execute e (inc "T1" "a" 5) in
+  check_state "state advanced" (State.of_list [ ("a", 15); ("b", 20); ("c", 30) ]) (Engine.state e);
+  checki "one commit" 1 (Engine.transactions_committed e);
+  checkb "record reflects run" true (Interp.dynamic_writeset r = Item.Set.of_names [ "a" ])
+
+let test_wal_structure () =
+  let e = Engine.create s0 in
+  ignore (Engine.execute e (inc "T1" "a" 5));
+  let entries = Wal.entries (Engine.log e) in
+  let kinds =
+    List.map
+      (function
+        | Wal.Checkpoint _ -> "ckpt"
+        | Wal.Begin _ -> "begin"
+        | Wal.Read _ -> "read"
+        | Wal.Write _ -> "write"
+        | Wal.Commit _ -> "commit"
+        | Wal.Abort _ -> "abort")
+      entries
+  in
+  Alcotest.check (Alcotest.list Alcotest.string) "log structure"
+    [ "ckpt"; "begin"; "read"; "write"; "commit" ] kinds
+
+let test_batch_forces_once () =
+  let e = Engine.create s0 in
+  let before = Wal.force_count (Engine.log e) in
+  let entries =
+    List.map
+      (fun p -> { History.program = p; History.fix = Fix.empty })
+      [ inc "T1" "a" 1; inc "T2" "b" 1; inc "T3" "c" 1 ]
+  in
+  ignore (Engine.execute_batch e entries);
+  checki "single force for the batch" 1 (Wal.force_count (Engine.log e) - before);
+  check_state "all applied" (State.of_list [ ("a", 11); ("b", 21); ("c", 31) ]) (Engine.state e)
+
+let test_apply_updates () =
+  let e = Engine.create s0 in
+  let before = Wal.force_count (Engine.log e) in
+  let values = State.of_list [ ("a", 100); ("c", 300); ("ignored", 9) ] in
+  Engine.apply_updates e values (Item.Set.of_names [ "a"; "c" ]);
+  check_state "forwarded" (State.of_list [ ("a", 100); ("b", 20); ("c", 300) ]) (Engine.state e);
+  checki "one force" 1 (Wal.force_count (Engine.log e) - before)
+
+let test_undo_restores_before_images () =
+  let e = Engine.create s0 in
+  let r = Engine.execute e (inc "T1" "a" 5) in
+  ignore (Engine.execute e (inc "T2" "b" 7));
+  Engine.undo e r;
+  check_state "a restored, b kept" (State.of_list [ ("a", 10); ("b", 27); ("c", 30) ])
+    (Engine.state e)
+
+let test_recovery_drops_unforced () =
+  let e = Engine.create s0 in
+  ignore (Engine.execute e (inc "T1" "a" 5));
+  ignore (Engine.execute ~durably:false e (inc "T2" "b" 7));
+  check_state "live state has both" (State.of_list [ ("a", 15); ("b", 27); ("c", 30) ])
+    (Engine.state e);
+  check_state "recovery drops the unforced commit"
+    (State.of_list [ ("a", 15); ("b", 20); ("c", 30) ])
+    (Engine.recover e)
+
+let test_recovery_after_checkpoint () =
+  let e = Engine.create s0 in
+  ignore (Engine.execute e (inc "T1" "a" 5));
+  Engine.checkpoint e;
+  ignore (Engine.execute e (inc "T2" "b" 7));
+  check_state "checkpoint + redo" (Engine.state e) (Engine.recover e)
+
+let prop_recovery_equals_state_when_forced =
+  QCheck.Test.make ~count:200 ~name:"recovery = live state when every commit is forced"
+    (QCheck.pair (QCheck.make G.state_gen) (QCheck.make (G.history_gen ~length:6)))
+    (fun (s0, h) ->
+      let e = Engine.create s0 in
+      List.iter (fun p -> ignore (Engine.execute e p)) (History.programs h);
+      State.equal (Engine.state e) (Engine.recover e))
+
+let prop_engine_matches_interpreter =
+  QCheck.Test.make ~count:200 ~name:"engine serial execution = interpreter fold"
+    (QCheck.pair (QCheck.make G.state_gen) (QCheck.make (G.history_gen ~length:6)))
+    (fun (s0, h) ->
+      let e = Engine.create s0 in
+      List.iter (fun p -> ignore (Engine.execute e p)) (History.programs h);
+      State.equal (Engine.state e) (History.final_state s0 h))
+
+let prop_undo_inverts_last =
+  QCheck.Test.make ~count:200 ~name:"undo of the latest transaction restores the prior state"
+    (QCheck.pair (QCheck.make G.state_gen) (QCheck.make (G.program_gen ~name:"P")))
+    (fun (s0, p) ->
+      let e = Engine.create s0 in
+      let r = Engine.execute e p in
+      Engine.undo e r;
+      State.equal s0 (Engine.state e))
+
+let test_wal_durability_bookkeeping () =
+  let w = Wal.create () in
+  Wal.append w (Wal.Begin 1);
+  Wal.append w (Wal.Commit 1);
+  checki "nothing durable before force" 0 (List.length (Wal.durable_entries w));
+  Wal.force w;
+  checki "force count" 1 (Wal.force_count w);
+  checki "both durable" 2 (List.length (Wal.durable_entries w));
+  Wal.append w (Wal.Begin 2);
+  checki "tail not durable" 2 (List.length (Wal.durable_entries w));
+  checki "length counts tail" 3 (Wal.length w);
+  (* idempotent force: no new durability point when nothing was appended *)
+  Wal.force w;
+  Wal.force w;
+  checki "force idempotent on empty tail" 2 (Wal.force_count w)
+
+let test_undo_is_logged_and_recoverable () =
+  let e = Engine.create s0 in
+  let r = Engine.execute e (inc "T1" "a" 5) in
+  Engine.undo e r;
+  check_state "undo recovers too" (Engine.state e) (Engine.recover e)
+
+(* persistence *)
+
+let with_temp_file f =
+  let path = Filename.temp_file "repro_wal" ".log" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+let test_wal_line_roundtrip () =
+  let entries =
+    [
+      Wal.Begin 4;
+      Wal.Read (4, "a", -7);
+      Wal.Write (4, "b", 2, 9);
+      Wal.Commit 4;
+      Wal.Abort 5;
+      Wal.Checkpoint (State.of_list [ ("a", 1); ("b", -2) ]);
+    ]
+  in
+  List.iter
+    (fun e ->
+      match Wal.entry_of_line (Wal.entry_to_line e) with
+      | Ok e' -> checkb "roundtrip" true (e = e')
+      | Error msg -> Alcotest.fail msg)
+    entries;
+  (match Wal.entry_of_line "write nope" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected malformed-line error");
+  Alcotest.check_raises "unserializable item name"
+    (Invalid_argument "Wal: item name \"a b\" not serializable") (fun () ->
+      ignore (Wal.entry_to_line (Wal.Read (1, "a b", 0))))
+
+let test_persist_restart_roundtrip () =
+  with_temp_file (fun path ->
+      let e = Engine.create s0 in
+      ignore (Engine.execute e (inc "T1" "a" 5));
+      ignore (Engine.execute e (inc "T2" "b" 7));
+      (* the tail after the last force must NOT survive *)
+      ignore (Engine.execute ~durably:false e (inc "T3" "c" 9));
+      Engine.persist e ~path;
+      match Engine.restart ~path with
+      | Error msg -> Alcotest.fail msg
+      | Ok e' ->
+        check_state "restart = recover" (Engine.recover e) (Engine.state e');
+        check_state "durable effects present"
+          (State.of_list [ ("a", 15); ("b", 27); ("c", 30) ])
+          (Engine.state e');
+        (* the restarted engine keeps working *)
+        ignore (Engine.execute e' (inc "T4" "c" 1));
+        checki "keeps executing" 31 (State.get (Engine.state e') "c"))
+
+let test_restart_rejects_garbage () =
+  with_temp_file (fun path ->
+      Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc "nonsense\n");
+      match Engine.restart ~path with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "expected an error")
+
+let prop_persist_restart_equals_live_state =
+  QCheck.Test.make ~count:100 ~name:"persist + restart = live state (all commits forced)"
+    (QCheck.pair (QCheck.make G.state_gen) (QCheck.make (G.history_gen ~length:5)))
+    (fun (s0, h) ->
+      with_temp_file (fun path ->
+          let e = Engine.create s0 in
+          List.iter (fun p -> ignore (Engine.execute e p)) (History.programs h);
+          Engine.persist e ~path;
+          match Engine.restart ~path with
+          | Error _ -> false
+          | Ok e' -> State.equal (Engine.state e) (Engine.state e')))
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "repro_db"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "execute" `Quick test_execute_updates_state;
+          Alcotest.test_case "wal structure" `Quick test_wal_structure;
+          Alcotest.test_case "batch forces once" `Quick test_batch_forces_once;
+          Alcotest.test_case "apply updates" `Quick test_apply_updates;
+          Alcotest.test_case "undo" `Quick test_undo_restores_before_images;
+        ]
+        @ qsuite [ prop_engine_matches_interpreter; prop_undo_inverts_last ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "drops unforced" `Quick test_recovery_drops_unforced;
+          Alcotest.test_case "checkpoint + redo" `Quick test_recovery_after_checkpoint;
+          Alcotest.test_case "undo recoverable" `Quick test_undo_is_logged_and_recoverable;
+        ]
+        @ qsuite [ prop_recovery_equals_state_when_forced ] );
+      ( "wal",
+        [ Alcotest.test_case "durability bookkeeping" `Quick test_wal_durability_bookkeeping ] );
+      ( "persistence",
+        [
+          Alcotest.test_case "line roundtrip" `Quick test_wal_line_roundtrip;
+          Alcotest.test_case "persist/restart" `Quick test_persist_restart_roundtrip;
+          Alcotest.test_case "garbage rejected" `Quick test_restart_rejects_garbage;
+        ]
+        @ qsuite [ prop_persist_restart_equals_live_state ] );
+    ]

@@ -1,0 +1,357 @@
+(* Tests for the transaction-profile language: lexing, parsing, the
+   print/parse round trip (property), elaboration to programs, and the
+   offline analyzer. *)
+
+open Repro_txn
+module Ast = Repro_lang.Ast
+module Lexer = Repro_lang.Lexer
+module Parser = Repro_lang.Parser
+module Printer = Repro_lang.Printer
+module Elaborate = Repro_lang.Elaborate
+module Analyze = Repro_lang.Analyze
+module G = Test_support.Generators
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let banking_src =
+  {|
+system banking
+
+type deposit(item acct, int amt) {
+  acct := acct + amt;
+  ledger := ledger + amt;
+}
+
+type safe_withdraw(item acct, int amt) {
+  if (acct >= amt) {
+    acct := acct - amt;
+    ledger := ledger - amt;
+  }
+}
+
+type reset_flag(item flag) {
+  flag <- 0;
+}
+
+type audit(item a) {
+  read a;
+  read ledger;
+}
+|}
+
+let parsed () = Parser.parse_system banking_src
+
+(* ------------------------------------------------------------------ *)
+(* Lexer *)
+
+let test_lexer_tokens () =
+  let tokens = List.map (fun (t : Lexer.located) -> t.Lexer.token) (Lexer.tokenize "x := y + 3; // c\n<- <= < !=") in
+  checkb "token stream" true
+    (tokens
+    = [
+        Lexer.IDENT "x"; Lexer.WALRUS; Lexer.IDENT "y"; Lexer.PLUS; Lexer.INT 3; Lexer.SEMI;
+        Lexer.LARROW; Lexer.LE; Lexer.LT; Lexer.BANGEQ; Lexer.EOF;
+      ])
+
+let test_lexer_positions () =
+  match Lexer.tokenize "ab\n  cd" with
+  | [ a; b; _eof ] ->
+    checki "first line" 1 a.Lexer.line;
+    checki "second line" 2 b.Lexer.line;
+    checki "second col" 3 b.Lexer.col
+  | _ -> Alcotest.fail "expected three tokens"
+
+let test_lexer_error () =
+  (match Lexer.tokenize "x # y" with
+  | exception Lexer.Lex_error (_, 1, 3) -> ()
+  | exception Lexer.Lex_error (_, l, c) -> Alcotest.failf "wrong position %d:%d" l c
+  | _ -> Alcotest.fail "expected a lex error");
+  ()
+
+(* ------------------------------------------------------------------ *)
+(* Parser *)
+
+let test_parse_system_shape () =
+  let sys = parsed () in
+  Alcotest.check Alcotest.string "name" "banking" sys.Ast.sname;
+  checki "four types" 4 (List.length sys.Ast.decls);
+  match Ast.find_decl sys "safe_withdraw" with
+  | None -> Alcotest.fail "safe_withdraw missing"
+  | Some d -> (
+    checkb "params" true (d.Ast.params = [ (Ast.Item_param, "acct"); (Ast.Int_param, "amt") ]);
+    match d.Ast.body with
+    | [ Ast.If (Ast.Rel (Ast.Ge, Ast.Ref "acct", Ast.Ref "amt"), [ _; _ ], []) ] -> ()
+    | _ -> Alcotest.fail "unexpected body shape")
+
+let test_parse_blind_write () =
+  let sys = parsed () in
+  match Ast.find_decl sys "reset_flag" with
+  | Some { Ast.body = [ Ast.Assign ("flag", Ast.Int 0) ]; _ } -> ()
+  | _ -> Alcotest.fail "expected a blind assignment"
+
+let test_parse_precedence () =
+  let d = Parser.parse_decl "type t(item x) { x := 1 + 2 * 3 - 4; }" in
+  match d.Ast.body with
+  | [ Ast.Update (_, e) ] ->
+    checkb "1 + (2*3) then - 4" true
+      (e
+      = Ast.Bin
+          ( Ast.Sub,
+            Ast.Bin (Ast.Add, Ast.Int 1, Ast.Bin (Ast.Mul, Ast.Int 2, Ast.Int 3)),
+            Ast.Int 4 ))
+  | _ -> Alcotest.fail "unexpected body"
+
+let test_parse_pred_combinators () =
+  let d =
+    Parser.parse_decl
+      "type t(item x, item g) { if ((x > 0) && (!(g == 1) || false)) { x := x + 1; } }"
+  in
+  match d.Ast.body with
+  | [ Ast.If (Ast.And (Ast.Rel (Ast.Gt, _, _), Ast.Or (Ast.Not (Ast.Rel (Ast.Eq, _, _)), Ast.False)), _, []) ]
+    -> ()
+  | _ -> Alcotest.fail "unexpected predicate shape"
+
+let test_parse_error_position () =
+  match Parser.system_of_string "system s\ntype t() { x := ; }" with
+  | Error msg -> checkb "mentions position 2:" true (String.length msg > 0 && String.sub msg 15 2 = "2:")
+  | Ok _ -> Alcotest.fail "expected a parse error"
+
+let test_parse_trailing_garbage () =
+  match Parser.decl_of_string "type t(item x) { x := x + 1; } extra" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected an error on trailing input"
+
+(* ------------------------------------------------------------------ *)
+(* Round trip: print then parse gives the same AST *)
+
+let ast_expr_gen =
+  let open QCheck.Gen in
+  sized (fun n ->
+      fix
+        (fun self n ->
+          if n <= 0 then
+            oneof
+              [
+                map (fun i -> Ast.Int i) (int_range 0 20);
+                oneofl [ Ast.Ref "x"; Ast.Ref "y"; Ast.Ref "amt" ];
+              ]
+          else
+            oneof
+              [
+                map (fun i -> Ast.Int i) (int_range 0 20);
+                oneofl [ Ast.Ref "x"; Ast.Ref "y"; Ast.Ref "amt" ];
+                map (fun e -> Ast.Neg e) (self (n / 2));
+                map3
+                  (fun op a b -> Ast.Bin (op, a, b))
+                  (oneofl [ Ast.Add; Ast.Sub; Ast.Mul; Ast.Div; Ast.Mod; Ast.Min; Ast.Max ])
+                  (self (n / 2)) (self (n / 2));
+              ])
+        n)
+
+let ast_pred_gen =
+  let open QCheck.Gen in
+  sized (fun n ->
+      fix
+        (fun self n ->
+          let rel =
+            map3
+              (fun op a b -> Ast.Rel (op, a, b))
+              (oneofl [ Ast.Eq; Ast.Ne; Ast.Lt; Ast.Le; Ast.Gt; Ast.Ge ])
+              ast_expr_gen ast_expr_gen
+          in
+          if n <= 0 then oneof [ return Ast.True; return Ast.False; rel ]
+          else
+            oneof
+              [
+                rel;
+                map (fun p -> Ast.Not p) (self (n / 2));
+                map2 (fun a b -> Ast.And (a, b)) (self (n / 2)) (self (n / 2));
+                map2 (fun a b -> Ast.Or (a, b)) (self (n / 2)) (self (n / 2));
+              ])
+        n)
+
+let ast_stmt_gen =
+  let open QCheck.Gen in
+  sized (fun n ->
+      fix
+        (fun self n ->
+          let base =
+            oneof
+              [
+                map (fun x -> Ast.Read x) (oneofl [ "x"; "y"; "g" ]);
+                map2 (fun x e -> Ast.Update (x, e)) (oneofl [ "x"; "y" ]) ast_expr_gen;
+                map2 (fun x e -> Ast.Assign (x, e)) (oneofl [ "x"; "y" ]) ast_expr_gen;
+              ]
+          in
+          if n <= 0 then base
+          else
+            oneof
+              [
+                base;
+                map3
+                  (fun p ss1 ss2 -> Ast.If (p, ss1, ss2))
+                  ast_pred_gen
+                  (list_size (int_range 1 2) (self (n / 3)))
+                  (list_size (int_range 0 2) (self (n / 3)));
+              ])
+        n)
+
+let ast_decl_gen =
+  let open QCheck.Gen in
+  let* body = list_size (int_range 1 4) ast_stmt_gen in
+  let* n_params = int_range 0 3 in
+  let params =
+    List.filteri (fun i _ -> i < n_params)
+      [ (Ast.Item_param, "x"); (Ast.Item_param, "y"); (Ast.Int_param, "amt") ]
+  in
+  return { Ast.tname = "t"; Ast.params; Ast.body }
+
+let arbitrary_decl =
+  QCheck.make ~print:Printer.decl_to_string ast_decl_gen
+
+let prop_print_parse_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"parse (print decl) = decl" arbitrary_decl (fun d ->
+      Parser.parse_decl (Printer.decl_to_string d) = d)
+
+let prop_system_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"parse (print system) = system"
+    (QCheck.make
+       ~print:(fun s -> Printer.system_to_string s)
+       QCheck.Gen.(
+         let* decls = list_size (int_range 1 4) ast_decl_gen in
+         let decls = List.mapi (fun i d -> { d with Ast.tname = Printf.sprintf "t%d" i }) decls in
+         return { Ast.sname = "s"; Ast.decls }))
+    (fun s -> Parser.parse_system (Printer.system_to_string s) = s)
+
+(* ------------------------------------------------------------------ *)
+(* Elaboration *)
+
+let test_instantiate_matches_handwritten () =
+  let sys = parsed () in
+  let decl = Option.get (Ast.find_decl sys "deposit") in
+  let p =
+    Elaborate.instantiate decl ~name:"D1" ~items:[ ("acct", "acct3") ] ~ints:[ ("amt", 30) ]
+  in
+  let bank = Repro_workload.Banking.make ~n_accounts:5 in
+  let handwritten = Repro_workload.Banking.deposit bank ~name:"D1" ~account:3 ~amount:30 in
+  let s0 = Repro_workload.Banking.initial_state bank in
+  checkb "same behaviour as the hand-written deposit" true
+    (State.equal (Interp.apply s0 p) (Interp.apply s0 handwritten));
+  Alcotest.check G.item_set "writeset" (Item.Set.of_names [ "acct3"; "ledger" ]) (Program.writeset p)
+
+let test_instantiate_guarded () =
+  let sys = parsed () in
+  let decl = Option.get (Ast.find_decl sys "safe_withdraw") in
+  let p =
+    Elaborate.instantiate decl ~name:"W" ~items:[ ("acct", "a") ] ~ints:[ ("amt", 30) ]
+  in
+  let rich = State.of_list [ ("a", 100); ("ledger", 100) ] in
+  let poor = State.of_list [ ("a", 10); ("ledger", 100) ] in
+  checki "withdraws when funded" 70 (State.get (Interp.apply rich p) "a");
+  checki "no-op when poor" 10 (State.get (Interp.apply poor p) "a")
+
+let test_instantiate_blind () =
+  let sys = parsed () in
+  let decl = Option.get (Ast.find_decl sys "reset_flag") in
+  let p = Elaborate.instantiate decl ~name:"R" ~items:[ ("flag", "f") ] ~ints:[] in
+  Alcotest.check G.item_set "blind write reads nothing" Item.Set.empty (Program.readset p);
+  checki "resets" 0 (State.get (Interp.apply (State.of_list [ ("f", 9) ]) p) "f")
+
+let test_instantiate_binding_errors () =
+  let sys = parsed () in
+  let decl = Option.get (Ast.find_decl sys "deposit") in
+  (match Elaborate.instantiate decl ~name:"D" ~items:[] ~ints:[ ("amt", 1) ] with
+  | exception Elaborate.Elab_error _ -> ()
+  | _ -> Alcotest.fail "expected missing-binding error");
+  match
+    Elaborate.instantiate decl ~name:"D"
+      ~items:[ ("acct", "a"); ("zzz", "b") ]
+      ~ints:[ ("amt", 1) ]
+  with
+  | exception Elaborate.Elab_error _ -> ()
+  | _ -> Alcotest.fail "expected unknown-binding error"
+
+let test_free_globals () =
+  let sys = parsed () in
+  let decl = Option.get (Ast.find_decl sys "deposit") in
+  Alcotest.check G.item_set "ledger is global" (Item.Set.of_names [ "ledger" ])
+    (Elaborate.free_globals decl)
+
+(* ------------------------------------------------------------------ *)
+(* Analyzer *)
+
+let test_analyze_banking () =
+  let report = Analyze.analyze (parsed ()) in
+  let find name = List.find (fun (t : Analyze.type_report) -> t.Analyze.tname = name) report.Analyze.types in
+  checkb "deposit additive" true (find "deposit").Analyze.additive;
+  checkb "deposit compensable" true (find "deposit").Analyze.compensable;
+  checkb "safe_withdraw not compensable" false (find "safe_withdraw").Analyze.compensable;
+  checkb "reset_flag blind" true (find "reset_flag").Analyze.blind;
+  let pair mover target =
+    List.find
+      (fun (p : Analyze.pair_report) -> p.Analyze.mover = mover && p.Analyze.target = target)
+      report.Analyze.pairs
+  in
+  checkb "deposits commute on shared accounts" true (pair "deposit" "deposit").Analyze.shared_can_precede;
+  checkb "deposit cannot precede safe_withdraw on a shared account (the guard reads it)" false
+    (pair "deposit" "safe_withdraw").Analyze.shared_can_precede;
+  checkb
+    "but can on disjoint accounts: the ledger updates are both additive and the guard item is \
+     untouched"
+    true
+    (pair "deposit" "safe_withdraw").Analyze.disjoint_can_precede;
+  checkb "read-only audit precedes anything" true
+    ((pair "audit" "safe_withdraw").Analyze.shared_can_precede
+    && (pair "audit" "deposit").Analyze.disjoint_can_precede)
+
+let prop_analyzer_pairs_confirmed_by_oracle =
+  (* On tiny instantiations, spot-check positive shared-item answers
+     against the exhaustive oracle. *)
+  QCheck.Test.make ~count:30 ~name:"analyzer can-precede spot-checked by oracle"
+    (QCheck.make QCheck.Gen.(int_bound 1000))
+    (fun _seed ->
+      let sys = parsed () in
+      let dep = Option.get (Ast.find_decl sys "deposit") in
+      let mover =
+        Elaborate.instantiate dep ~name:"M" ~items:[ ("acct", "shared") ] ~ints:[ ("amt", 3) ]
+      in
+      let target =
+        Elaborate.instantiate dep ~name:"T" ~items:[ ("acct", "shared") ] ~ints:[ ("amt", 5) ]
+      in
+      Oracle.can_precede ~items:[ "shared"; "ledger" ] ~values:[ -2; 0; 5 ]
+        ~fix_domain:Item.Set.empty ~mover ~target)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "repro_lang"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "tokens" `Quick test_lexer_tokens;
+          Alcotest.test_case "positions" `Quick test_lexer_positions;
+          Alcotest.test_case "errors" `Quick test_lexer_error;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "system shape" `Quick test_parse_system_shape;
+          Alcotest.test_case "blind write" `Quick test_parse_blind_write;
+          Alcotest.test_case "precedence" `Quick test_parse_precedence;
+          Alcotest.test_case "predicate combinators" `Quick test_parse_pred_combinators;
+          Alcotest.test_case "error position" `Quick test_parse_error_position;
+          Alcotest.test_case "trailing garbage" `Quick test_parse_trailing_garbage;
+        ] );
+      ("roundtrip", qsuite [ prop_print_parse_roundtrip; prop_system_roundtrip ]);
+      ( "elaborate",
+        [
+          Alcotest.test_case "matches hand-written" `Quick test_instantiate_matches_handwritten;
+          Alcotest.test_case "guarded" `Quick test_instantiate_guarded;
+          Alcotest.test_case "blind" `Quick test_instantiate_blind;
+          Alcotest.test_case "binding errors" `Quick test_instantiate_binding_errors;
+          Alcotest.test_case "free globals" `Quick test_free_globals;
+        ] );
+      ( "analyze",
+        [ Alcotest.test_case "banking report" `Quick test_analyze_banking ]
+        @ qsuite [ prop_analyzer_pairs_confirmed_by_oracle ] );
+    ]

@@ -1,0 +1,338 @@
+(* Tests for the Davidson precedence-graph machinery: Example 1 and
+   Figure 1 of the paper, back-out strategies, and Theorem 1 (acyclic ⇔
+   mergeable) checked by brute force on program-level histories. *)
+
+open Repro_txn
+open Repro_history
+open Repro_precedence
+module Digraph = Repro_graph.Digraph
+module Ex = Test_support.Paper_examples
+module G = Test_support.Generators
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let names_of = Names.Set.of_names
+let example1 () = Precedence.build ~tentative:Ex.example1_tentative ~base:Ex.example1_base
+
+(* ------------------------------------------------------------------ *)
+(* Example 1 / Figure 1 *)
+
+let test_example1_edges () =
+  let pg = example1 () in
+  let edge a b = Digraph.mem_edge (Precedence.graph pg) (Precedence.node_of pg a) (Precedence.node_of pg b) in
+  (* Intra-tentative conflict edges. *)
+  checkb "Tm1->Tm2 (d2)" true (edge "Tm1" "Tm2");
+  checkb "Tm2->Tm3 (d4,d6)" true (edge "Tm2" "Tm3");
+  checkb "Tm3->Tm4 (d6)" true (edge "Tm3" "Tm4");
+  checkb "Tm2->Tm4 (d6)" true (edge "Tm2" "Tm4");
+  (* Intra-base. *)
+  checkb "Tb1->Tb2 (d5)" true (edge "Tb1" "Tb2");
+  (* Cross edges from the paper's narrative. *)
+  checkb "Tb2->Tm1 (Tb2 read d1, Tm1 updated it)" true (edge "Tb2" "Tm1");
+  checkb "Tm3->Tb1 (Tm3 read d5, Tb1 updated it)" true (edge "Tm3" "Tb1");
+  checkb "Tb1->Tm2 (Tb1 read d5, Tm2 updated it)" true (edge "Tb1" "Tm2");
+  checkb "Tb2->Tm2 (Tb2 read d5, Tm2 updated it)" true (edge "Tb2" "Tm2");
+  (* No edge in the other directions. *)
+  checkb "no Tm1->Tb2" false (edge "Tm1" "Tb2");
+  checkb "no Tm4 cross edges" false (edge "Tm4" "Tb1" || edge "Tb1" "Tm4")
+
+let test_example1_cyclic () =
+  let pg = example1 () in
+  checkb "graph has a cycle" false (Precedence.is_acyclic pg);
+  (* The paper's cycle: Tm1 -> Tm2 -> Tm3 -> Tb1 -> Tb2 -> Tm1. *)
+  Alcotest.check G.name_set "tentative transactions on cycles"
+    (names_of [ "Tm1"; "Tm2"; "Tm3" ])
+    (Precedence.tentative_on_cycles pg)
+
+let test_example1_backout_tm3 () =
+  let pg = example1 () in
+  (* The paper backs out Tm3 (and the affected Tm4). *)
+  checkb "removing {Tm3} breaks all cycles" true
+    (Backout.breaks_all_cycles pg (names_of [ "Tm3" ]));
+  checkb "removing {Tm4} alone does not" false
+    (Backout.breaks_all_cycles pg (names_of [ "Tm4" ]))
+
+let test_example1_strategies_feasible () =
+  let pg = example1 () in
+  List.iter
+    (fun strategy ->
+      let b = Backout.compute ~strategy pg in
+      checkb (Backout.strategy_name strategy ^ " feasible") true (Backout.breaks_all_cycles pg b);
+      checkb
+        (Backout.strategy_name strategy ^ " only tentative")
+        true
+        (Names.Set.for_all (fun n -> String.length n > 1 && n.[1] = 'm') b))
+    Backout.all_strategies
+
+let test_example1_exhaustive_minimal () =
+  let pg = example1 () in
+  let b = Backout.compute ~strategy:Backout.Exhaustive pg in
+  checki "minimum back-out size is 1" 1 (Names.Set.cardinal b)
+
+let test_example1_affected () =
+  (* Tm4 reads d6 from Tm3, hence is affected when Tm3 is backed out. *)
+  Alcotest.check G.name_set "AG = {Tm4}" (names_of [ "Tm4" ])
+    (Affected.affected Ex.example1_tentative ~bad:(names_of [ "Tm3" ]));
+  Alcotest.check G.name_set "closure" (names_of [ "Tm3"; "Tm4" ])
+    (Affected.closure Ex.example1_tentative ~bad:(names_of [ "Tm3" ]))
+
+let test_example1_merge_order () =
+  let pg = example1 () in
+  (* After backing out Tm3 and Tm4, the paper's equivalent merged history
+     is H = Tb1 Tb2 Tm1 Tm2. *)
+  match Precedence.merge_order pg ~removed:(names_of [ "Tm3"; "Tm4" ]) with
+  | None -> Alcotest.fail "expected an acyclic reduced graph"
+  | Some order ->
+    Alcotest.check (Alcotest.list Alcotest.string) "paper's merged history"
+      [ "Tb1"; "Tb2"; "Tm1"; "Tm2" ] order
+
+let test_dot_export () =
+  let pg = example1 () in
+  let dot = Dot.render ~removed:(names_of [ "Tm3" ]) pg in
+  checkb "digraph" true (String.length dot > 0 && String.sub dot 0 7 = "digraph");
+  let contains needle =
+    let n = String.length needle and h = String.length dot in
+    let rec go i = i + n <= h && (String.sub dot i n = needle || go (i + 1)) in
+    go 0
+  in
+  checkb "tentative node" true (contains "Tm1 [shape=ellipse]");
+  checkb "base node" true (contains "Tb1 [shape=box]");
+  checkb "removed node greyed" true (contains "Tm3 [shape=ellipse, style=\"filled,dashed\"");
+  checkb "cross edge" true (contains "Tb2 -> Tm1;")
+
+let test_duplicate_names_rejected () =
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Precedence.build: duplicate transaction name Tm1") (fun () ->
+      ignore (Precedence.build ~tentative:Ex.example1_tentative ~base:Ex.example1_tentative))
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 1 (Davidson): acyclic iff the two histories are mergeable.
+   Checked on program-level histories by brute force: a merge is an
+   interleaving that preserves both histories' orders and lets every
+   transaction observe exactly the reads it observed in its own history. *)
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+    List.concat_map
+      (fun x -> List.map (fun rest -> x :: rest) (permutations (List.filter (( != ) x) l)))
+      l
+
+(* A merged history in the Theorem 1 sense is a serial history over both
+   transaction sets that (a) preserves each history's order on its
+   dynamically conflicting pairs — non-conflicting same-history
+   transactions may reorder, invisible to that history's users —
+   (b) gives every transaction exactly the reads it observed in its own
+   history, from the same writers (writer identity matters: a writer can
+   coincidentally restore a value), and (c) ends in the forwarded state:
+   H_b's final state overwritten with H_m's final values on the items H_m
+   wrote. *)
+let reads_consistent_merge s0 hm hb =
+  let exec_m = History.execute s0 hm and exec_b = History.execute s0 hb in
+  let observed exec =
+    let writer_of =
+      List.fold_left
+        (fun m e -> ((e.Readsfrom.reader, e.Readsfrom.item), e.Readsfrom.writer) :: m)
+        [] (Readsfrom.edges exec)
+    in
+    List.map
+      (fun (r : Interp.record) ->
+        let name = r.Interp.program.Program.name in
+        let reads_with_writers =
+          List.map (fun (x, v) -> (x, v, List.assoc_opt (name, x) writer_of)) r.Interp.reads
+        in
+        (name, reads_with_writers))
+      exec.History.records
+  in
+  let expected = observed exec_m @ observed exec_b in
+  let conflict_pairs exec =
+    let records = Array.of_list exec.History.records in
+    let n = Array.length records in
+    let pairs = ref [] in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        let ri = records.(i) and rj = records.(j) in
+        let wi = Interp.dynamic_writeset ri and wj = Interp.dynamic_writeset rj in
+        let ai = Item.Set.union (Interp.dynamic_readset ri) wi in
+        let aj = Item.Set.union (Interp.dynamic_readset rj) wj in
+        if (not (Item.Set.disjoint wi aj)) || not (Item.Set.disjoint wj ai) then
+          pairs :=
+            (ri.Interp.program.Program.name, rj.Interp.program.Program.name) :: !pairs
+      done
+    done;
+    !pairs
+  in
+  let ordered_pairs = conflict_pairs exec_m @ conflict_pairs exec_b in
+  let dyn_writes exec =
+    List.fold_left
+      (fun acc (r : Interp.record) -> Item.Set.union acc (Interp.dynamic_writeset r))
+      Item.Set.empty exec.History.records
+  in
+  let expected_final =
+    State.merge_updates exec_b.History.final exec_m.History.final (dyn_writes exec_m)
+  in
+  let respects_conflict_order order =
+    let pos = List.mapi (fun i (p : Program.t) -> (p.Program.name, i)) order in
+    List.for_all
+      (fun (earlier, later) -> List.assoc earlier pos < List.assoc later pos)
+      ordered_pairs
+  in
+  let consistent order =
+    let state = ref s0 in
+    let last_writer = Hashtbl.create 16 in
+    List.for_all
+      (fun (p : Program.t) ->
+        let r = Interp.run !state p in
+        state := r.Interp.after;
+        let name = p.Program.name in
+        let performed =
+          List.map (fun (x, v) -> (x, v, Hashtbl.find_opt last_writer x)) r.Interp.reads
+        in
+        List.iter (fun (x, _, _) -> Hashtbl.replace last_writer x name) r.Interp.writes;
+        List.assoc name expected = performed)
+      order
+    && State.equal !state expected_final
+  in
+  List.exists
+    (fun order -> respects_conflict_order order && consistent order)
+    (permutations (History.programs hm @ History.programs hb))
+
+let split_pair_gen =
+  (* Two short histories over the shared small-item universe. *)
+  QCheck.Gen.(
+    let* s0 = G.state_gen in
+    let* m =
+      flatten_l (List.init 3 (fun i -> G.program_gen ~name:(Printf.sprintf "Tm%d" (i + 1))))
+    in
+    let* b =
+      flatten_l (List.init 2 (fun i -> G.program_gen ~name:(Printf.sprintf "Tb%d" (i + 1))))
+    in
+    return (s0, History.of_programs m, History.of_programs b))
+
+let arbitrary_split_pair =
+  QCheck.make
+    ~print:(fun (s0, hm, hb) ->
+      let pp_programs ppf h =
+        Format.pp_print_list ~pp_sep:Format.pp_print_cut Program.pp_full ppf
+          (History.programs h)
+      in
+      Format.asprintf "@[<v>s0=%a@ Hm:@ %a@ Hb:@ %a@]" State.pp s0 pp_programs hm pp_programs hb)
+    split_pair_gen
+
+let prop_theorem1_acyclic_implies_mergeable =
+  QCheck.Test.make ~count:150 ~name:"Thm 1 (⇒): acyclic graph admits a reads-consistent merge"
+    arbitrary_split_pair
+    (fun (s0, hm, hb) ->
+      let pg =
+        Precedence.of_executions ~tentative:(History.execute s0 hm) ~base:(History.execute s0 hb)
+      in
+      QCheck.assume (Precedence.is_acyclic pg);
+      reads_consistent_merge s0 hm hb)
+
+let prop_theorem1_cyclic_implies_unmergeable =
+  QCheck.Test.make ~count:150 ~name:"Thm 1 (⇐): cyclic graph admits no reads-consistent merge"
+    arbitrary_split_pair
+    (fun (s0, hm, hb) ->
+      let pg =
+        Precedence.of_executions ~tentative:(History.execute s0 hm) ~base:(History.execute s0 hb)
+      in
+      QCheck.assume (not (Precedence.is_acyclic pg));
+      not (reads_consistent_merge s0 hm hb))
+
+let prop_merge_order_execution_matches_forwarding =
+  (* Protocol step 5: executing the merged order serially equals taking
+     H_b's final state and overwriting items written by the (whole,
+     conflict-free) tentative history with their H_m-final values. *)
+  QCheck.Test.make ~count:150 ~name:"merged execution = forwarded updates (acyclic case)"
+    arbitrary_split_pair
+    (fun (s0, hm, hb) ->
+      let em = History.execute s0 hm and eb = History.execute s0 hb in
+      let pg = Precedence.of_executions ~tentative:em ~base:eb in
+      QCheck.assume (Precedence.is_acyclic pg);
+      match Precedence.merge_order pg ~removed:Names.Set.empty with
+      | None -> false
+      | Some order ->
+        let program_of name =
+          (History.find (if History.mem hm name then hm else hb) name).History.program
+        in
+        let merged_final =
+          List.fold_left (fun s name -> Interp.apply s (program_of name)) s0 order
+        in
+        let dyn_writes exec =
+          List.fold_left
+            (fun acc (r : Interp.record) -> Item.Set.union acc (Interp.dynamic_writeset r))
+            Item.Set.empty exec.History.records
+        in
+        let forwarded =
+          State.merge_updates eb.History.final em.History.final (dyn_writes em)
+        in
+        State.equal merged_final forwarded)
+
+(* Back-out strategy properties on random summary workloads. *)
+
+let summary_case_gen =
+  QCheck.Gen.(
+    let* seed = int_bound 1_000_000 in
+    let rng = Repro_workload.Rng.create seed in
+    let tentative, base =
+      Repro_workload.Gen.summaries rng ~n_items:12 ~tentative:8 ~base:5 ~reads:(1, 3)
+        ~writes:(1, 2) ~skew:0.9 ~blind:0.3
+    in
+    return (Precedence.build ~tentative ~base))
+
+let arbitrary_summary_case =
+  QCheck.make ~print:(fun pg -> Format.asprintf "%a" Precedence.pp pg) summary_case_gen
+
+let prop_strategies_feasible =
+  QCheck.Test.make ~count:200 ~name:"every strategy's B breaks all cycles"
+    arbitrary_summary_case
+    (fun pg ->
+      List.for_all
+        (fun strategy -> Backout.breaks_all_cycles pg (Backout.compute ~strategy pg))
+        Backout.all_strategies)
+
+let prop_exhaustive_minimal =
+  QCheck.Test.make ~count:100 ~name:"exhaustive strategy is no larger than the others"
+    arbitrary_summary_case
+    (fun pg ->
+      let size s = Names.Set.cardinal (Backout.compute ~strategy:s pg) in
+      let m = size Backout.Exhaustive in
+      m <= size Backout.All_in_cycles && m <= size Backout.Greedy_degree
+      && m <= size Backout.Two_cycle_then_greedy)
+
+let prop_acyclic_empty_backout =
+  QCheck.Test.make ~count:200 ~name:"acyclic graphs need no back-out" arbitrary_summary_case
+    (fun pg ->
+      QCheck.assume (Precedence.is_acyclic pg);
+      List.for_all
+        (fun strategy -> Names.Set.is_empty (Backout.compute ~strategy pg))
+        Backout.all_strategies)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "repro_precedence"
+    [
+      ( "example1",
+        [
+          Alcotest.test_case "Figure 1 edges" `Quick test_example1_edges;
+          Alcotest.test_case "cycle detected" `Quick test_example1_cyclic;
+          Alcotest.test_case "backing out Tm3" `Quick test_example1_backout_tm3;
+          Alcotest.test_case "all strategies feasible" `Quick test_example1_strategies_feasible;
+          Alcotest.test_case "exhaustive is minimal" `Quick test_example1_exhaustive_minimal;
+          Alcotest.test_case "Tm4 affected" `Quick test_example1_affected;
+          Alcotest.test_case "merged history Tb1 Tb2 Tm1 Tm2" `Quick test_example1_merge_order;
+          Alcotest.test_case "duplicate names rejected" `Quick test_duplicate_names_rejected;
+          Alcotest.test_case "dot export" `Quick test_dot_export;
+        ] );
+      ( "theorem1",
+        qsuite
+          [
+            prop_theorem1_acyclic_implies_mergeable;
+            prop_theorem1_cyclic_implies_unmergeable;
+            prop_merge_order_execution_matches_forwarding;
+          ] );
+      ( "backout",
+        qsuite [ prop_strategies_feasible; prop_exhaustive_minimal; prop_acyclic_empty_backout ]
+      );
+    ]

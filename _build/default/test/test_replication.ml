@@ -1,0 +1,466 @@
+(* Tests for the replication layer: event queue, cost tallies, the merge
+   and reprocess protocols on constructed scenarios, and the multi-node
+   simulator (Strategy 1 anomaly vs Strategy 2 safety, serializability
+   ground truth, protocol cost comparison). *)
+
+open Repro_txn
+open Repro_history
+open Repro_replication
+module Engine = Repro_db.Engine
+module Banking = Repro_workload.Banking
+module Rng = Repro_workload.Rng
+module G = Test_support.Generators
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+let check_state = Alcotest.check G.state
+
+(* ------------------------------------------------------------------ *)
+(* Pqueue *)
+
+let test_pqueue_orders_by_key () =
+  let q = Pqueue.create () in
+  List.iter (fun (k, v) -> Pqueue.push q k v) [ (3.0, "c"); (1.0, "a"); (2.0, "b") ];
+  let order = List.init 3 (fun _ -> match Pqueue.pop q with Some (_, v) -> v | None -> "?") in
+  Alcotest.check (Alcotest.list Alcotest.string) "sorted" [ "a"; "b"; "c" ] order;
+  checkb "now empty" true (Pqueue.is_empty q)
+
+let test_pqueue_fifo_ties () =
+  let q = Pqueue.create () in
+  List.iter (fun v -> Pqueue.push q 1.0 v) [ "first"; "second"; "third" ];
+  let order = List.init 3 (fun _ -> match Pqueue.pop q with Some (_, v) -> v | None -> "?") in
+  Alcotest.check (Alcotest.list Alcotest.string) "insertion order on ties"
+    [ "first"; "second"; "third" ] order
+
+let prop_pqueue_sorts =
+  QCheck.Test.make ~count:200 ~name:"pqueue pops keys in nondecreasing order"
+    (QCheck.make
+       QCheck.Gen.(
+         list_size (int_range 0 50) (map (fun n -> float_of_int n /. 10.0) (int_bound 1000))))
+    (fun keys ->
+      let q = Pqueue.create () in
+      List.iter (fun k -> Pqueue.push q k ()) keys;
+      let rec drain prev =
+        match Pqueue.pop q with
+        | None -> true
+        | Some (k, ()) -> k >= prev && drain k
+      in
+      drain neg_infinity)
+
+(* ------------------------------------------------------------------ *)
+(* Protocol: constructed scenarios *)
+
+let inc name item delta =
+  Program.make ~name ~ttype:"inc" [ Stmt.Update (item, Expr.Add (Expr.Item item, Expr.Const delta)) ]
+
+let dbl name item =
+  Program.make ~name ~ttype:"dbl" [ Stmt.Update (item, Expr.Mul (Expr.Item item, Expr.Const 2)) ]
+
+let s0 = State.of_list [ ("x", 10); ("y", 20); ("z", 30) ]
+
+let run_merge ?(config = Protocol.default_merge_config) ~tentative ~base () =
+  let engine = Engine.create s0 in
+  let base_history =
+    List.map (fun p -> { Protocol.program = p; Protocol.record = Engine.execute engine p }) base
+  in
+  let report =
+    Protocol.merge ~config ~params:Cost.default_params ~base:engine ~base_history ~origin:s0
+      ~tentative:(History.of_programs tentative)
+  in
+  (engine, report)
+
+let test_merge_conflict_free () =
+  let engine, report = run_merge ~tentative:[ inc "Tm1" "x" 5 ] ~base:[ inc "Tb1" "y" 7 ] () in
+  checkb "nothing backed out" true (Names.Set.is_empty report.Protocol.backed_out);
+  check_state "both effects present"
+    (State.of_list [ ("x", 15); ("y", 27); ("z", 30) ])
+    (Engine.state engine);
+  Alcotest.check (Alcotest.list Alcotest.string) "merged logical order" [ "Tb1"; "Tm1" ]
+    (List.map (fun (bt : Protocol.base_txn) -> bt.Protocol.program.Program.name)
+       report.Protocol.new_history)
+
+let test_merge_write_write_conflict_backs_out () =
+  (* Both histories write x non-commutatively: a two-cycle; the tentative
+     side is backed out and re-executed on the merged state. *)
+  let engine, report = run_merge ~tentative:[ dbl "Tm1" "x" ] ~base:[ dbl "Tb1" "x" ] () in
+  checkb "Tm1 backed out" true (Names.Set.mem "Tm1" report.Protocol.backed_out);
+  (* Tb1: x = 20; re-executed Tm1: x = 40. *)
+  checki "re-executed on top" 40 (State.get (Engine.state engine) "x");
+  checkb "reported re-executed" true
+    (List.exists
+       (fun (r : Protocol.txn_report) ->
+         r.Protocol.name = "Tm1" && r.Protocol.outcome = Protocol.Reexecuted)
+       report.Protocol.txns)
+
+let test_merge_additive_conflict_saved_by_algorithm2 () =
+  (* Additive write-write "conflicts" still form a two-cycle in the graph
+     (the paper's graph is syntactic), so the tentative increment is
+     backed out and re-executed — and the re-execution composes. *)
+  let engine, report = run_merge ~tentative:[ inc "Tm1" "x" 5 ] ~base:[ inc "Tb1" "x" 7 ] () in
+  checkb "backed out (syntactic conflict)" true (Names.Set.mem "Tm1" report.Protocol.backed_out);
+  checki "increments compose" 22 (State.get (Engine.state engine) "x")
+
+let test_merge_rejection () =
+  let config =
+    { Protocol.default_merge_config with Protocol.acceptance = Protocol.accept_within ~tolerance:0 }
+  in
+  let engine, report = run_merge ~config ~tentative:[ dbl "Tm1" "x" ] ~base:[ dbl "Tb1" "x" ] () in
+  checkb "rejected" true
+    (List.exists
+       (fun (r : Protocol.txn_report) ->
+         r.Protocol.name = "Tm1" && r.Protocol.outcome = Protocol.Rejected)
+       report.Protocol.txns);
+  checki "only base effect remains" 20 (State.get (Engine.state engine) "x")
+
+let test_merge_saves_affected_via_can_precede () =
+  (* Paper H4 embedded in a merge: base writes u (conflicting with the
+     tentative read), the tentative B1-alike must go, G3-alike is saved by
+     can-precede. *)
+  let tm1 =
+    Program.make ~name:"Tm1" ~ttype:"guarded"
+      [
+        Stmt.If
+          ( Pred.Gt (Expr.Item "y", Expr.Const 0),
+            [ Stmt.Update ("x", Expr.Add (Expr.Item "x", Expr.Const 100)) ],
+            [] );
+      ]
+  in
+  let tm2 = inc "Tm2" "x" 10 in
+  (* Tb1 updates y (which Tm1's guard reads) and reads x (which Tm1
+     writes): the cross edges Tm1 -> Tb1 and Tb1 -> Tm1 form a two-cycle,
+     so Tm1 must be backed out. *)
+  let tb =
+    Program.make ~name:"Tb1" ~ttype:"mix"
+      [ Stmt.Read "x"; Stmt.Update ("y", Expr.Add (Expr.Item "y", Expr.Const 5)) ]
+  in
+  let engine, report = run_merge ~tentative:[ tm1; tm2 ] ~base:[ tb ] () in
+  checkb "Tm1 backed out" true (Names.Set.mem "Tm1" report.Protocol.backed_out);
+  checkb "Tm2 saved (can-precede past fixed Tm1)" true (Names.Set.mem "Tm2" report.Protocol.saved);
+  (* Base: y=25; merged Tm2: x=20; re-executed Tm1: y>0 so x+=100. *)
+  check_state "final" (State.of_list [ ("x", 120); ("y", 25); ("z", 30) ]) (Engine.state engine)
+
+let test_merge_state_equals_replay_of_new_history () =
+  let tentative =
+    [ inc "Tm1" "x" 5; dbl "Tm2" "y"; inc "Tm3" "z" (-2) ]
+  in
+  let base = [ inc "Tb1" "y" 3; dbl "Tb2" "x" ] in
+  let engine, report = run_merge ~tentative ~base () in
+  let replayed =
+    List.fold_left
+      (fun s (bt : Protocol.base_txn) -> Interp.apply s bt.Protocol.program)
+      s0 report.Protocol.new_history
+  in
+  check_state "logical history replays to engine state" (Engine.state engine) replayed
+
+(* The protocol invariant, over random canned workloads: after a merge,
+   the base engine's state equals the serial replay of the merged logical
+   history from the common origin — for every algorithm and back-out
+   strategy. *)
+let prop_merge_state_replay =
+  QCheck.Test.make ~count:150 ~name:"merge state = replay of logical history (random workloads)"
+    QCheck.(make Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let rng = Rng.create seed in
+      let pool = Repro_workload.Gen.pool Repro_workload.Gen.default_profile in
+      let origin = Repro_workload.Gen.initial_state pool rng in
+      let tentative, base_h =
+        Repro_workload.Gen.mobile_base_pair pool rng ~tentative_len:10 ~base_len:5
+      in
+      List.for_all
+        (fun (algorithm, strategy) ->
+          let engine = Engine.create origin in
+          let base_history =
+            List.map
+              (fun p -> { Protocol.program = p; Protocol.record = Engine.execute engine p })
+              (History.programs base_h)
+          in
+          let config = { Protocol.default_merge_config with Protocol.algorithm; Protocol.strategy } in
+          let report =
+            Protocol.merge ~config ~params:Cost.default_params ~base:engine ~base_history
+              ~origin ~tentative
+          in
+          let replayed =
+            List.fold_left
+              (fun s (bt : Protocol.base_txn) -> Interp.apply s bt.Protocol.program)
+              origin report.Protocol.new_history
+          in
+          State.equal replayed (Engine.state engine))
+        [
+          (Repro_rewrite.Rewrite.Can_follow_precede, Repro_precedence.Backout.Two_cycle_then_greedy);
+          (Repro_rewrite.Rewrite.Can_follow, Repro_precedence.Backout.Greedy_degree);
+          (Repro_rewrite.Rewrite.Closure, Repro_precedence.Backout.Greedy_damage);
+          (Repro_rewrite.Rewrite.Commute_only, Repro_precedence.Backout.All_in_cycles);
+        ])
+
+let test_merge_example1_programs () =
+  (* The paper's Example 1, end to end at the program level. *)
+  let module Paper = Repro_core.Paper in
+  let engine = Engine.create Paper.example1_s0 in
+  let base_history =
+    List.map
+      (fun p -> { Protocol.program = p; Protocol.record = Engine.execute engine p })
+      Paper.example1_programs_base
+  in
+  let report =
+    Protocol.merge ~config:Protocol.default_merge_config ~params:Cost.default_params
+      ~base:engine ~base_history ~origin:Paper.example1_s0
+      ~tentative:(History.of_programs Paper.example1_programs_tentative)
+  in
+  checkb "conflict detected: some tentative work backed out" true
+    (not (Names.Set.is_empty report.Protocol.backed_out));
+  checkb "Tm1 always survives (it conflicts with no base read... via d1 it does not cycle)"
+    true
+    (Names.Set.mem "Tm1" report.Protocol.saved || Names.Set.mem "Tm1" report.Protocol.backed_out);
+  let replayed =
+    List.fold_left
+      (fun s (bt : Protocol.base_txn) -> Interp.apply s bt.Protocol.program)
+      Paper.example1_s0 report.Protocol.new_history
+  in
+  check_state "merged state = serial replay" (Engine.state engine) replayed
+
+(* Blind-write histories through the full protocol: the adapted
+   precedence edges and can-follow keep the merged state consistent with
+   a serial replay. *)
+let prop_merge_replay_with_blind_writes =
+  QCheck.Test.make ~count:150 ~name:"merge state = replay (blind-write histories)"
+    (QCheck.make
+       QCheck.Gen.(
+         let* s0 = G.state_gen in
+         let* m =
+           flatten_l
+             (List.init 5 (fun i ->
+                  G.blind_program_gen ~name:(Printf.sprintf "Tm%d" (i + 1))))
+         in
+         let* b =
+           flatten_l
+             (List.init 3 (fun i ->
+                  G.blind_program_gen ~name:(Printf.sprintf "Tb%d" (i + 1))))
+         in
+         return (s0, m, b)))
+    (fun (s0, tentative_programs, base_programs) ->
+      let engine = Engine.create s0 in
+      let base_history =
+        List.map
+          (fun p -> { Protocol.program = p; Protocol.record = Engine.execute engine p })
+          base_programs
+      in
+      let report =
+        Protocol.merge ~config:Protocol.default_merge_config ~params:Cost.default_params
+          ~base:engine ~base_history ~origin:s0
+          ~tentative:(History.of_programs tentative_programs)
+      in
+      let replayed =
+        List.fold_left
+          (fun s (bt : Protocol.base_txn) -> Interp.apply s bt.Protocol.program)
+          s0 report.Protocol.new_history
+      in
+      State.equal replayed (Engine.state engine))
+
+let test_accept_same_shape () =
+  let guarded =
+    Program.make ~name:"G" ~ttype:"guarded"
+      [
+        Stmt.If
+          ( Pred.Gt (Expr.Item "x", Expr.Const 0),
+            [ Stmt.Update ("y", Expr.Add (Expr.Item "y", Expr.Const 1)) ],
+            [] );
+      ]
+  in
+  let taken = Interp.run (State.of_list [ ("x", 1); ("y", 0) ]) guarded in
+  let untaken = Interp.run (State.of_list [ ("x", -1); ("y", 0) ]) guarded in
+  checkb "same branch accepted" true (Protocol.accept_same_shape ~original:taken ~replayed:taken);
+  checkb "different branch rejected" false
+    (Protocol.accept_same_shape ~original:taken ~replayed:untaken)
+
+let test_reprocess_all_reexecuted () =
+  let engine = Engine.create s0 in
+  ignore (Engine.execute engine (inc "Tb1" "x" 1));
+  let report =
+    Protocol.reprocess ~acceptance:Protocol.accept_always ~params:Cost.default_params
+      ~base:engine ~origin:s0
+      ~tentative:(History.of_programs [ inc "Tm1" "x" 5; inc "Tm2" "y" 7 ])
+  in
+  checki "two reexecuted" 2 (List.length report.Protocol.appended);
+  check_state "all applied"
+    (State.of_list [ ("x", 16); ("y", 27); ("z", 30) ])
+    (Engine.state engine);
+  checkb "costs charged" true (Cost.total report.Protocol.cost > 0.0)
+
+let test_merge_cheaper_when_everything_saved () =
+  (* A large conflict-free tentative history: merging forwards values and
+     forces once; reprocessing pays query processing + force per txn. *)
+  let tentative = List.init 20 (fun i -> inc (Printf.sprintf "Tm%d" (i + 1)) "x" 1) in
+  (* Hmm: these all write x — they conflict with each other but not with
+     the base; intra-tentative conflicts are fine. *)
+  let base = [ inc "Tb1" "y" 3 ] in
+  let _, merge_report = run_merge ~tentative ~base () in
+  let engine = Engine.create s0 in
+  ignore (Engine.execute engine (inc "Tb1" "y" 3));
+  let rep =
+    Protocol.reprocess ~acceptance:Protocol.accept_always ~params:Cost.default_params
+      ~base:engine ~origin:s0 ~tentative:(History.of_programs tentative)
+  in
+  checkb "everything saved" true (Names.Set.is_empty merge_report.Protocol.backed_out);
+  checkb "merging is cheaper" true
+    (Cost.total merge_report.Protocol.cost < Cost.total rep.Protocol.cost)
+
+(* ------------------------------------------------------------------ *)
+(* Sync: multi-node simulation *)
+
+let bank = Banking.make ~n_accounts:8
+
+let banking_workload bias =
+  {
+    Sync.initial = Banking.initial_state bank;
+    Sync.make_mobile_txn = (fun rng ~name -> Banking.random_transaction bank rng ~name ~commuting_bias:bias);
+    Sync.make_base_txn = (fun rng ~name -> Banking.random_transaction bank rng ~name ~commuting_bias:bias);
+  }
+
+let run_sync ?(isolation = Sync.Strategy2) ?(protocol = Sync.Merging Protocol.default_merge_config)
+    ?(seed = 11) ?(n_mobiles = 4) () =
+  Sync.run
+    {
+      Sync.default_config with
+      Sync.isolation;
+      Sync.protocol;
+      Sync.seed;
+      Sync.n_mobiles;
+      Sync.duration = 120.0;
+      Sync.window = 30.0;
+    }
+    (banking_workload 0.8)
+
+let test_sync_strategy2_serializable () =
+  List.iter
+    (fun seed ->
+      let stats = run_sync ~seed () in
+      checki
+        (Printf.sprintf "no serializability violations (seed %d)" seed)
+        0 stats.Sync.serializability_violations;
+      checki (Printf.sprintf "no anomalies (seed %d)" seed) 0 stats.Sync.anomalies;
+      checkb "some merges happened" true (stats.Sync.merges > 0);
+      checkb "some transactions saved" true (stats.Sync.saved > 0))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_sync_strategy1_detects_anomalies () =
+  let total_anomalies =
+    List.fold_left
+      (fun acc seed ->
+        let stats = run_sync ~isolation:Sync.Strategy1 ~seed ~n_mobiles:6 () in
+        checki
+          (Printf.sprintf "still serializable thanks to detection (seed %d)" seed)
+          0 stats.Sync.serializability_violations;
+        acc + stats.Sync.anomalies)
+      0 [ 1; 2; 3; 4; 5 ]
+  in
+  checkb "Strategy 1 produces anomalies somewhere" true (total_anomalies > 0)
+
+let test_sync_reprocessing_baseline () =
+  let stats = run_sync ~protocol:Sync.Reprocessing () in
+  checki "nothing saved" 0 stats.Sync.saved;
+  checkb "everything re-executed" true (stats.Sync.reexecuted > 0);
+  checki "serializable" 0 stats.Sync.serializability_violations
+
+let test_sync_deterministic () =
+  let a = run_sync ~seed:42 () and b = run_sync ~seed:42 () in
+  checkb "same seed, same final state" true (State.equal a.Sync.final_base b.Sync.final_base);
+  checki "same saved count" a.Sync.saved b.Sync.saved
+
+(* A merge-friendly workload: the mobile branch works on its own accounts
+   (transfers among 0-3, no ledger writes) while the base works on 4-7.
+   With few cross conflicts, B stays small and merging forwards nearly
+   everything. The default banking mix is merge-hostile — every deposit
+   touches the global ledger, putting most tentative transactions into B
+   itself, which no amount of transaction semantics can save; that regime
+   is exactly where the paper predicts reprocessing wins (Section 7.1). *)
+(* The paper's motivating mobile scenario: disconnected order entry. Each
+   tentative transaction records a new order under a fresh item, so
+   tentative work conflicts neither with the base nor with the mobile's
+   own earlier merged work; the base runs transfers on its own accounts.
+   (The default banking mix is merge-hostile for two faithful reasons:
+   the global ledger puts most tentative transactions into B directly,
+   and Strategy 2 restarts every new tentative history from the window
+   origin, so a same-window re-merge conflicts with the mobile's own
+   already-merged updates.) *)
+let order_entry_workload =
+  let bank12 = Banking.make ~n_accounts:12 in
+  let record_order rng ~name =
+    Program.make ~name ~ttype:"record_order"
+      ~params:[ ("amt", Rng.in_range rng 5 50) ]
+      [ Stmt.Update ("order_" ^ name, Expr.Add (Expr.Item ("order_" ^ name), Expr.Param "amt")) ]
+  in
+  let transfer rng ~name =
+    let from_ = 8 + Rng.int rng 4 in
+    let to_ = 8 + ((from_ - 8 + 1 + Rng.int rng 3) mod 4) in
+    Banking.transfer bank12 ~name ~from_ ~to_ ~amount:(Rng.in_range rng 1 20)
+  in
+  {
+    Sync.initial = Banking.initial_state bank12;
+    Sync.make_mobile_txn = record_order;
+    Sync.make_base_txn = transfer;
+  }
+
+let test_sync_merging_cheaper_on_commuting_workload () =
+  let run protocol =
+    Sync.run
+      {
+        Sync.default_config with
+        Sync.protocol;
+        Sync.seed = 9;
+        Sync.duration = 120.0;
+        (* connect often relative to the window so few sessions span a
+           boundary and get re-executed as "late" *)
+        Sync.window = 40.0;
+        Sync.mean_connect_gap = 5.0;
+      }
+      order_entry_workload
+  in
+  let merging = run (Sync.Merging Protocol.default_merge_config) in
+  let reproc = run Sync.Reprocessing in
+  checkb "most tentative transactions saved" true
+    (merging.Sync.saved > 3 * merging.Sync.reexecuted);
+  checkb "merging total cost below reprocessing" true
+    (Cost.total merging.Sync.cost < Cost.total reproc.Sync.cost);
+  checki "still serializable" 0 merging.Sync.serializability_violations
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "repro_replication"
+    [
+      ( "pqueue",
+        [
+          Alcotest.test_case "orders by key" `Quick test_pqueue_orders_by_key;
+          Alcotest.test_case "fifo ties" `Quick test_pqueue_fifo_ties;
+        ]
+        @ qsuite [ prop_pqueue_sorts ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "conflict-free merge" `Quick test_merge_conflict_free;
+          Alcotest.test_case "write-write backs out" `Quick
+            test_merge_write_write_conflict_backs_out;
+          Alcotest.test_case "additive conflict composes" `Quick
+            test_merge_additive_conflict_saved_by_algorithm2;
+          Alcotest.test_case "rejection" `Quick test_merge_rejection;
+          Alcotest.test_case "H4-style save in a merge" `Quick
+            test_merge_saves_affected_via_can_precede;
+          Alcotest.test_case "state = replay of logical history" `Quick
+            test_merge_state_equals_replay_of_new_history;
+          Alcotest.test_case "acceptance by shape" `Quick test_accept_same_shape;
+          Alcotest.test_case "Example 1 programs end to end" `Quick test_merge_example1_programs;
+          Alcotest.test_case "reprocess baseline" `Quick test_reprocess_all_reexecuted;
+          Alcotest.test_case "merge cheaper when all saved" `Quick
+            test_merge_cheaper_when_everything_saved;
+        ]
+        @ qsuite [ prop_merge_state_replay; prop_merge_replay_with_blind_writes ] );
+      ( "sync",
+        [
+          Alcotest.test_case "Strategy 2 serializable" `Slow test_sync_strategy2_serializable;
+          Alcotest.test_case "Strategy 1 anomalies detected" `Slow
+            test_sync_strategy1_detects_anomalies;
+          Alcotest.test_case "reprocessing baseline" `Quick test_sync_reprocessing_baseline;
+          Alcotest.test_case "deterministic" `Quick test_sync_deterministic;
+          Alcotest.test_case "merging cheaper (commuting workload)" `Quick
+            test_sync_merging_cheaper_on_commuting_workload;
+        ] );
+    ]
