@@ -1,0 +1,29 @@
+# Tier-1 verification entry points. `make ci` is what the CI runs:
+# build, tests, docs (skipped when odoc is not installed — the build
+# container does not ship it), and the changelog check.
+
+.PHONY: all build test bench doc changelog ci
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+doc:
+	@if command -v odoc >/dev/null 2>&1; then \
+		dune build @doc; \
+	else \
+		echo "doc: odoc not installed, skipping dune build @doc"; \
+	fi
+
+changelog:
+	sh tools/check_changes.sh
+
+ci: build test doc changelog
+	@echo "ci: ok"

@@ -163,11 +163,34 @@ let bench_tests () =
                       ignore (Backout.compute ~strategy:Backout.Greedy_damage case.Mergecase.pg)))))
       cases
   in
+  let obs_overhead_tests =
+    (* the instrumented end-to-end merge with recording on vs off; the
+       two should be within noise of each other *)
+    List.concat_map
+      (fun (n, case) ->
+        if n <> 64 then []
+        else
+          let base_programs = History.programs case.Mergecase.base in
+          let tentative = History.programs case.Mergecase.tentative in
+          let s0 = case.Mergecase.s0 in
+          let run_once () =
+            ignore (Repro_core.Session.merge_once ~s0 ~tentative ~base:base_programs ())
+          in
+          [
+            Bechamel.Test.make
+              ~name:(Printf.sprintf "merge-obs-off/n=%d" n)
+              (Bechamel.Staged.stage run_once);
+            Bechamel.Test.make
+              ~name:(Printf.sprintf "merge-obs-on/n=%d" n)
+              (Bechamel.Staged.stage (fun () -> Repro_obs.Obs.with_enabled true run_once));
+          ])
+      cases
+  in
   graph_tests @ backout_tests @ damage_backout_tests
   @ rewrite_tests Rewrite.Can_follow "alg1"
   @ rewrite_tests Rewrite.Can_follow_precede "alg2"
   @ rewrite_tests Rewrite.Commute_only "cbt"
-  @ static_rewrite_tests @ prune_tests @ protocol_tests
+  @ static_rewrite_tests @ prune_tests @ protocol_tests @ obs_overhead_tests
 
 let part2 () =
   Format.printf "=== Part 2: micro-benchmarks (Bechamel, monotonic clock) ===@.@.";
@@ -197,7 +220,39 @@ let part2 () =
       | _ -> Format.printf "%-40s %14s@." name "n/a")
     rows
 
+(* ------------------------------------------------------------------ *)
+(* Part 3: observability overhead on the E3 sweep — the issue budgets
+   instrumentation at < 3% with recording enabled. Best-of-N wall-clock
+   keeps scheduler noise out of the comparison. *)
+
+let part3 () =
+  Format.printf "@.=== Part 3: instrumentation overhead (E3 sweep, best of 5) ===@.@.";
+  let module Obs = Repro_obs.Obs in
+  let run_e3 () = ignore (E3_savings.run ~seeds:8 ~skews:[ 0.9 ] ()) in
+  let best_of ~enabled n f =
+    let best = ref infinity in
+    for _ = 1 to n do
+      Obs.reset ();
+      let dt =
+        Obs.with_enabled enabled (fun () ->
+            let t0 = Unix.gettimeofday () in
+            f ();
+            Unix.gettimeofday () -. t0)
+      in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  ignore (best_of ~enabled:false 2 run_e3);
+  (* warm-up *)
+  let off = best_of ~enabled:false 5 run_e3 in
+  let on = best_of ~enabled:true 5 run_e3 in
+  let overhead = (on -. off) /. off *. 100.0 in
+  Format.printf "obs off: %8.2f ms@.obs on:  %8.2f ms@.overhead: %+.2f%% (budget < 3%%)@."
+    (off *. 1000.0) (on *. 1000.0) overhead
+
 let () =
   part1 ();
   part2 ();
+  part3 ();
   Format.printf "@.bench: done@."

@@ -16,6 +16,47 @@ let print_tables ~csv tables =
 let csv_flag =
   Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of aligned tables.")
 
+(* --metrics / --trace: observability plumbing shared by merge, sim and
+   scenario. *)
+let metrics_arg =
+  let fmt = Arg.enum [ ("text", `Text); ("json", `Json); ("csv", `Csv) ] in
+  Arg.(
+    value
+    & opt ~vopt:(Some `Text) (some fmt) None
+    & info [ "metrics" ] ~docv:"FMT"
+        ~doc:
+          "Record pipeline metrics during the run and print the snapshot afterwards; $(docv) is \
+           text (default), json or csv.")
+
+let trace_arg =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:
+          "Stream one structured log line per completed pipeline span to stderr (implies metric \
+           recording).")
+
+let with_observability ~metrics ~trace f =
+  let module Obs = Repro_obs.Obs in
+  if metrics = None && not trace then f ()
+  else begin
+    if trace then begin
+      Repro_obs.Log_reporter.install_stderr_reporter ();
+      Obs.set_tracing true
+    end;
+    Obs.set_enabled true;
+    let result = f () in
+    (match metrics with
+    | None -> ()
+    | Some format ->
+      let report = Obs.snapshot () in
+      (match format with
+      | `Text -> print_string (Repro_obs.Report.to_text report)
+      | `Json -> print_endline (Repro_obs.Report.to_json report)
+      | `Csv -> print_string (Repro_obs.Report.to_csv report)));
+    result
+  end
+
 let seeds_arg default =
   Arg.(value & opt int default & info [ "seeds" ] ~docv:"N" ~doc:"Samples per sweep point.")
 
@@ -180,6 +221,93 @@ let a3_cmd =
     (Cmd.info "a3" ~doc:"Ablation: back-out strategies measured end to end after Algorithm 2.")
     Term.(const run $ csv_flag $ seeds_arg 25 $ skews)
 
+(* merge: one end-to-end merge over a generated case, with observability *)
+let merge_cmd =
+  let open Repro_replication in
+  let seed = Arg.(value & opt int 11 & info [ "seed" ] ~docv:"S" ~doc:"PRNG seed.") in
+  let tentative_len =
+    Arg.(
+      value & opt int 8
+      & info [ "tentative-len" ] ~docv:"N" ~doc:"Tentative (mobile) history length.")
+  in
+  let base_len =
+    Arg.(value & opt int 8 & info [ "base-len" ] ~docv:"N" ~doc:"Base history length.")
+  in
+  let skew =
+    Arg.(value & opt float 0.9 & info [ "skew" ] ~docv:"Z" ~doc:"Zipf skew of item selection.")
+  in
+  let commuting =
+    Arg.(
+      value & opt float 0.5
+      & info [ "commuting" ] ~docv:"F" ~doc:"Fraction of commuting transaction types.")
+  in
+  let strategy =
+    let open Repro_precedence in
+    let strat_conv =
+      Arg.enum (List.map (fun s -> (Backout.strategy_name s, s)) Backout.all_strategies)
+    in
+    Arg.(
+      value
+      & opt strat_conv Protocol.default_merge_config.Protocol.strategy
+      & info [ "strategy" ] ~docv:"NAME" ~doc:"Back-out strategy (Section 2.1 / [Dav84]).")
+  in
+  let algorithm =
+    let alg_conv =
+      Arg.enum
+        (List.map
+           (fun a -> (Repro_rewrite.Rewrite.algorithm_name a, a))
+           Repro_rewrite.Rewrite.all_algorithms)
+    in
+    Arg.(
+      value
+      & opt alg_conv Protocol.default_merge_config.Protocol.algorithm
+      & info [ "algorithm" ] ~docv:"NAME" ~doc:"History rewriter to run (Section 5).")
+  in
+  let run metrics trace seed tentative_len base_len skew commuting strategy algorithm =
+    let profile =
+      {
+        Repro_workload.Gen.default_profile with
+        Repro_workload.Gen.commuting_fraction = commuting;
+        Repro_workload.Gen.zipf_skew = skew;
+      }
+    in
+    let case = Mergecase.generate ~seed ~profile ~tentative_len ~base_len ~strategy in
+    let config = { Protocol.default_merge_config with Protocol.strategy; Protocol.algorithm } in
+    let result =
+      with_observability ~metrics ~trace @@ fun () ->
+      Repro_core.Session.merge_once ~config ~s0:case.Mergecase.s0
+        ~tentative:(Repro_history.History.programs case.Mergecase.tentative)
+        ~base:(Repro_history.History.programs case.Mergecase.base)
+        ()
+    in
+    let report = result.Repro_core.Session.report in
+    let count outcome =
+      List.length
+        (List.filter (fun (t : Protocol.txn_report) -> t.Protocol.outcome = outcome)
+           report.Protocol.txns)
+    in
+    (* Keep stdout machine-readable when a machine metrics format is on. *)
+    let ppf =
+      match metrics with
+      | Some `Json | Some `Csv -> Format.err_formatter
+      | Some `Text | None -> Format.std_formatter
+    in
+    Format.fprintf ppf
+      "tentative=%d base=%d backed_out=%d merged=%d reexecuted=%d rejected=%d@.cost: %a@."
+      tentative_len base_len
+      (Repro_history.Names.Set.cardinal report.Protocol.backed_out)
+      (count Protocol.Merged) (count Protocol.Reexecuted) (count Protocol.Rejected) Cost.pp
+      report.Protocol.cost
+  in
+  Cmd.v
+    (Cmd.info "merge"
+       ~doc:
+         "Generate one reproducible tentative/base history pair and run the full merge pipeline \
+          over it; combine with $(b,--metrics) and $(b,--trace) to inspect every stage.")
+    Term.(
+      const run $ metrics_arg $ trace_arg $ seed $ tentative_len $ base_len $ skew $ commuting
+      $ strategy $ algorithm)
+
 (* analyze: offline profile analysis of a transaction-type system file *)
 let analyze_cmd =
   let file =
@@ -212,9 +340,9 @@ let scenario_cmd =
   let reprocess_note =
     "Commands: init, base, mobile, connect [reprocess], expect, state — see      Repro_core.Scenario for the format."
   in
-  let run file =
+  let run metrics trace file =
     let source = In_channel.with_open_text file In_channel.input_all in
-    match Repro_core.Scenario.run source with
+    match with_observability ~metrics ~trace (fun () -> Repro_core.Scenario.run source) with
     | Error msg ->
       prerr_endline msg;
       exit 1
@@ -225,7 +353,7 @@ let scenario_cmd =
   Cmd.v
     (Cmd.info "scenario"
        ~doc:("Play a scripted reconnection session with assertions. " ^ reprocess_note))
-    Term.(const run $ file)
+    Term.(const run $ metrics_arg $ trace_arg $ file)
 
 (* all *)
 let all_cmd =
@@ -279,7 +407,7 @@ let sim_cmd =
       & info [ "profiles" ] ~docv:"FILE"
           ~doc:"Drive the simulation from a transaction-profile file instead of the built-in                 banking mix.")
   in
-  let run mobiles duration window seed strategy1 reprocess bias profiles =
+  let run metrics trace mobiles duration window seed strategy1 reprocess bias profiles =
     let workload =
       match profiles with
       | Some file -> (
@@ -311,6 +439,7 @@ let sim_cmd =
         }
     in
     let stats =
+      with_observability ~metrics ~trace @@ fun () ->
       Sync.run
         {
           Sync.default_config with
@@ -324,11 +453,18 @@ let sim_cmd =
         }
         workload
     in
-    Format.printf "%a@." Sync.pp_stats stats
+    let ppf =
+      match metrics with
+      | Some `Json | Some `Csv -> Format.err_formatter
+      | Some `Text | None -> Format.std_formatter
+    in
+    Format.fprintf ppf "%a@." Sync.pp_stats stats
   in
   Cmd.v
     (Cmd.info "sim" ~doc:"Run one multi-node banking simulation with custom parameters.")
-    Term.(const run $ mobiles $ duration $ window $ seed $ strategy1 $ reprocess $ bias $ profiles)
+    Term.(
+      const run $ metrics_arg $ trace_arg $ mobiles $ duration $ window $ seed $ strategy1
+      $ reprocess $ bias $ profiles)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
@@ -344,5 +480,5 @@ let () =
           [
             e1_cmd; e2_cmd; e3_cmd; e4_cmd; e5_cmd; e6_cmd; e7_cmd; e8_cmd; a1_cmd; a2_cmd;
             a3_cmd;
-            all_cmd; sim_cmd; analyze_cmd; scenario_cmd;
+            all_cmd; sim_cmd; merge_cmd; analyze_cmd; scenario_cmd;
           ]))

@@ -2,6 +2,10 @@ open Repro_txn
 open Repro_history
 open Repro_replication
 module Engine = Repro_db.Engine
+module Obs = Repro_obs.Obs
+
+let obs_merges = Obs.Counter.make "session.merges"
+let obs_comparisons = Obs.Counter.make "session.comparisons"
 
 type result = {
   precedence : Repro_precedence.Precedence.t;
@@ -22,6 +26,8 @@ let base_setup ~s0 ~base =
 
 let merge_once ?(config = Protocol.default_merge_config) ?(params = Cost.default_params) ~s0
     ~tentative ~base () =
+  Obs.Span.with_ ~name:"session.merge_once" @@ fun () ->
+  Obs.Counter.incr obs_merges;
   let engine, base_history = base_setup ~s0 ~base in
   let tentative_history = history tentative in
   let tentative_exec = History.execute s0 tentative_history in
@@ -53,6 +59,8 @@ type comparison = {
 
 let compare_protocols ?(config = Protocol.default_merge_config) ?(params = Cost.default_params)
     ~s0 ~tentative ~base () =
+  Obs.Span.with_ ~name:"session.compare_protocols" @@ fun () ->
+  Obs.Counter.incr obs_comparisons;
   let merge_result = merge_once ~config ~params ~s0 ~tentative ~base () in
   let engine, _ = base_setup ~s0 ~base in
   let rep =

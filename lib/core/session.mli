@@ -16,10 +16,16 @@ open Repro_replication
 
 type result = {
   precedence : Repro_precedence.Precedence.t;
-  report : Protocol.merge_report;
+      (** the graph [G(Hm, Hb)] of the two executions *)
+  report : Protocol.merge_report;  (** everything the protocol decided *)
   merged_state : State.t;  (** base state after the session *)
 }
 
+(** [merge_once ~s0 ~tentative ~base ()] runs one complete reconnection:
+    both histories execute from [s0] (programs are checked for duplicate
+    names), then the merge protocol reconciles them at the base.
+    [config] defaults to {!Protocol.default_merge_config}, [params] to
+    the Section 7.1 cost defaults. *)
 val merge_once :
   ?config:Protocol.merge_config ->
   ?params:Cost.params ->
@@ -29,14 +35,20 @@ val merge_once :
   unit ->
   result
 
+(** Merging vs two-tier reprocessing of the same inputs. *)
 type comparison = {
   merge_result : result;
   merge_cost : Cost.tally;
-  reprocess_state : State.t;
+  reprocess_state : State.t;  (** base state after reprocessing instead *)
   reprocess_cost : Cost.tally;
   reprocess_txns : Protocol.txn_report list;
+      (** per-transaction outcomes under reprocessing *)
 }
 
+(** [compare_protocols ~s0 ~tentative ~base ()] runs {!merge_once} and
+    then two-tier reprocessing on an identical fresh setup, reporting
+    both cost tallies — the paper's Section 7.1 comparison as one
+    call. *)
 val compare_protocols :
   ?config:Protocol.merge_config ->
   ?params:Cost.params ->

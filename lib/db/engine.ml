@@ -1,4 +1,8 @@
 open Repro_txn
+module Obs = Repro_obs.Obs
+
+let obs_txns = Obs.Counter.make "db.txns_committed"
+let obs_recoveries = Obs.Counter.make "db.recoveries"
 
 type t = {
   mutable state : State.t;
@@ -29,6 +33,7 @@ let run_one ?fix t program =
   log_record t txid r;
   t.state <- r.Interp.after;
   t.committed <- t.committed + 1;
+  Obs.Counter.incr obs_txns;
   r
 
 let execute ?fix ?(durably = true) t program =
@@ -59,7 +64,8 @@ let apply_updates t values items =
     items;
   Wal.append t.wal (Wal.Commit txid);
   Wal.force t.wal;
-  t.committed <- t.committed + 1
+  t.committed <- t.committed + 1;
+  Obs.Counter.incr obs_txns
 
 let undo t (r : Interp.record) =
   let txid = t.next_txid in
@@ -72,9 +78,11 @@ let undo t (r : Interp.record) =
     (List.rev r.Interp.writes);
   Wal.append t.wal (Wal.Commit txid);
   Wal.force t.wal;
-  t.committed <- t.committed + 1
+  t.committed <- t.committed + 1;
+  Obs.Counter.incr obs_txns
 
 let checkpoint t =
+  Obs.Span.with_ ~name:"db.checkpoint" @@ fun () ->
   Wal.append t.wal (Wal.Checkpoint t.state);
   Wal.force t.wal
 
@@ -105,7 +113,10 @@ let replay_entries ~fallback entries =
         -> s)
     start after_ckpt
 
-let recover t = replay_entries ~fallback:t.initial (Wal.durable_entries t.wal)
+let recover t =
+  Obs.Span.with_ ~name:"db.recover" @@ fun () ->
+  Obs.Counter.incr obs_recoveries;
+  replay_entries ~fallback:t.initial (Wal.durable_entries t.wal)
 
 let persist t ~path = Wal.save t.wal ~path
 

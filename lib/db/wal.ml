@@ -15,16 +15,23 @@ type t = {
   mutable forces : int;
 }
 
+module Obs = Repro_obs.Obs
+
+let obs_records = Obs.Counter.make "db.wal_records"
+let obs_forces = Obs.Counter.make "db.wal_forces"
+
 let create () = { rev_entries = []; total = 0; durable = 0; forces = 0 }
 
 let append t e =
   t.rev_entries <- e :: t.rev_entries;
-  t.total <- t.total + 1
+  t.total <- t.total + 1;
+  Obs.Counter.incr obs_records
 
 let force t =
   if t.durable < t.total then begin
     t.durable <- t.total;
-    t.forces <- t.forces + 1
+    t.forces <- t.forces + 1;
+    Obs.Counter.incr obs_forces
   end
 
 let entries t = List.rev t.rev_entries

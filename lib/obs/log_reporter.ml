@@ -1,0 +1,24 @@
+module Log = (val Logs.src_log Obs.src : Logs.LOG)
+
+let emit ?(level = Logs.Info) (r : Report.t) =
+  let msg fmt = Log.msg level fmt in
+  List.iter
+    (fun (c : Report.counter) ->
+      msg (fun m -> m "counter name=%s value=%d" c.Report.c_name c.Report.value))
+    r.Report.counters;
+  List.iter
+    (fun (d : Report.dist) ->
+      msg (fun m ->
+          m "dist name=%s count=%d total=%g min=%g max=%g" d.Report.d_name d.Report.count
+            d.Report.total d.Report.min d.Report.max))
+    r.Report.dists;
+  List.iter
+    (fun (s : Report.span) ->
+      msg (fun m ->
+          m "span name=%s count=%d total_s=%.6f max_depth=%d" s.Report.s_name s.Report.entered
+            s.Report.total_s s.Report.max_depth))
+    r.Report.spans
+
+let install_stderr_reporter () =
+  Logs.set_reporter (Logs.format_reporter ~app:Format.err_formatter ~dst:Format.err_formatter ());
+  Logs.Src.set_level Obs.src (Some Logs.Debug)

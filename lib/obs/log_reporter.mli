@@ -1,0 +1,24 @@
+(** Structured {!Logs} output for observability reports.
+
+    [emit] turns a {!Report.t} into one [Logs] message per metric on
+    {!Obs.src}, in [key=value] form — the machine-greppable counterpart
+    of {!Report.to_text} for deployments that already collect logs:
+
+    {v
+    repro.obs: [INFO] counter name=rewrite.pair_checks value=210
+    repro.obs: [INFO] span name=protocol.merge count=1 total_s=0.000184 max_depth=2
+    v}
+
+    This module is the reason the package depends on [logs]; set a
+    reporter (e.g. {!install_stderr_reporter} or your own) before
+    calling [emit], or the messages go nowhere. *)
+
+(** [emit ?level report] logs every entry of [report] on {!Obs.src}
+    (default level: [Logs.Info]). *)
+val emit : ?level:Logs.level -> Report.t -> unit
+
+(** Install a minimal [Format]-based reporter printing to [stderr] and
+    raise {!Obs.src}'s level so debug span traces are visible. Intended
+    for CLI use ([repro_cli --trace]); library code should leave the
+    reporter to its host application. *)
+val install_stderr_reporter : unit -> unit

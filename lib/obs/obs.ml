@@ -1,0 +1,166 @@
+let enabled_flag = ref false
+let tracing_flag = ref false
+
+let enabled () = !enabled_flag
+let set_enabled b = enabled_flag := b
+
+let with_enabled flag f =
+  let saved = !enabled_flag in
+  enabled_flag := flag;
+  Fun.protect ~finally:(fun () -> enabled_flag := saved) f
+
+let set_tracing b = tracing_flag := b
+let tracing () = !tracing_flag
+
+let src = Logs.Src.create "repro.obs" ~doc:"Merge-pipeline observability"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+(* The registry. Hashtables are keyed by metric name; [make] is
+   idempotent so instrumented modules can register at initialization
+   without coordinating. *)
+
+type counter = { c_name : string; mutable value : int }
+
+type dist = {
+  d_name : string;
+  mutable count : int;
+  mutable total : float;
+  mutable dmin : float;
+  mutable dmax : float;
+}
+
+type span_stat = {
+  s_name : string;
+  mutable entered : int;
+  mutable total_s : float;
+  mutable max_depth : int;
+}
+
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
+let dists : (string, dist) Hashtbl.t = Hashtbl.create 64
+let spans : (string, span_stat) Hashtbl.t = Hashtbl.create 64
+let span_depth = ref 0
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.value <- 0) counters;
+  Hashtbl.iter
+    (fun _ d ->
+      d.count <- 0;
+      d.total <- 0.0;
+      d.dmin <- 0.0;
+      d.dmax <- 0.0)
+    dists;
+  Hashtbl.iter
+    (fun _ s ->
+      s.entered <- 0;
+      s.total_s <- 0.0;
+      s.max_depth <- 0)
+    spans;
+  span_depth := 0
+
+module Counter = struct
+  type t = counter
+
+  let make name =
+    match Hashtbl.find_opt counters name with
+    | Some c -> c
+    | None ->
+      let c = { c_name = name; value = 0 } in
+      Hashtbl.replace counters name c;
+      c
+
+  let incr ?(by = 1) t =
+    if by < 0 then invalid_arg "Obs.Counter.incr: negative increment";
+    if !enabled_flag then t.value <- t.value + by
+
+  let value t = t.value
+  let name t = t.c_name
+end
+
+module Dist = struct
+  type t = dist
+
+  let make name =
+    match Hashtbl.find_opt dists name with
+    | Some d -> d
+    | None ->
+      let d = { d_name = name; count = 0; total = 0.0; dmin = 0.0; dmax = 0.0 } in
+      Hashtbl.replace dists name d;
+      d
+
+  let observe t x =
+    if !enabled_flag then begin
+      if t.count = 0 then begin
+        t.dmin <- x;
+        t.dmax <- x
+      end
+      else begin
+        if x < t.dmin then t.dmin <- x;
+        if x > t.dmax then t.dmax <- x
+      end;
+      t.count <- t.count + 1;
+      t.total <- t.total +. x
+    end
+
+  let observe_int t n = observe t (float_of_int n)
+  let count t = t.count
+end
+
+module Span = struct
+  let stat name =
+    match Hashtbl.find_opt spans name with
+    | Some s -> s
+    | None ->
+      let s = { s_name = name; entered = 0; total_s = 0.0; max_depth = 0 } in
+      Hashtbl.replace spans name s;
+      s
+
+  let with_ ~name f =
+    if not !enabled_flag then f ()
+    else begin
+      let s = stat name in
+      incr span_depth;
+      let d = !span_depth in
+      if d > s.max_depth then s.max_depth <- d;
+      let t0 = Unix.gettimeofday () in
+      Fun.protect
+        ~finally:(fun () ->
+          let dt = Unix.gettimeofday () -. t0 in
+          s.entered <- s.entered + 1;
+          s.total_s <- s.total_s +. dt;
+          decr span_depth;
+          if !tracing_flag then
+            Log.debug (fun m -> m "span %s %.1fus depth=%d" name (dt *. 1e6) d))
+        f
+    end
+
+  let depth () = !span_depth
+end
+
+let snapshot () =
+  let sorted_values tbl project =
+    List.sort compare (Hashtbl.fold (fun _ v acc -> project v :: acc) tbl [])
+  in
+  {
+    Report.counters =
+      sorted_values counters (fun (c : counter) ->
+          { Report.c_name = c.c_name; Report.value = c.value });
+    Report.dists =
+      sorted_values dists (fun (d : dist) ->
+          {
+            Report.d_name = d.d_name;
+            Report.count = d.count;
+            Report.total = d.total;
+            Report.min = d.dmin;
+            Report.max = d.dmax;
+          });
+    Report.spans =
+      sorted_values spans (fun (s : span_stat) ->
+          {
+            Report.s_name = s.s_name;
+            Report.entered = s.entered;
+            Report.total_s = s.total_s;
+            Report.max_depth = s.max_depth;
+          });
+  }

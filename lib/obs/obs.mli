@@ -1,0 +1,93 @@
+(** Merge-pipeline observability: counters, distributions and timed
+    spans behind a process-global registry.
+
+    The pipeline stages (precedence build, back-out, rewrite, prune,
+    forward, the storage engine, the protocols and the simulator)
+    register their metrics once at module initialization and touch them
+    on every run. Instrumentation is {e near-zero-cost when disabled}:
+    with the global switch off (the default) every hot-path operation is
+    a single mutable-bool test, and [Span.with_ ~name f] is exactly
+    [f ()] — the qcheck suite verifies that toggling the switch never
+    changes a merge result.
+
+    Typical use:
+
+    {[
+      Obs.set_enabled true;
+      let result = Session.merge_once ~s0 ~tentative ~base () in
+      print_string (Repro_obs.Report.to_text (Obs.snapshot ()))
+    ]}
+
+    The registry is process-global and not thread-safe, matching the
+    single-threaded engines and simulator it instruments. *)
+
+(** [enabled ()] — is instrumentation recording? Off by default. *)
+val enabled : unit -> bool
+
+val set_enabled : bool -> unit
+
+(** [with_enabled flag f] runs [f] with the switch set to [flag],
+    restoring the previous switch afterwards (also on exceptions). *)
+val with_enabled : bool -> (unit -> 'a) -> 'a
+
+(** [reset ()] zeroes every registered metric, keeping registrations. *)
+val reset : unit -> unit
+
+(** Span tracing: when on (and recording is enabled), every completed
+    span additionally emits one structured {!Logs} line on {!src} at
+    debug level — the live view of the pipeline behind the CLI's
+    [--trace] flag. Off by default. *)
+val set_tracing : bool -> unit
+
+val tracing : unit -> bool
+
+(** The [Logs] source every obs message is tagged with ("repro.obs"). *)
+val src : Logs.src
+
+(** Monotonic counters. *)
+module Counter : sig
+  type t
+
+  (** [make name] registers (or retrieves — [make] is idempotent per
+      name) the counter. Call it once at module initialization and keep
+      the handle; per-event lookups would dominate the cost of [incr]. *)
+  val make : string -> t
+
+  (** [incr ?by t] adds [by] (default 1, must be non-negative) when
+      enabled; no-op otherwise.
+      @raise Invalid_argument on a negative [by]. *)
+  val incr : ?by:int -> t -> unit
+
+  val value : t -> int
+  val name : t -> string
+end
+
+(** Distributions: count / total / min / max of observed values. *)
+module Dist : sig
+  type t
+
+  (** [make name] registers (or retrieves) the distribution. *)
+  val make : string -> t
+
+  (** [observe t x] records [x] when enabled; no-op otherwise. *)
+  val observe : t -> float -> unit
+
+  val observe_int : t -> int -> unit
+  val count : t -> int
+end
+
+(** Nestable wall-clock spans. *)
+module Span : sig
+  (** [with_ ~name f] times [f ()] against the span [name] when enabled
+      (recording also on exceptions); just [f ()] otherwise. Spans nest:
+      the registry tracks the deepest level each span ran at. *)
+  val with_ : name:string -> (unit -> 'a) -> 'a
+
+  (** Current nesting depth (0 outside any span). *)
+  val depth : unit -> int
+end
+
+(** [snapshot ()] — every registered metric, each section sorted by
+    name. Deterministic for a seeded run except span timings
+    ({!Report.strip_timings}). *)
+val snapshot : unit -> Report.t

@@ -1,0 +1,375 @@
+type counter = { c_name : string; value : int }
+type dist = { d_name : string; count : int; total : float; min : float; max : float }
+type span = { s_name : string; entered : int; total_s : float; max_depth : int }
+type t = { counters : counter list; dists : dist list; spans : span list }
+
+let empty = { counters = []; dists = []; spans = [] }
+
+let entry_count r =
+  List.length r.counters + List.length r.dists + List.length r.spans
+
+let strip_timings r =
+  { r with spans = List.map (fun s -> { s with total_s = 0.0 }) r.spans }
+
+(* Fixed-width float rendering keeps render -> parse -> render stable:
+   re-printing a parsed value reproduces the original text. *)
+let fl x = Printf.sprintf "%.9f" x
+
+(* ------------------------------------------------------------------ *)
+(* Text *)
+
+let to_text r =
+  let b = Buffer.create 1024 in
+  let width =
+    List.fold_left max 0
+      (List.map (fun (c : counter) -> String.length c.c_name) r.counters
+      @ List.map (fun (d : dist) -> String.length d.d_name) r.dists
+      @ List.map (fun (s : span) -> String.length s.s_name) r.spans)
+  in
+  let pad name = name ^ String.make (width - String.length name) ' ' in
+  if r.counters <> [] then begin
+    Buffer.add_string b "counters:\n";
+    List.iter
+      (fun c -> Buffer.add_string b (Printf.sprintf "  %s %d\n" (pad c.c_name) c.value))
+      r.counters
+  end;
+  if r.dists <> [] then begin
+    Buffer.add_string b "distributions:\n";
+    List.iter
+      (fun d ->
+        Buffer.add_string b
+          (Printf.sprintf "  %s n=%d total=%g min=%g max=%g mean=%g\n" (pad d.d_name) d.count
+             d.total d.min d.max
+             (if d.count = 0 then 0.0 else d.total /. float_of_int d.count)))
+      r.dists
+  end;
+  if r.spans <> [] then begin
+    Buffer.add_string b "spans:\n";
+    List.iter
+      (fun s ->
+        Buffer.add_string b
+          (Printf.sprintf "  %s n=%d total=%.3fms depth<=%d\n" (pad s.s_name) s.entered
+             (s.total_s *. 1e3) s.max_depth))
+      r.spans
+  end;
+  if Buffer.length b = 0 then Buffer.add_string b "no metrics recorded\n";
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* CSV *)
+
+let csv_header = "kind,name,value,count,total,min,max,max_depth"
+
+let to_csv r =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b csv_header;
+  List.iter
+    (fun c -> Buffer.add_string b (Printf.sprintf "\ncounter,%s,%d,,,,," c.c_name c.value))
+    r.counters;
+  List.iter
+    (fun d ->
+      Buffer.add_string b
+        (Printf.sprintf "\ndist,%s,,%d,%s,%s,%s," d.d_name d.count (fl d.total) (fl d.min)
+           (fl d.max)))
+    r.dists;
+  List.iter
+    (fun s ->
+      Buffer.add_string b
+        (Printf.sprintf "\nspan,%s,,%d,%s,,,%d" s.s_name s.entered (fl s.total_s) s.max_depth))
+    r.spans;
+  Buffer.contents b
+
+let of_csv source =
+  let int_field line what s =
+    match int_of_string_opt s with
+    | Some v -> v
+    | None -> failwith (Printf.sprintf "line %d: bad %s %S" line what s)
+  in
+  let float_field line what s =
+    match float_of_string_opt s with
+    | Some v -> v
+    | None -> failwith (Printf.sprintf "line %d: bad %s %S" line what s)
+  in
+  try
+    let lines = String.split_on_char '\n' source in
+    match lines with
+    | [] -> failwith "empty input"
+    | header :: rows ->
+      if String.trim header <> csv_header then failwith "line 1: unrecognized header";
+      let counters = ref [] and dists = ref [] and spans = ref [] in
+      List.iteri
+        (fun i row ->
+          let line = i + 2 in
+          if String.trim row <> "" then
+            match String.split_on_char ',' row with
+            | [ "counter"; name; v; ""; ""; ""; ""; "" ] ->
+              counters := { c_name = name; value = int_field line "value" v } :: !counters
+            | [ "dist"; name; ""; n; total; mn; mx; "" ] ->
+              dists :=
+                {
+                  d_name = name;
+                  count = int_field line "count" n;
+                  total = float_field line "total" total;
+                  min = float_field line "min" mn;
+                  max = float_field line "max" mx;
+                }
+                :: !dists
+            | [ "span"; name; ""; n; total; ""; ""; depth ] ->
+              spans :=
+                {
+                  s_name = name;
+                  entered = int_field line "count" n;
+                  total_s = float_field line "total" total;
+                  max_depth = int_field line "max_depth" depth;
+                }
+                :: !spans
+            | _ -> failwith (Printf.sprintf "line %d: malformed row %S" line row))
+        rows;
+      Ok { counters = List.rev !counters; dists = List.rev !dists; spans = List.rev !spans }
+  with Failure msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* JSON *)
+
+let escape_json s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json r =
+  let b = Buffer.create 2048 in
+  let sep = ref false in
+  let item s =
+    if !sep then Buffer.add_string b ",\n";
+    sep := true;
+    Buffer.add_string b s
+  in
+  Buffer.add_string b "{\n  \"counters\": [\n";
+  List.iter
+    (fun c ->
+      item (Printf.sprintf "    {\"name\": \"%s\", \"value\": %d}" (escape_json c.c_name) c.value))
+    r.counters;
+  Buffer.add_string b "\n  ],\n  \"dists\": [\n";
+  sep := false;
+  List.iter
+    (fun d ->
+      item
+        (Printf.sprintf
+           "    {\"name\": \"%s\", \"count\": %d, \"total\": %s, \"min\": %s, \"max\": %s}"
+           (escape_json d.d_name) d.count (fl d.total) (fl d.min) (fl d.max)))
+    r.dists;
+  Buffer.add_string b "\n  ],\n  \"spans\": [\n";
+  sep := false;
+  List.iter
+    (fun s ->
+      item
+        (Printf.sprintf
+           "    {\"name\": \"%s\", \"count\": %d, \"total_s\": %s, \"max_depth\": %d}"
+           (escape_json s.s_name) s.entered (fl s.total_s) s.max_depth))
+    r.spans;
+  Buffer.add_string b "\n  ]\n}\n";
+  Buffer.contents b
+
+(* A minimal JSON reader for the subset [to_json] emits: objects, arrays,
+   strings, numbers, booleans, null. *)
+module Json = struct
+  type value =
+    | Obj of (string * value) list
+    | Arr of value list
+    | Str of string
+    | Num of float
+    | Bool of bool
+    | Null
+
+  type cursor = { src : string; mutable pos : int }
+
+  let error cur msg = failwith (Printf.sprintf "at offset %d: %s" cur.pos msg)
+  let peek cur = if cur.pos < String.length cur.src then Some cur.src.[cur.pos] else None
+
+  let advance cur = cur.pos <- cur.pos + 1
+
+  let rec skip_ws cur =
+    match peek cur with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance cur;
+      skip_ws cur
+    | _ -> ()
+
+  let expect cur c =
+    skip_ws cur;
+    match peek cur with
+    | Some d when d = c -> advance cur
+    | _ -> error cur (Printf.sprintf "expected %c" c)
+
+  let literal cur word value =
+    if
+      cur.pos + String.length word <= String.length cur.src
+      && String.sub cur.src cur.pos (String.length word) = word
+    then begin
+      cur.pos <- cur.pos + String.length word;
+      value
+    end
+    else error cur (Printf.sprintf "expected %s" word)
+
+  let string_ cur =
+    expect cur '"';
+    let b = Buffer.create 16 in
+    let rec loop () =
+      match peek cur with
+      | None -> error cur "unterminated string"
+      | Some '"' -> advance cur
+      | Some '\\' -> (
+        advance cur;
+        match peek cur with
+        | Some '"' -> advance cur; Buffer.add_char b '"'; loop ()
+        | Some '\\' -> advance cur; Buffer.add_char b '\\'; loop ()
+        | Some 'n' -> advance cur; Buffer.add_char b '\n'; loop ()
+        | Some 't' -> advance cur; Buffer.add_char b '\t'; loop ()
+        | Some 'r' -> advance cur; Buffer.add_char b '\r'; loop ()
+        | Some 'u' ->
+          advance cur;
+          if cur.pos + 4 > String.length cur.src then error cur "bad \\u escape";
+          let hex = String.sub cur.src cur.pos 4 in
+          (match int_of_string_opt ("0x" ^ hex) with
+          | Some code when code < 0x80 ->
+            cur.pos <- cur.pos + 4;
+            Buffer.add_char b (Char.chr code);
+            loop ()
+          | _ -> error cur "unsupported \\u escape")
+        | _ -> error cur "bad escape")
+      | Some c ->
+        advance cur;
+        Buffer.add_char b c;
+        loop ()
+    in
+    loop ();
+    Buffer.contents b
+
+  let number cur =
+    let start = cur.pos in
+    let is_num_char c =
+      (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+    in
+    let rec loop () =
+      match peek cur with Some c when is_num_char c -> advance cur; loop () | _ -> ()
+    in
+    loop ();
+    let text = String.sub cur.src start (cur.pos - start) in
+    match float_of_string_opt text with
+    | Some f -> f
+    | None -> error cur (Printf.sprintf "bad number %S" text)
+
+  let rec value cur =
+    skip_ws cur;
+    match peek cur with
+    | Some '{' ->
+      advance cur;
+      skip_ws cur;
+      if peek cur = Some '}' then begin advance cur; Obj [] end
+      else
+        let rec fields acc =
+          skip_ws cur;
+          let key = string_ cur in
+          expect cur ':';
+          let v = value cur in
+          skip_ws cur;
+          match peek cur with
+          | Some ',' -> advance cur; fields ((key, v) :: acc)
+          | Some '}' -> advance cur; Obj (List.rev ((key, v) :: acc))
+          | _ -> error cur "expected , or }"
+        in
+        fields []
+    | Some '[' ->
+      advance cur;
+      skip_ws cur;
+      if peek cur = Some ']' then begin advance cur; Arr [] end
+      else
+        let rec elements acc =
+          let v = value cur in
+          skip_ws cur;
+          match peek cur with
+          | Some ',' -> advance cur; elements (v :: acc)
+          | Some ']' -> advance cur; Arr (List.rev (v :: acc))
+          | _ -> error cur "expected , or ]"
+        in
+        elements []
+    | Some '"' -> Str (string_ cur)
+    | Some 't' -> literal cur "true" (Bool true)
+    | Some 'f' -> literal cur "false" (Bool false)
+    | Some 'n' -> literal cur "null" Null
+    | Some _ -> Num (number cur)
+    | None -> error cur "unexpected end of input"
+
+  let parse src =
+    let cur = { src; pos = 0 } in
+    let v = value cur in
+    skip_ws cur;
+    if cur.pos <> String.length src then error cur "trailing garbage";
+    v
+end
+
+let of_json source =
+  let open Json in
+  let field what fields key =
+    match List.assoc_opt key fields with
+    | Some v -> v
+    | None -> failwith (Printf.sprintf "%s: missing field %S" what key)
+  in
+  let str what = function Str s -> s | _ -> failwith (what ^ ": expected a string") in
+  let num what = function Num f -> f | _ -> failwith (what ^ ": expected a number") in
+  let int_ what v = int_of_float (num what v) in
+  try
+    match parse source with
+    | Obj fields ->
+      let section key of_entry =
+        match field "report" fields key with
+        | Arr entries ->
+          List.map
+            (fun e ->
+              match e with
+              | Obj f -> of_entry f
+              | _ -> failwith (key ^ ": expected an object entry"))
+            entries
+        | _ -> failwith (key ^ ": expected an array")
+      in
+      let counters =
+        section "counters" (fun f ->
+            {
+              c_name = str "counter name" (field "counter" f "name");
+              value = int_ "counter value" (field "counter" f "value");
+            })
+      in
+      let dists =
+        section "dists" (fun f ->
+            {
+              d_name = str "dist name" (field "dist" f "name");
+              count = int_ "dist count" (field "dist" f "count");
+              total = num "dist total" (field "dist" f "total");
+              min = num "dist min" (field "dist" f "min");
+              max = num "dist max" (field "dist" f "max");
+            })
+      in
+      let spans =
+        section "spans" (fun f ->
+            {
+              s_name = str "span name" (field "span" f "name");
+              entered = int_ "span count" (field "span" f "count");
+              total_s = num "span total" (field "span" f "total_s");
+              max_depth = int_ "span max_depth" (field "span" f "max_depth");
+            })
+      in
+      Ok { counters; dists; spans }
+    | _ -> Error "expected a top-level object"
+  with Failure msg -> Error msg
+
+let pp ppf r = Format.pp_print_string ppf (to_text r)

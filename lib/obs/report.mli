@@ -1,0 +1,60 @@
+(** Immutable snapshots of the observability registry, with renderers.
+
+    A report is what {!Obs.snapshot} returns: every registered counter,
+    distribution and span, sorted by name. Three renderers cover the
+    consumers the pipeline has today — [to_text] for humans on a
+    terminal, [to_csv] for spreadsheets and plotting scripts, [to_json]
+    for structured tooling — and the CSV/JSON forms parse back
+    ([of_csv], [of_json]), so reports can round-trip through files. The
+    parsers accept exactly the subset their renderers emit; they are not
+    general CSV/JSON readers.
+
+    Span timings are wall-clock and therefore nondeterministic;
+    {!strip_timings} zeroes them so that two reports of the same seeded
+    run compare equal (the determinism the test suite checks). *)
+
+(** A monotonic counter's final value. *)
+type counter = { c_name : string; value : int }
+
+(** A distribution: how many observations, their sum, and the extremes.
+    When [count] is [0] the other fields are all zero. *)
+type dist = { d_name : string; count : int; total : float; min : float; max : float }
+
+(** A timed span: completions, cumulative wall-clock seconds, and the
+    deepest nesting level at which the span ran (1 = top level). *)
+type span = { s_name : string; entered : int; total_s : float; max_depth : int }
+
+type t = { counters : counter list; dists : dist list; spans : span list }
+
+val empty : t
+
+(** Total number of entries across the three sections. *)
+val entry_count : t -> int
+
+(** [strip_timings r] zeroes every span's [total_s], keeping counts and
+    depths — the deterministic residue of a seeded run. *)
+val strip_timings : t -> t
+
+(** {2 Renderers} *)
+
+(** Aligned, sectioned listing for terminals. *)
+val to_text : t -> string
+
+(** One flat table: [kind,name,value,count,total,min,max,max_depth]
+    with a header row; fields a kind does not use are left empty. *)
+val to_csv : t -> string
+
+(** A single JSON object with [counters], [dists] and [spans] arrays. *)
+val to_json : t -> string
+
+(** {2 Parsers} *)
+
+(** [of_csv s] parses [to_csv] output.
+    @return [Error] with a line number and message on malformed input. *)
+val of_csv : string -> (t, string) result
+
+(** [of_json s] parses [to_json] output (and any JSON structurally equal
+    to it). *)
+val of_json : string -> (t, string) result
+
+val pp : Format.formatter -> t -> unit

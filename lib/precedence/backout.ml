@@ -1,6 +1,10 @@
 open Repro_history
 module Digraph = Repro_graph.Digraph
 module Scc = Repro_graph.Scc
+module Obs = Repro_obs.Obs
+
+let obs_computed = Obs.Counter.make "backout.computed"
+let obs_b_size = Obs.Dist.make "backout.b_size"
 
 type strategy =
   | All_in_cycles
@@ -18,6 +22,12 @@ let strategy_name = function
   | Two_cycle_then_greedy -> "two-cycle-optimal"
   | Greedy_damage -> "greedy-damage"
   | Exhaustive -> "exhaustive-minimal"
+
+(* Registered up front so [compute] does no name building on the hot
+   path. *)
+let obs_b_size_of =
+  let table = List.map (fun s -> (s, Obs.Dist.make ("backout.b_size." ^ strategy_name s))) all_strategies in
+  fun strategy -> List.assq strategy table
 
 let name_of pg i = (Precedence.summary_of_node pg i).Summary.name
 
@@ -139,6 +149,7 @@ let exhaustive pg =
   try_size 0
 
 let compute ~strategy pg =
+  Obs.Span.with_ ~name:"backout.compute" @@ fun () ->
   let b =
     match strategy with
     | All_in_cycles -> all_in_cycles pg
@@ -148,4 +159,10 @@ let compute ~strategy pg =
     | Exhaustive -> exhaustive pg
   in
   assert (breaks_all_cycles pg b);
+  Obs.Counter.incr obs_computed;
+  if Obs.enabled () then begin
+    let size = Names.Set.cardinal b in
+    Obs.Dist.observe_int obs_b_size size;
+    Obs.Dist.observe_int (obs_b_size_of strategy) size
+  end;
   b

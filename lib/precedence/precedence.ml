@@ -3,14 +3,22 @@ open Repro_history
 module Digraph = Repro_graph.Digraph
 module Scc = Repro_graph.Scc
 module Topo = Repro_graph.Topo
+module Obs = Repro_obs.Obs
+
+let obs_builds = Obs.Counter.make "precedence.builds"
+let obs_cyclic = Obs.Counter.make "precedence.cyclic_graphs"
+let obs_nodes = Obs.Dist.make "precedence.nodes"
+let obs_edges = Obs.Dist.make "precedence.edges"
 
 type t = {
   graph : Digraph.t;
   summaries : Summary.t array;
   index : (Names.t, int) Hashtbl.t;
+  mutable acyclic : bool option;  (* cached first Scc run over [graph] *)
 }
 
 let build ~tentative ~base =
+  Obs.Span.with_ ~name:"precedence.build" @@ fun () ->
   let summaries = Array.of_list (tentative @ base) in
   let n = Array.length summaries in
   let index = Hashtbl.create n in
@@ -53,7 +61,10 @@ let build ~tentative ~base =
       then Digraph.add_edge graph j i
     done
   done;
-  { graph; summaries; index }
+  Obs.Counter.incr obs_builds;
+  Obs.Dist.observe_int obs_nodes n;
+  Obs.Dist.observe_int obs_edges (Digraph.edge_count graph);
+  { graph; summaries; index; acyclic = None }
 
 let of_executions ~tentative ~base =
   build
@@ -67,7 +78,15 @@ let node_of t name =
   match Hashtbl.find_opt t.index name with Some i -> i | None -> raise Not_found
 
 let summary_of_node t i = t.summaries.(i)
-let is_acyclic t = Scc.is_acyclic t.graph
+
+let is_acyclic t =
+  match t.acyclic with
+  | Some a -> a
+  | None ->
+    let a = Scc.is_acyclic t.graph in
+    t.acyclic <- Some a;
+    if not a then Obs.Counter.incr obs_cyclic;
+    a
 
 let tentative_on_cycles t =
   List.fold_left

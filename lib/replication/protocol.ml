@@ -4,6 +4,16 @@ open Repro_precedence
 open Repro_rewrite
 module Engine = Repro_db.Engine
 module Digraph = Repro_graph.Digraph
+module Obs = Repro_obs.Obs
+
+let obs_merges = Obs.Counter.make "protocol.merges"
+let obs_reprocess_sessions = Obs.Counter.make "protocol.reprocess_sessions"
+let obs_txn_merged = Obs.Counter.make "protocol.txn_merged"
+let obs_txn_reexecuted = Obs.Counter.make "protocol.txn_reexecuted"
+let obs_txn_rejected = Obs.Counter.make "protocol.txn_rejected"
+let obs_forwarded = Obs.Dist.make "protocol.forwarded_items"
+let obs_merge_cost = Obs.Dist.make "protocol.merge_cost"
+let obs_reprocess_cost = Obs.Dist.make "protocol.reprocess_cost"
 
 type acceptance = original:Interp.record -> replayed:Interp.record -> bool
 
@@ -119,6 +129,7 @@ let stable_merge_order pg ~removed =
     (drain initial [] (List.length nodes))
 
 let reexecute_backed_out ~acceptance ~params ~base ~tentative_exec ~cost names_in_order =
+  Obs.Span.with_ ~name:"protocol.reexecute" @@ fun () ->
   List.map
     (fun (program : Program.t) ->
       let name = program.Program.name in
@@ -144,7 +155,17 @@ let reexecute_backed_out ~acceptance ~params ~base ~tentative_exec ~cost names_i
       else ({ name; outcome = Rejected }, None))
     names_in_order
 
+let count_outcomes txns =
+  List.iter
+    (fun (t : txn_report) ->
+      match t.outcome with
+      | Merged -> Obs.Counter.incr obs_txn_merged
+      | Reexecuted -> Obs.Counter.incr obs_txn_reexecuted
+      | Rejected -> Obs.Counter.incr obs_txn_rejected)
+    txns
+
 let merge ~config ~params ~base ~base_history ~origin ~tentative =
+  Obs.Span.with_ ~name:"protocol.merge" @@ fun () ->
   let cost = Cost.zero () in
   let tentative_exec = History.execute origin tentative in
   let tent_summaries = Summary.of_execution ~kind:Summary.Tentative tentative_exec in
@@ -261,8 +282,10 @@ let merge ~config ~params ~base ~base_history ~origin ~tentative =
   cost.Cost.communication <-
     cost.Cost.communication
     +. (params.Cost.comm_per_unit *. float_of_int (Item.Set.cardinal forwarded_items));
+  Obs.Dist.observe_int obs_forwarded (Item.Set.cardinal forwarded_items);
   if not (Item.Set.is_empty forwarded_items) then begin
-    Engine.apply_updates base pruned_state forwarded_items;
+    Obs.Span.with_ ~name:"protocol.forward" (fun () ->
+        Engine.apply_updates base pruned_state forwarded_items);
     cost.Cost.base_cpu <- cost.Cost.base_cpu +. params.Cost.cc_per_txn;
     cost.Cost.base_io <- cost.Cost.base_io +. params.Cost.io_per_force
   end;
@@ -281,6 +304,9 @@ let merge ~config ~params ~base ~base_history ~origin ~tentative =
     @ List.map fst reexec_results
   in
   let appended = List.filter_map snd reexec_results in
+  Obs.Counter.incr obs_merges;
+  count_outcomes txns;
+  Obs.Dist.observe obs_merge_cost (Cost.total cost);
   {
     bad;
     affected = rw.Rewrite.affected;
@@ -294,10 +320,15 @@ let merge ~config ~params ~base ~base_history ~origin ~tentative =
   }
 
 let reprocess ~acceptance ~params ~base ~origin ~tentative =
+  Obs.Span.with_ ~name:"protocol.reprocess" @@ fun () ->
   let cost = Cost.zero () in
   let tentative_exec = History.execute origin tentative in
   let results =
     reexecute_backed_out ~acceptance ~params ~base ~tentative_exec ~cost
       (History.programs tentative)
   in
-  { txns = List.map fst results; appended = List.filter_map snd results; cost }
+  Obs.Counter.incr obs_reprocess_sessions;
+  let txns = List.map fst results in
+  count_outcomes txns;
+  Obs.Dist.observe obs_reprocess_cost (Cost.total cost);
+  { txns; appended = List.filter_map snd results; cost }

@@ -3,6 +3,14 @@ open Repro_history
 module Engine = Repro_db.Engine
 module Rng = Repro_workload.Rng
 
+module Obs = Repro_obs.Obs
+
+let obs_events = Obs.Counter.make "sync.events"
+let obs_anomalies = Obs.Counter.make "sync.anomalies"
+let obs_late = Obs.Counter.make "sync.late_sessions"
+let obs_windows = Obs.Counter.make "sync.windows"
+let obs_session_len = Obs.Dist.make "sync.session_len"
+
 type isolation = Strategy1 | Strategy2
 type protocol = Merging of Protocol.merge_config | Reprocessing
 
@@ -150,6 +158,7 @@ let run config workload =
   in
 
   let handle_connect m =
+    Obs.Dist.observe_int obs_session_len (List.length m.tentative_rev);
     (match (m.tentative_rev, config.protocol) with
     | [], _ -> ()
     | _, Reprocessing ->
@@ -162,6 +171,7 @@ let run config workload =
         if m.window_started < !window_index then begin
           (* Connected too late: the next window is already open. *)
           incr late_sessions;
+          Obs.Counter.incr obs_late;
           late_txns := !late_txns + History.length history;
           reprocess_session m history
         end
@@ -186,6 +196,7 @@ let run config workload =
         let prefix, suffix = split_at m.origin_pos !logical in
         if not (State.equal (replay_programs workload.initial prefix) m.origin) then begin
           incr anomalies;
+          Obs.Counter.incr obs_anomalies;
           reprocess_session m history
         end
         else begin
@@ -203,6 +214,7 @@ let run config workload =
 
   let check_window () =
     incr windows_checked;
+    Obs.Counter.incr obs_windows;
     let origin = match config.isolation with Strategy2 -> !window_origin | Strategy1 -> workload.initial in
     if not (State.equal (replay_programs origin !logical) (Engine.state base)) then incr violations;
     match config.isolation with
@@ -218,6 +230,7 @@ let run config workload =
     | None -> ()
     | Some (t, _) when t > config.duration -> ()
     | Some (t, ev) ->
+      Obs.Counter.incr obs_events;
       (match ev with
       | Mobile_txn i ->
         let m = mobiles.(i) in
@@ -243,7 +256,7 @@ let run config workload =
         schedule (t +. config.window) Window_boundary);
       loop ()
   in
-  loop ();
+  Obs.Span.with_ ~name:"sync.run" loop;
   check_window ();
   {
     base_txns = !base_txns;

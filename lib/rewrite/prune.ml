@@ -1,5 +1,12 @@
 open Repro_txn
 open Repro_history
+module Obs = Repro_obs.Obs
+
+let obs_compensations = Obs.Counter.make "prune.compensators_run"
+let obs_restored = Obs.Counter.make "prune.items_restored"
+let obs_uras = Obs.Counter.make "prune.uras_run"
+let obs_ura_updates = Obs.Counter.make "prune.ura_updates"
+let obs_suffix = Obs.Dist.make "prune.suffix_len"
 
 type outcome = {
   final : State.t;
@@ -12,22 +19,33 @@ type outcome = {
 
 type error = Missing_compensator of Names.t
 
+(* Every successful prune, either approach, lands here. *)
+let observe_outcome (o : outcome) =
+  Obs.Counter.incr ~by:o.compensators_run obs_compensations;
+  Obs.Counter.incr ~by:o.items_restored obs_restored;
+  Obs.Counter.incr ~by:o.uras_run obs_uras;
+  Obs.Counter.incr ~by:o.ura_updates obs_ura_updates;
+  Obs.Dist.observe_int obs_suffix o.suffix_length;
+  o
+
 let expected (r : Rewrite.result) =
   History.final_state r.Rewrite.execution.History.initial r.Rewrite.repaired
 
 let compensate (r : Rewrite.result) =
+  Obs.Span.with_ ~name:"prune.compensate" @@ fun () ->
   let suffix = Rewrite.suffix r in
   let rec unwind state compensators_run = function
     | [] ->
       Ok
-        {
-          final = state;
-          suffix_length = List.length suffix;
-          compensators_run;
-          items_restored = 0;
-          uras_run = 0;
-          ura_updates = 0;
-        }
+        (observe_outcome
+           {
+             final = state;
+             suffix_length = List.length suffix;
+             compensators_run;
+             items_restored = 0;
+             uras_run = 0;
+             ura_updates = 0;
+           })
     | (e : History.entry) :: rest -> (
       match Compensation.derive e.History.program with
       | None -> Error (Missing_compensator e.History.program.Program.name)
@@ -44,6 +62,7 @@ let rec count_updates = function
   | Stmt.If (_, ss1, ss2) :: rest -> count_updates ss1 + count_updates ss2 + count_updates rest
 
 let undo (r : Rewrite.result) =
+  Obs.Span.with_ ~name:"prune.undo" @@ fun () ->
   let exec = r.Rewrite.execution in
   let suffix_names =
     Names.Set.of_names
@@ -104,14 +123,15 @@ let undo (r : Rewrite.result) =
         state := Interp.apply !state ura
       end)
     (History.entries r.Rewrite.repaired);
-  {
-    final = !state;
-    suffix_length = Names.Set.cardinal suffix_names;
-    compensators_run = 0;
-    items_restored = !restored;
-    uras_run = !uras_run;
-    ura_updates = !ura_updates;
-  }
+  observe_outcome
+    {
+      final = !state;
+      suffix_length = Names.Set.cardinal suffix_names;
+      compensators_run = 0;
+      items_restored = !restored;
+      uras_run = !uras_run;
+      ura_updates = !ura_updates;
+    }
 
 let pp_error ppf = function
   | Missing_compensator name ->

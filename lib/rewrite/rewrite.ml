@@ -1,5 +1,15 @@
 open Repro_txn
 open Repro_history
+module Obs = Repro_obs.Obs
+
+let obs_runs = Obs.Counter.make "rewrite.runs"
+let obs_pair_checks = Obs.Counter.make "rewrite.pair_checks"
+let obs_oracle_calls = Obs.Counter.make "rewrite.can_precede_calls"
+let obs_moves = Obs.Counter.make "rewrite.moves"
+let obs_saved = Obs.Dist.make "rewrite.saved"
+let obs_lost = Obs.Dist.make "rewrite.lost"
+let obs_affected = Obs.Dist.make "rewrite.affected"
+let obs_fix_items = Obs.Dist.make "rewrite.fix_items"
 
 type algorithm = Closure | Can_follow | Can_follow_precede | Commute_only
 
@@ -71,9 +81,12 @@ let may_move ~theory st algorithm ~block ~mover:i =
       | Can_follow -> dyn_can_follow st ~jumped:j ~mover:i
       | Can_follow_precede ->
         dyn_can_follow st ~jumped:j ~mover:i
-        || Semantics.can_precede ~theory ~fix_domain:(Fix.domain st.fixes.(j))
-             ~mover:(program_of st i) ~target:(program_of st j)
+        ||
+        (Obs.Counter.incr obs_oracle_calls;
+         Semantics.can_precede ~theory ~fix_domain:(Fix.domain st.fixes.(j))
+           ~mover:(program_of st i) ~target:(program_of st j))
       | Commute_only ->
+        Obs.Counter.incr obs_oracle_calls;
         Semantics.commutes_backward_through ~theory ~mover:(program_of st i)
           ~target:(program_of st j)
       | Closure -> assert false)
@@ -179,7 +192,27 @@ let static_affected (execution : History.execution) ~bad =
     execution.History.records;
   Names.Set.diff !tainted bad
 
+(* One tally per completed rewrite, whichever branch produced it. *)
+let observe_result (r : result) =
+  Obs.Counter.incr obs_runs;
+  if Obs.enabled () then begin
+    let n = History.length r.original in
+    let saved = Names.Set.cardinal r.saved in
+    Obs.Dist.observe_int obs_saved saved;
+    Obs.Dist.observe_int obs_lost (n - saved);
+    Obs.Dist.observe_int obs_affected (Names.Set.cardinal r.affected);
+    Obs.Counter.incr ~by:r.pair_checks obs_pair_checks;
+    Obs.Counter.incr ~by:r.moves obs_moves;
+    Obs.Dist.observe_int obs_fix_items
+      (List.fold_left
+         (fun acc (e : History.entry) -> acc + List.length (Fix.to_list e.History.fix))
+         0
+         (History.entries r.rewritten))
+  end;
+  r
+
 let run ~theory ~fix_mode ?(set_mode = Dynamic) algorithm ~s0 history ~bad =
+  Obs.Span.with_ ~name:"rewrite.run" @@ fun () ->
   List.iter
     (fun (e : History.entry) ->
       if not (Fix.is_empty e.History.fix) then
@@ -206,6 +239,7 @@ let run ~theory ~fix_mode ?(set_mode = Dynamic) algorithm ~s0 history ~bad =
     let keep name = not (Names.Set.mem name discard) in
     let repaired = History.restrict history keep in
     let dropped = History.restrict history (fun name -> not (keep name)) in
+    observe_result
     {
       algorithm;
       original = history;
@@ -257,6 +291,7 @@ let run ~theory ~fix_mode ?(set_mode = Dynamic) algorithm ~s0 history ~bad =
         take st.order
     in
     let repaired = History.of_entries (List.map entry_of prefix) in
+    observe_result
     {
       algorithm;
       original = history;

@@ -1,0 +1,230 @@
+(* Tests for the observability subsystem: counter/dist/span semantics,
+   snapshot determinism under a seeded run, renderer round-trips, and —
+   the property the whole design hangs on — that toggling instrumentation
+   never changes a merge result. *)
+
+open Repro_txn
+module Obs = Repro_obs.Obs
+module Report = Repro_obs.Report
+module Session = Repro_core.Session
+module Protocol = Repro_replication.Protocol
+module G = Test_support.Generators
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+let checks = Alcotest.check Alcotest.string
+
+(* Every test starts from a clean, disabled registry. *)
+let fresh () =
+  Obs.set_enabled false;
+  Obs.set_tracing false;
+  Obs.reset ()
+
+(* Counters *)
+
+let test_counter_monotone () =
+  fresh ();
+  let c = Obs.Counter.make "test.counter_monotone" in
+  Obs.with_enabled true (fun () ->
+      Obs.Counter.incr c;
+      Obs.Counter.incr ~by:0 c;
+      Obs.Counter.incr ~by:41 c);
+  checki "accumulated" 42 (Obs.Counter.value c);
+  Alcotest.check_raises "negative by rejected"
+    (Invalid_argument "Obs.Counter.incr: negative increment") (fun () ->
+      Obs.with_enabled true (fun () -> Obs.Counter.incr ~by:(-1) c));
+  checki "unchanged after rejection" 42 (Obs.Counter.value c)
+
+let test_counter_disabled_noop () =
+  fresh ();
+  let c = Obs.Counter.make "test.counter_disabled" in
+  Obs.Counter.incr ~by:100 c;
+  checki "disabled incr is a no-op" 0 (Obs.Counter.value c);
+  checkb "make is idempotent" true (c == Obs.Counter.make "test.counter_disabled")
+
+(* Distributions *)
+
+let test_dist_extremes () =
+  fresh ();
+  let d = Obs.Dist.make "test.dist_extremes" in
+  Obs.with_enabled true (fun () ->
+      Obs.Dist.observe d 3.0;
+      Obs.Dist.observe d (-1.0);
+      Obs.Dist.observe_int d 7);
+  let report = Obs.snapshot () in
+  let entry =
+    List.find (fun (x : Report.dist) -> x.Report.d_name = "test.dist_extremes") report.Report.dists
+  in
+  checki "count" 3 entry.Report.count;
+  Alcotest.check (Alcotest.float 1e-9) "total" 9.0 entry.Report.total;
+  Alcotest.check (Alcotest.float 1e-9) "min" (-1.0) entry.Report.min;
+  Alcotest.check (Alcotest.float 1e-9) "max" 7.0 entry.Report.max
+
+(* Spans *)
+
+let span_entry name (r : Report.t) =
+  List.find (fun (s : Report.span) -> s.Report.s_name = name) r.Report.spans
+
+let test_span_nesting () =
+  fresh ();
+  Obs.with_enabled true (fun () ->
+      checki "outside any span" 0 (Obs.Span.depth ());
+      Obs.Span.with_ ~name:"test.span_outer" (fun () ->
+          checki "inside outer" 1 (Obs.Span.depth ());
+          Obs.Span.with_ ~name:"test.span_inner" (fun () ->
+              checki "inside inner" 2 (Obs.Span.depth ()));
+          Obs.Span.with_ ~name:"test.span_inner" (fun () -> ())));
+  checki "depth restored" 0 (Obs.Span.depth ());
+  let report = Obs.snapshot () in
+  let outer = span_entry "test.span_outer" report in
+  let inner = span_entry "test.span_inner" report in
+  checki "outer entered once" 1 outer.Report.entered;
+  checki "outer depth" 1 outer.Report.max_depth;
+  checki "inner entered twice" 2 inner.Report.entered;
+  checki "inner depth" 2 inner.Report.max_depth
+
+let test_span_exception_safe () =
+  fresh ();
+  Obs.with_enabled true (fun () ->
+      try Obs.Span.with_ ~name:"test.span_raises" (fun () -> failwith "boom")
+      with Failure _ -> ());
+  checki "depth restored after raise" 0 (Obs.Span.depth ());
+  checki "span still recorded" 1 (span_entry "test.span_raises" (Obs.snapshot ())).Report.entered
+
+let test_span_disabled_transparent () =
+  fresh ();
+  let r = Obs.Span.with_ ~name:"test.span_disabled" (fun () -> 17) in
+  checki "result passed through" 17 r;
+  let recorded =
+    List.find_opt
+      (fun (s : Report.span) -> s.Report.s_name = "test.span_disabled")
+      (Obs.snapshot ()).Report.spans
+  in
+  checkb "nothing recorded" true
+    (match recorded with None -> true | Some s -> s.Report.entered = 0)
+
+(* Snapshot determinism: the same seeded merge twice gives the same
+   report once wall-clock timings are stripped. *)
+
+let inc name item d =
+  Program.make ~name ~ttype:"inc"
+    ~params:[ ("d", d) ]
+    [ Stmt.Update (item, Expr.Add (Expr.Item item, Expr.Param "d")) ]
+
+let seeded_merge () =
+  let s0 = State.of_list [ ("x", 1); ("y", 2) ] in
+  ignore
+    (Session.merge_once ~s0
+       ~tentative:[ inc "Tm1" "x" 5; inc "Tm2" "y" 3 ]
+       ~base:[ inc "Tb1" "x" 2 ] ())
+
+let test_snapshot_deterministic () =
+  fresh ();
+  let snap () =
+    Obs.reset ();
+    Obs.with_enabled true seeded_merge;
+    Report.strip_timings (Obs.snapshot ())
+  in
+  let a = snap () and b = snap () in
+  checks "identical stripped reports" (Report.to_text a) (Report.to_text b);
+  checkb "entries present" true (Report.entry_count a > 0)
+
+(* Renderer round-trips *)
+
+let populated_report () =
+  fresh ();
+  Obs.with_enabled true (fun () ->
+      seeded_merge ();
+      Obs.Dist.observe (Obs.Dist.make "test.roundtrip_dist") 1.25);
+  Obs.snapshot ()
+
+let test_json_roundtrip () =
+  let r = populated_report () in
+  match Report.of_json (Report.to_json r) with
+  | Error msg -> Alcotest.failf "of_json: %s" msg
+  | Ok r' ->
+    checks "render-parse-render stable" (Report.to_json r) (Report.to_json r');
+    checki "same entry count" (Report.entry_count r) (Report.entry_count r')
+
+let test_csv_roundtrip () =
+  let r = populated_report () in
+  match Report.of_csv (Report.to_csv r) with
+  | Error msg -> Alcotest.failf "of_csv: %s" msg
+  | Ok r' -> checks "render-parse-render stable" (Report.to_csv r) (Report.to_csv r')
+
+let test_json_rejects_garbage () =
+  checkb "malformed json" true (Result.is_error (Report.of_json "{\"counters\": ["));
+  checkb "malformed csv" true (Result.is_error (Report.of_csv "kind,name\nbogus,x,y"))
+
+(* The qcheck property: instrumentation on vs off is invisible to the
+   merge. Same case, same config — same merged state and same per-txn
+   outcomes. *)
+
+let outcome_string (t : Protocol.txn_report) =
+  Printf.sprintf "%s=%s" t.Protocol.name
+    (match t.Protocol.outcome with
+    | Protocol.Merged -> "merged"
+    | Protocol.Reexecuted -> "reexecuted"
+    | Protocol.Rejected -> "rejected")
+
+let merge_fingerprint ~enabled ~s0 ~tentative ~base =
+  Obs.reset ();
+  Obs.with_enabled enabled (fun () ->
+      let r = Session.merge_once ~s0 ~tentative ~base () in
+      Format.asprintf "%a | %s" State.pp r.Session.merged_state
+        (String.concat "," (List.map outcome_string r.Session.report.Protocol.txns)))
+
+let merge_inputs_gen =
+  let open QCheck.Gen in
+  let programs prefix n =
+    flatten_l (List.init n (fun i -> G.program_gen ~name:(Printf.sprintf "%s%d" prefix (i + 1))))
+  in
+  let* s0 = G.state_gen in
+  let* tentative = int_range 1 5 >>= programs "Tm" in
+  let* base = int_range 0 3 >>= programs "Tb" in
+  return (s0, tentative, base)
+
+let arbitrary_merge_inputs =
+  QCheck.make
+    ~print:(fun (s0, tentative, base) ->
+      let pp_programs ppf ps =
+        Format.pp_print_list ~pp_sep:Format.pp_print_cut Program.pp_full ppf ps
+      in
+      Format.asprintf "@[<v>s0: %a@ tentative:@ %a@ base:@ %a@]" State.pp s0 pp_programs
+        tentative pp_programs base)
+    merge_inputs_gen
+
+let prop_obs_invisible =
+  QCheck.Test.make ~count:150 ~name:"obs on/off never changes merge_once output"
+    arbitrary_merge_inputs (fun (s0, tentative, base) ->
+      let off = merge_fingerprint ~enabled:false ~s0 ~tentative ~base in
+      let on = merge_fingerprint ~enabled:true ~s0 ~tentative ~base in
+      fresh ();
+      String.equal off on)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "counter",
+        [
+          Alcotest.test_case "monotone accumulation" `Quick test_counter_monotone;
+          Alcotest.test_case "disabled is a no-op" `Quick test_counter_disabled_noop;
+        ] );
+      ("dist", [ Alcotest.test_case "count/total/extremes" `Quick test_dist_extremes ]);
+      ( "span",
+        [
+          Alcotest.test_case "nesting and depth tracking" `Quick test_span_nesting;
+          Alcotest.test_case "records on exception" `Quick test_span_exception_safe;
+          Alcotest.test_case "disabled is transparent" `Quick test_span_disabled_transparent;
+        ] );
+      ( "snapshot",
+        [ Alcotest.test_case "deterministic for a seeded run" `Quick test_snapshot_deterministic ]
+      );
+      ( "render",
+        [
+          Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "csv round-trip" `Quick test_csv_roundtrip;
+          Alcotest.test_case "parsers reject garbage" `Quick test_json_rejects_garbage;
+        ] );
+      ("property", [ QCheck_alcotest.to_alcotest prop_obs_invisible ]);
+    ]

@@ -1,0 +1,30 @@
+#!/bin/sh
+# Changelog check for `make ci`: CHANGES.md must record the change being
+# shipped — non-empty, and touched either in the working tree (pre-commit)
+# or by the latest commit (post-commit CI). Outside a git checkout the
+# non-empty check is all we can do.
+set -e
+cd "$(dirname "$0")/.."
+
+if ! test -s CHANGES.md; then
+  echo "check_changes: CHANGES.md is missing or empty" >&2
+  exit 1
+fi
+
+if ! git rev-parse --git-dir >/dev/null 2>&1; then
+  echo "check_changes: not a git checkout, skipping touched check"
+  exit 0
+fi
+
+# Touched in the working tree or index (the PR is being prepared)?
+if ! git diff --quiet HEAD -- CHANGES.md 2>/dev/null; then
+  exit 0
+fi
+
+# Touched by the commit under test (the PR landed)?
+if git diff-tree --no-commit-id --name-only -r HEAD | grep -qx CHANGES.md; then
+  exit 0
+fi
+
+echo "check_changes: CHANGES.md was not updated by this change — append an entry" >&2
+exit 1
