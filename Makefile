@@ -2,7 +2,7 @@
 # build, tests, docs (skipped when odoc is not installed — the build
 # container does not ship it), and the changelog check.
 
-.PHONY: all build test bench doc changelog ci
+.PHONY: all build test bench nemesis doc changelog ci
 
 all: build
 
@@ -15,6 +15,12 @@ test:
 bench:
 	dune exec bench/main.exe
 
+# Fixed-seed fault sweep: merge sessions over random fault schedules must
+# complete exactly-once or abort with the base untouched (exits 1 on any
+# violation).
+nemesis:
+	dune exec bin/repro_cli.exe -- nemesis --count 50 --seed 2026
+
 doc:
 	@if command -v odoc >/dev/null 2>&1; then \
 		dune build @doc; \
@@ -25,5 +31,5 @@ doc:
 changelog:
 	sh tools/check_changes.sh
 
-ci: build test doc changelog
+ci: build test nemesis doc changelog
 	@echo "ci: ok"

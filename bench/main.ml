@@ -1,6 +1,6 @@
 (* The benchmark harness.
 
-   Part 1 regenerates every experiment table (E1-E7) — the paper has no
+   Part 1 regenerates every experiment table (E1-E9) — the paper has no
    empirical tables of its own, so these realize its figures, theorems and
    the Section 7.1 analytical comparison as measurements (see DESIGN.md
    section 2 and EXPERIMENTS.md for the mapping).
@@ -34,6 +34,7 @@ let part1 () =
   print_tables [ E6_backout.table (E6_backout.run ~skews:[ 0.3; 0.9 ] ()) ];
   print_tables [ E7_prune.table (E7_prune.run ~fractions:[ 0.25; 0.75; 1.0 ] ()) ];
   print_tables [ E8_scaling.table (E8_scaling.run ~fleets:[ 1; 2; 4; 8; 16 ] ()) ];
+  print_tables [ E9_faults.table (E9_faults.run ~drops:[ 0.0; 0.5 ] ()) ];
   print_tables [ A1_fixmode.table (A1_fixmode.run ~skews:[ 0.5; 1.0 ] ()) ];
   print_tables [ A2_setmode.table (A2_setmode.run ~skews:[ 0.5; 1.0 ] ()) ];
   print_tables [ A3_strategy.table (A3_strategy.run ~skews:[ 0.9 ] ()) ]

@@ -193,6 +193,43 @@ let e8_cmd =
        ~doc:"Introduction / [GHOS96]: reconciliation load growth as the fleet scales.")
     Term.(const run $ csv_flag $ fleets)
 
+(* e9 *)
+let e9_cmd =
+  let drops =
+    floats_arg [ "drops" ] [ 0.0; 0.2; 0.5 ] ~doc:"Message drop rates to sweep."
+  in
+  let seed = Arg.(value & opt int 29 & info [ "seed" ] ~docv:"S" ~doc:"PRNG seed.") in
+  let duration =
+    Arg.(value & opt float 150.0 & info [ "duration" ] ~docv:"T" ~doc:"Simulated time.")
+  in
+  let run csv seed duration drops =
+    print_tables ~csv [ E9_faults.table (E9_faults.run ~seed ~duration ~drops ()) ]
+  in
+  Cmd.v
+    (Cmd.info "e9"
+       ~doc:"Merging vs reprocessing when the merge exchange runs over an unreliable network.")
+    Term.(const run $ csv_flag $ seed $ duration $ drops)
+
+(* nemesis: fault-schedule sweep asserting the exactly-once contract *)
+let nemesis_cmd =
+  let count =
+    Arg.(value & opt int 100 & info [ "count" ] ~docv:"N" ~doc:"Number of fault cases to check.")
+  in
+  let seed = Arg.(value & opt int 2026 & info [ "seed" ] ~docv:"S" ~doc:"PRNG seed.") in
+  let run count seed =
+    let sweep = Repro_fault.Nemesis.run_sweep ~seed ~count in
+    Format.printf "%a@." Repro_fault.Nemesis.pp_sweep sweep;
+    if sweep.Repro_fault.Nemesis.failures <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "nemesis"
+       ~doc:
+         "Run merge sessions under random fault schedules (drops, duplicates, reordering, \
+          partitions, crashes) and check the exactly-once contract: completed sessions match \
+          the fault-free run, aborted sessions leave the base untouched. Exits 1 on any \
+          violation.")
+    Term.(const run $ count $ seed)
+
 (* ablations *)
 let a1_cmd =
   let skews = floats_arg [ "skews" ] [ 0.5; 1.0 ] ~doc:"Zipf skews to sweep." in
@@ -369,6 +406,7 @@ let all_cmd =
     print_tables ~csv [ E6_backout.table (E6_backout.run ~skews:[ 0.3; 0.9 ] ()) ];
     print_tables ~csv [ E7_prune.table (E7_prune.run ~fractions:[ 0.25; 0.75; 1.0 ] ()) ];
     print_tables ~csv [ E8_scaling.table (E8_scaling.run ~fleets:[ 1; 2; 4; 8; 16 ] ()) ];
+    print_tables ~csv [ E9_faults.table (E9_faults.run ~drops:[ 0.0; 0.2; 0.5 ] ()) ];
     print_tables ~csv [ A1_fixmode.table (A1_fixmode.run ~skews:[ 0.5; 1.0 ] ()) ];
     print_tables ~csv [ A2_setmode.table (A2_setmode.run ~skews:[ 0.5; 1.0 ] ()) ];
     print_tables ~csv [ A3_strategy.table (A3_strategy.run ~skews:[ 0.9 ] ()) ]
@@ -407,7 +445,35 @@ let sim_cmd =
       & info [ "profiles" ] ~docv:"FILE"
           ~doc:"Drive the simulation from a transaction-profile file instead of the built-in                 banking mix.")
   in
-  let run metrics trace mobiles duration window seed strategy1 reprocess bias profiles =
+  let faults =
+    Arg.(
+      value & flag
+      & info [ "faults" ]
+          ~doc:
+            "Run every merge exchange as a resumable session over the fault-injection transport \
+             (lib/fault) instead of a perfect atomic exchange.")
+  in
+  let drop_rate =
+    Arg.(
+      value & opt float 0.0
+      & info [ "drop-rate" ] ~docv:"P"
+          ~doc:"Message drop probability for the faulty transport (implies $(b,--faults)).")
+  in
+  let crash_at =
+    Arg.(
+      value & opt (some int) None
+      & info [ "crash-at" ] ~docv:"N"
+          ~doc:
+            "Crash the base node on receipt of its $(docv)-th message of every merge session, \
+             recover, and resume (implies $(b,--faults)).")
+  in
+  let net_seed =
+    Arg.(
+      value & opt int 99
+      & info [ "net-seed" ] ~docv:"S" ~doc:"PRNG seed for the faulty transport.")
+  in
+  let run metrics trace mobiles duration window seed strategy1 reprocess bias profiles faults
+      drop_rate crash_at net_seed =
     let workload =
       match profiles with
       | Some file -> (
@@ -438,6 +504,26 @@ let sim_cmd =
               Repro_workload.Banking.random_transaction bank rng ~name ~commuting_bias:bias);
         }
     in
+    let faults = faults || drop_rate > 0.0 || crash_at <> None in
+    let fault_runner =
+      if not faults then None
+      else begin
+        let module Net = Repro_fault.Net in
+        let module Session = Repro_fault.Session in
+        let schedule =
+          {
+            Net.ideal with
+            Net.drop_rate;
+            Net.crashes =
+              (match crash_at with Some n -> [ Net.Base_after_handling n ] | None -> []);
+          }
+        in
+        let runner, totals =
+          Session.sync_runner ~schedule ~session:Session.default_config ~net_seed ()
+        in
+        Some (runner, totals)
+      end
+    in
     let stats =
       with_observability ~metrics ~trace @@ fun () ->
       Sync.run
@@ -450,6 +536,7 @@ let sim_cmd =
           Sync.isolation = (if strategy1 then Sync.Strategy1 else Sync.Strategy2);
           Sync.protocol =
             (if reprocess then Sync.Reprocessing else Sync.Merging Protocol.default_merge_config);
+          Sync.merge_runner = Option.map fst fault_runner;
         }
         workload
     in
@@ -458,13 +545,16 @@ let sim_cmd =
       | Some `Json | Some `Csv -> Format.err_formatter
       | Some `Text | None -> Format.std_formatter
     in
-    Format.fprintf ppf "%a@." Sync.pp_stats stats
+    Format.fprintf ppf "%a@." Sync.pp_stats stats;
+    match fault_runner with
+    | Some (_, totals) -> Format.fprintf ppf "faults: %a@." Repro_fault.Session.pp_totals totals
+    | None -> ()
   in
   Cmd.v
     (Cmd.info "sim" ~doc:"Run one multi-node banking simulation with custom parameters.")
     Term.(
       const run $ metrics_arg $ trace_arg $ mobiles $ duration $ window $ seed $ strategy1
-      $ reprocess $ bias $ profiles)
+      $ reprocess $ bias $ profiles $ faults $ drop_rate $ crash_at $ net_seed)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
@@ -478,7 +568,7 @@ let () =
     (Cmd.eval
        (Cmd.group ~default info
           [
-            e1_cmd; e2_cmd; e3_cmd; e4_cmd; e5_cmd; e6_cmd; e7_cmd; e8_cmd; a1_cmd; a2_cmd;
-            a3_cmd;
-            all_cmd; sim_cmd; merge_cmd; analyze_cmd; scenario_cmd;
+            e1_cmd; e2_cmd; e3_cmd; e4_cmd; e5_cmd; e6_cmd; e7_cmd; e8_cmd; e9_cmd; a1_cmd;
+            a2_cmd; a3_cmd;
+            all_cmd; sim_cmd; merge_cmd; analyze_cmd; scenario_cmd; nemesis_cmd;
           ]))

@@ -41,17 +41,17 @@ let execute ?fix ?(durably = true) t program =
   if durably then Wal.force t.wal;
   r
 
-let execute_batch t entries =
+let execute_batch ?(force = true) t entries =
   let records =
     List.map
       (fun (e : Repro_history.History.entry) ->
         run_one ~fix:e.Repro_history.History.fix t e.Repro_history.History.program)
       entries
   in
-  Wal.force t.wal;
+  if force then Wal.force t.wal;
   records
 
-let apply_updates t values items =
+let apply_updates ?(durably = true) t values items =
   let txid = t.next_txid in
   t.next_txid <- txid + 1;
   Wal.append t.wal (Wal.Begin txid);
@@ -63,7 +63,7 @@ let apply_updates t values items =
       t.state <- State.set t.state x after)
     items;
   Wal.append t.wal (Wal.Commit txid);
-  Wal.force t.wal;
+  if durably then Wal.force t.wal;
   t.committed <- t.committed + 1;
   Obs.Counter.incr obs_txns
 
@@ -110,13 +110,42 @@ let replay_entries ~fallback entries =
       match e with
       | Wal.Write (id, x, _, after) when Hashtbl.mem committed id -> State.set s x after
       | Wal.Write _ | Wal.Begin _ | Wal.Read _ | Wal.Commit _ | Wal.Abort _ | Wal.Checkpoint _
-        -> s)
+      | Wal.Session _ ->
+        s)
     start after_ckpt
 
 let recover t =
   Obs.Span.with_ ~name:"db.recover" @@ fun () ->
   Obs.Counter.incr obs_recoveries;
   replay_entries ~fallback:t.initial (Wal.durable_entries t.wal)
+
+let crash_restart t =
+  Obs.Span.with_ ~name:"db.crash_restart" @@ fun () ->
+  Obs.Counter.incr obs_recoveries;
+  Wal.crash t.wal;
+  let durable = Wal.durable_entries t.wal in
+  t.state <- replay_entries ~fallback:t.initial durable;
+  t.committed <-
+    List.fold_left (fun n e -> match e with Wal.Commit _ -> n + 1 | _ -> n) 0 durable
+
+let journal t ~session note = Wal.append t.wal (Wal.Session (session, note))
+let force t = Wal.force t.wal
+
+let session_journal t =
+  List.filter_map
+    (function Wal.Session (sid, note) -> Some (sid, note) | _ -> None)
+    (Wal.durable_entries t.wal)
+
+let rewind_txns t ~first ~last =
+  if last < first then t.state
+  else
+    List.fold_left
+      (fun s e ->
+        match e with
+        | Wal.Write (id, x, before, _) when id >= first && id <= last -> State.set s x before
+        | _ -> s)
+      t.state
+      (List.rev (Wal.durable_entries t.wal))
 
 let persist t ~path = Wal.save t.wal ~path
 
@@ -132,12 +161,19 @@ let restart ~path =
           | Wal.Begin id | Wal.Commit id | Wal.Abort id | Wal.Read (id, _, _)
           | Wal.Write (id, _, _, _) ->
             max acc id
-          | Wal.Checkpoint _ -> acc)
+          | Wal.Checkpoint _ | Wal.Session _ -> acc)
         0 entries
     in
     let t = create state in
     t.next_txid <- max_txid + 1;
+    (* Preserve the session journal: exactly-once protection for resumable
+       merge sessions must survive a full restart from disk. *)
+    List.iter
+      (function Wal.Session (sid, note) -> Wal.append t.wal (Wal.Session (sid, note)) | _ -> ())
+      entries;
+    Wal.force t.wal;
     Ok t
 
 let log t = t.wal
 let transactions_committed t = t.committed
+let next_txid t = t.next_txid

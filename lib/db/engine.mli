@@ -30,13 +30,16 @@ val state : t -> State.t
 val execute : ?fix:Fix.t -> ?durably:bool -> t -> Program.t -> Interp.record
 
 (** [execute_batch t entries] — run and commit each entry, forcing the log
-    once at the end. *)
-val execute_batch : t -> Repro_history.History.entry list -> Interp.record list
+    once at the end. With [~force:false] the final force is skipped too:
+    the whole batch stays in the volatile tail (torn-batch crash tests,
+    and the session protocol's atomic commit groups). *)
+val execute_batch : ?force:bool -> t -> Repro_history.History.entry list -> Interp.record list
 
 (** [apply_updates t values items] — overwrite [items] with their values
     in [values] as one logged transaction (the protocol's forwarded
-    updates). *)
-val apply_updates : t -> State.t -> Item.Set.t -> unit
+    updates). [~durably:false] skips the force, leaving the transaction in
+    the volatile tail (used by the session protocol's atomic commit). *)
+val apply_updates : ?durably:bool -> t -> State.t -> Item.Set.t -> unit
 
 (** [undo t record] — restore the physical before-images of a previously
     executed transaction (logged as a new transaction). *)
@@ -49,6 +52,42 @@ val checkpoint : t -> unit
     checkpoint replayed forward with the after-images of transactions
     whose [Commit] record is durable. *)
 val recover : t -> State.t
+
+(** [crash_restart t] simulates a node crash followed by restart, in
+    place: the volatile log tail is lost ({!Wal.crash}) and the state is
+    rebuilt like {!recover}. Everything unforced — including a partially
+    appended commit group — vanishes atomically. *)
+val crash_restart : t -> unit
+
+(** {2 Session journal}
+
+    The resumable merge-session protocol ({!Repro_fault}) journals its
+    progress as {!Wal.Session} records. The commit marker is appended
+    {e inside} the session's commit group, before the group's single
+    force: a crash either loses the marker and every effect (the session
+    restarts from scratch) or keeps both (the session is recognized as
+    applied and never re-applied). *)
+
+(** [journal t ~session note] appends a session record. No force — call
+    {!force} (or let the surrounding commit group force) to make it
+    durable. *)
+val journal : t -> session:int -> string -> unit
+
+(** [force t] forces the log ({!Wal.force}). *)
+val force : t -> unit
+
+(** Durable session records, oldest first. *)
+val session_journal : t -> (int * string) list
+
+(** [rewind_txns t ~first ~last] — the state with the writes of durable
+    transactions [first..last] unapplied (before-images restored in
+    reverse log order). Used by session recovery to reconstruct the
+    pre-commit state after a crash that followed the commit force. *)
+val rewind_txns : t -> first:int -> last:int -> State.t
+
+(** Next transaction id the engine will allocate (session recovery
+    records the id range of a commit group). *)
+val next_txid : t -> int
 
 (** [persist t ~path] writes the durable log to disk ({!Wal.save}). *)
 val persist : t -> path:string -> unit

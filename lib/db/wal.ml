@@ -7,6 +7,7 @@ type entry =
   | Commit of int
   | Abort of int
   | Checkpoint of State.t
+  | Session of int * string
 
 type t = {
   mutable rev_entries : entry list;
@@ -33,6 +34,11 @@ let force t =
     t.forces <- t.forces + 1;
     Obs.Counter.incr obs_forces
   end
+
+let crash t =
+  let rec drop n l = if n <= 0 then l else match l with [] -> [] | _ :: tl -> drop (n - 1) tl in
+  t.rev_entries <- drop (t.total - t.durable) t.rev_entries;
+  t.total <- t.durable
 
 let entries t = List.rev t.rev_entries
 
@@ -75,6 +81,11 @@ let entry_to_line = function
   | Commit id -> Printf.sprintf "commit %d" id
   | Abort id -> Printf.sprintf "abort %d" id
   | Checkpoint s -> Printf.sprintf "checkpoint %s" (state_to_string s)
+  | Session (sid, note) ->
+    String.iter
+      (fun c -> if c = '\n' then invalid_arg "Wal: session note not serializable")
+      note;
+    Printf.sprintf "session %d %s" sid note
 
 let entry_of_line line =
   let fail msg = Error (Printf.sprintf "%s: %S" msg line) in
@@ -90,6 +101,8 @@ let entry_of_line line =
   | [ "checkpoint" ] -> Ok (Checkpoint State.empty)
   | [ "checkpoint"; s ] -> (
     try Ok (Checkpoint (state_of_string s)) with _ -> fail "bad checkpoint")
+  | "session" :: sid :: rest -> (
+    try Ok (Session (int_of_string sid, String.concat " " rest)) with _ -> fail "bad session")
   | _ -> fail "unrecognized log line"
 
 let save t ~path =
@@ -119,3 +132,4 @@ let pp_entry ppf = function
   | Commit id -> Format.fprintf ppf "COMMIT %d" id
   | Abort id -> Format.fprintf ppf "ABORT %d" id
   | Checkpoint _ -> Format.fprintf ppf "CHECKPOINT"
+  | Session (sid, note) -> Format.fprintf ppf "SESSION %d %s" sid note

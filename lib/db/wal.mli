@@ -18,6 +18,11 @@ type entry =
   | Commit of int
   | Abort of int
   | Checkpoint of Repro_txn.State.t
+  | Session of int * string
+      (** merge-session journal record: session id and a note (no
+          newlines); the resumable session protocol ({!Repro_fault})
+          appends its commit marker inside the batch it covers, so the
+          batch's single force makes marker and effects durable together *)
 
 type t
 
@@ -26,6 +31,10 @@ val append : t -> entry -> unit
 
 (** [force t] marks everything appended so far as durable. *)
 val force : t -> unit
+
+(** [crash t] simulates losing the volatile tail: every entry appended
+    after the last force is discarded. *)
+val crash : t -> unit
 
 (** Entries appended so far, oldest first. *)
 val entries : t -> entry list

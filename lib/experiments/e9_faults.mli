@@ -1,0 +1,37 @@
+(** Experiment E9 — merging vs reprocessing under an unreliable network.
+
+    The multi-node simulation of E2 (Strategy 2, banking workload), but
+    every merge exchange runs as a resumable session over the
+    fault-injection transport ({!Repro_fault.Session.sync_runner}),
+    across three fault levels and a sweep of message drop rates. The
+    reprocessing baseline pays the same workload with no merge exchange
+    at all, so the savings column shows how the cost comparison of
+    Section 7.1 shifts under message loss, duplication, reordering and
+    node crashes (in this multi-node regime merging is near parity
+    fault-free — see E2/E5 — and faults only widen the gap).
+
+    Sessions that exhaust their retry budget abort with the base state
+    untouched and fall back to reprocessing (the [aborted] column) —
+    cost degrades gracefully as the link gets worse, while ground-truth
+    serializability ([violations]) must stay zero throughout. *)
+
+type row = {
+  level : string;  (** fault level: clean / flaky / hostile *)
+  drop : float;  (** message drop rate *)
+  merges : int;  (** sessions completed and merged *)
+  aborted : int;  (** sessions abandoned mid-exchange *)
+  resumed : int;  (** sessions that restarted from Hello *)
+  retries : int;  (** total retransmissions *)
+  crashes : int;  (** node crashes injected *)
+  saved : int;
+  reexecuted : int;
+  violations : int;
+  merge_cost : float;  (** total cost, merging protocol under faults *)
+  reprocess_cost : float;  (** total cost, reprocessing baseline *)
+  savings : float;  (** (reprocess - merge) / reprocess, as a fraction *)
+}
+
+val run :
+  ?seed:int -> ?duration:float -> ?n_mobiles:int -> drops:float list -> unit -> row list
+
+val table : row list -> Table.t

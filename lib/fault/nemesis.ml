@@ -1,0 +1,186 @@
+open Repro_txn
+open Repro_history
+module Engine = Repro_db.Engine
+module Rng = Repro_workload.Rng
+module Banking = Repro_workload.Banking
+module P = Repro_replication.Protocol
+module Cost = Repro_replication.Cost
+
+let frac rng lo hi = lo +. (Rng.float rng *. (hi -. lo))
+
+let random_schedule rng =
+  let drop_rate = if Rng.bool rng 0.5 then frac rng 0.0 0.85 else 0.0 in
+  let dup_rate = if Rng.bool rng 0.35 then frac rng 0.0 0.4 else 0.0 in
+  let min_latency = frac rng 0.005 0.05 in
+  let max_latency = min_latency +. frac rng 0.0 1.5 in
+  let partitions =
+    if Rng.bool rng 0.4 then
+      let from = frac rng 0.0 20.0 in
+      [ (from, from +. frac rng 0.5 10.0) ]
+    else []
+  in
+  let crashes =
+    List.concat
+      [
+        (if Rng.bool rng 0.25 then [ Net.Base_after_handling (1 + Rng.int rng 8) ] else []);
+        (if Rng.bool rng 0.2 then [ Net.Mobile_after_handling (1 + Rng.int rng 6) ] else []);
+        (if Rng.bool rng 0.2 then [ Net.Base_mid_commit ] else []);
+        (if Rng.bool rng 0.2 then [ Net.Base_after_commit ] else []);
+      ]
+  in
+  { Net.drop_rate; dup_rate; min_latency; max_latency; partitions; crashes }
+
+type verdict = {
+  completed : bool;
+  resumed : bool;
+  crashes : int;
+  retries : int;
+  forced : bool;
+}
+
+let replay_programs s0 (txns : P.base_txn list) =
+  List.fold_left (fun s (bt : P.base_txn) -> Interp.apply s bt.P.program) s0 txns
+
+let applied_markers engine ~sid =
+  List.length
+    (List.filter
+       (fun (s, note) -> s = sid && Session.parse_applied note <> None)
+       (Engine.session_journal engine))
+
+let check_case ~seed ~schedule =
+  let rng = Rng.create seed in
+  let bank = Banking.make ~n_accounts:8 in
+  let s0 = Banking.initial_state bank in
+  let base_len = 2 + Rng.int rng 6 in
+  let tent_len = 3 + Rng.int rng 8 in
+  let base_h = Banking.random_history bank rng ~prefix:"B" ~length:base_len ~commuting_bias:0.6 in
+  let tentative =
+    Banking.random_history bank rng ~prefix:"M" ~length:tent_len ~commuting_bias:0.6
+  in
+  (* Two identical engines: one merges fault-free (the reference run), the
+     other through the session layer over the faulty wire. *)
+  let mk_engine () =
+    let e = Engine.create s0 in
+    let records = Engine.execute_batch e (History.entries base_h) in
+    let history =
+      List.map2
+        (fun p record -> { P.program = p; record })
+        (History.programs base_h) records
+    in
+    (e, history)
+  in
+  let ref_engine, ref_history = mk_engine () in
+  let ref_report =
+    P.merge ~config:P.default_merge_config ~params:Cost.default_params ~base:ref_engine
+      ~base_history:ref_history ~origin:s0 ~tentative
+  in
+  let ref_state = Engine.state ref_engine in
+  let engine, base_history = mk_engine () in
+  let pre_state = Engine.state engine in
+  let net = Net.create ~seed:(seed + 1) schedule in
+  match
+    Session.run_merge ~sid:1 ~net ~session:Session.default_config ~config:P.default_merge_config
+      ~params:Cost.default_params ~base:engine ~base_history ~origin:s0 ~tentative ()
+  with
+  | exception e -> Error (Printf.sprintf "exception: %s" (Printexc.to_string e))
+  | res -> (
+    let markers = applied_markers engine ~sid:1 in
+    let verdict completed =
+      {
+        completed;
+        resumed = res.Session.resumed;
+        crashes = res.Session.crashes;
+        retries = res.Session.retries;
+        forced = res.Session.forced_resolution;
+      }
+    in
+    let check cond msg rest = if cond then rest () else Error msg in
+    match res.Session.outcome with
+    | Session.Completed report ->
+      check
+        (State.equal (Engine.state engine) ref_state)
+        "completed session: base state differs from the fault-free run"
+      @@ fun () ->
+      check (markers = 1)
+        (Printf.sprintf "completed session: %d applied markers (want exactly 1)" markers)
+      @@ fun () ->
+      check
+        (State.equal (replay_programs s0 report.P.new_history) (Engine.state engine))
+        "completed session: logical history does not replay to the base state"
+      @@ fun () ->
+      check
+        (Names.Set.equal report.P.saved ref_report.P.saved)
+        "completed session: saved set differs from the fault-free run"
+      @@ fun () ->
+      check
+        (State.equal (Engine.recover engine) (Engine.state engine))
+        "completed session: committed state not durable"
+      @@ fun () -> Ok (verdict true)
+    | Session.Aborted _ ->
+      check
+        (State.equal (Engine.state engine) pre_state)
+        "aborted session: base state changed"
+      @@ fun () ->
+      check (markers = 0)
+        (Printf.sprintf "aborted session: %d applied markers (want 0)" markers)
+      @@ fun () ->
+      let rr =
+        P.reprocess ~acceptance:P.accept_always ~params:Cost.default_params ~base:engine
+          ~origin:s0 ~tentative
+      in
+      check
+        (State.equal
+           (replay_programs s0 (base_history @ rr.P.appended))
+           (Engine.state engine))
+        "aborted session: reprocessing fallback not serializable"
+      @@ fun () -> Ok (verdict false))
+
+type sweep = {
+  cases : int;
+  completed : int;
+  aborted : int;
+  resumed : int;
+  crashes : int;
+  retries : int;
+  forced : int;
+  failures : (int * string) list;
+}
+
+let run_sweep ~seed ~count =
+  let sched_rng = Rng.create (seed lxor 0x9e3779b9) in
+  let completed = ref 0
+  and aborted = ref 0
+  and resumed = ref 0
+  and crashes = ref 0
+  and retries = ref 0
+  and forced = ref 0
+  and failures = ref [] in
+  for i = 0 to count - 1 do
+    let schedule = random_schedule sched_rng in
+    match check_case ~seed:(seed + i) ~schedule with
+    | Ok v ->
+      if v.completed then incr completed else incr aborted;
+      if v.resumed then incr resumed;
+      crashes := !crashes + v.crashes;
+      retries := !retries + v.retries;
+      if v.forced then incr forced
+    | Error msg -> failures := (seed + i, msg) :: !failures
+  done;
+  {
+    cases = count;
+    completed = !completed;
+    aborted = !aborted;
+    resumed = !resumed;
+    crashes = !crashes;
+    retries = !retries;
+    forced = !forced;
+    failures = List.rev !failures;
+  }
+
+let pp_sweep ppf s =
+  Format.fprintf ppf
+    "@[<v>cases=%d completed=%d aborted=%d resumed=%d crashes=%d retries=%d forced=%d@ %a@]"
+    s.cases s.completed s.aborted s.resumed s.crashes s.retries s.forced
+    (Format.pp_print_list (fun ppf (seed, msg) ->
+         Format.fprintf ppf "FAIL seed=%d: %s" seed msg))
+    s.failures

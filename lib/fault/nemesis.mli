@@ -1,0 +1,51 @@
+(** Nemesis harness: merge sessions under arbitrary fault schedules.
+
+    Generates random fault schedules (drops, duplicates, latency spreads,
+    partitions, node crashes at protocol points) and random banking
+    workloads, runs each merge once fault-free and once through
+    {!Session.run_merge} over the faulty wire, and checks the
+    exactly-once contract:
+
+    - a {e completed} session leaves the base in exactly the fault-free
+      final state, with exactly one ["applied"] journal marker, a logical
+      history that replays to the base state (ground-truth
+      serializability) and a durable ({!Repro_db.Engine.recover}) state
+      equal to the committed one;
+    - an {e aborted} session leaves the base state untouched, journals
+      nothing, and reprocessing still works as the fallback.
+
+    The qcheck property in [test/test_fault.ml] and the [repro_cli
+    nemesis] sweep both drive {!check_case}. *)
+
+(** Draw a random fault schedule (consumes the given rng stream). *)
+val random_schedule : Repro_workload.Rng.t -> Net.schedule
+
+type verdict = {
+  completed : bool;  (** session completed (vs aborted + fell back) *)
+  resumed : bool;
+  crashes : int;
+  retries : int;
+  forced : bool;
+}
+
+(** [check_case ~seed ~schedule] builds the workload from [seed], the
+    transport from [seed + 1], runs reference and faulty merges and
+    checks the contract. [Error] carries the first violated assertion. *)
+val check_case : seed:int -> schedule:Net.schedule -> (verdict, string) result
+
+type sweep = {
+  cases : int;
+  completed : int;
+  aborted : int;
+  resumed : int;
+  crashes : int;
+  retries : int;
+  forced : int;
+  failures : (int * string) list;  (** (seed, violation) *)
+}
+
+(** [run_sweep ~seed ~count] checks [count] cases with schedules drawn
+    from [seed]; case [i] uses workload seed [seed + i]. *)
+val run_sweep : seed:int -> count:int -> sweep
+
+val pp_sweep : Format.formatter -> sweep -> unit

@@ -128,32 +128,34 @@ let stable_merge_order pg ~removed =
     (fun v -> (Precedence.summary_of_node pg v).Summary.name)
     (drain initial [] (List.length nodes))
 
+let reexecute_one ?(durably = true) ~acceptance ~params ~base ~tentative_exec ~cost
+    (program : Program.t) =
+  let name = program.Program.name in
+  (* Ship code and arguments, transform, re-execute with full query
+     processing, one force per transaction (none when the surrounding
+     session commit group forces once for the whole batch). *)
+  let stmts = float_of_int (stmt_count program) in
+  cost.Cost.communication <-
+    cost.Cost.communication
+    +. (params.Cost.comm_per_unit
+       *. ((params.Cost.code_units_per_stmt *. stmts)
+          +. float_of_int (List.length program.Program.params)));
+  cost.Cost.base_cpu <-
+    cost.Cost.base_cpu +. params.Cost.parse_per_txn
+    +. (params.Cost.exec_per_stmt *. stmts)
+    +. params.Cost.cc_per_txn;
+  let replayed = Interp.run (Engine.state base) program in
+  let original = History.record_of tentative_exec name in
+  if acceptance ~original ~replayed then begin
+    ignore (Engine.execute ~durably base program);
+    if durably then cost.Cost.base_io <- cost.Cost.base_io +. params.Cost.io_per_force;
+    ({ name; outcome = Reexecuted }, Some { program; record = replayed })
+  end
+  else ({ name; outcome = Rejected }, None)
+
 let reexecute_backed_out ~acceptance ~params ~base ~tentative_exec ~cost names_in_order =
   Obs.Span.with_ ~name:"protocol.reexecute" @@ fun () ->
-  List.map
-    (fun (program : Program.t) ->
-      let name = program.Program.name in
-      (* Ship code and arguments, transform, re-execute with full query
-         processing, one force per transaction. *)
-      let stmts = float_of_int (stmt_count program) in
-      cost.Cost.communication <-
-        cost.Cost.communication
-        +. (params.Cost.comm_per_unit
-           *. ((params.Cost.code_units_per_stmt *. stmts)
-              +. float_of_int (List.length program.Program.params)));
-      cost.Cost.base_cpu <-
-        cost.Cost.base_cpu +. params.Cost.parse_per_txn
-        +. (params.Cost.exec_per_stmt *. stmts)
-        +. params.Cost.cc_per_txn;
-      let replayed = Interp.run (Engine.state base) program in
-      let original = History.record_of tentative_exec name in
-      if acceptance ~original ~replayed then begin
-        ignore (Engine.execute base program);
-        cost.Cost.base_io <- cost.Cost.base_io +. params.Cost.io_per_force;
-        ({ name; outcome = Reexecuted }, Some { program; record = replayed })
-      end
-      else ({ name; outcome = Rejected }, None))
-    names_in_order
+  List.map (reexecute_one ~acceptance ~params ~base ~tentative_exec ~cost) names_in_order
 
 let count_outcomes txns =
   List.iter
@@ -164,9 +166,19 @@ let count_outcomes txns =
       | Rejected -> Obs.Counter.incr obs_txn_rejected)
     txns
 
-let merge ~config ~params ~base ~base_history ~origin ~tentative =
-  Obs.Span.with_ ~name:"protocol.merge" @@ fun () ->
-  let cost = Cost.zero () in
+(* The merge exchange, decomposed along its message boundaries
+   (Section 2.1 / docs/FAULTS.md). [merge] below composes the four phases
+   back into the original atomic protocol; the fault-injection session
+   layer (Repro_fault.Session) runs each phase at the endpoint that owns
+   it, with the wire in between. *)
+
+type graph_phase = {
+  gp_tentative_exec : History.execution;
+  gp_pg : Precedence.t;
+  gp_bad : Names.Set.t;
+}
+
+let analyze_graph ~strategy ~params ~cost ~base_history ~origin ~tentative =
   let tentative_exec = History.execute origin tentative in
   let tent_summaries = Summary.of_execution ~kind:Summary.Tentative tentative_exec in
   let base_summaries =
@@ -203,11 +215,21 @@ let merge ~config ~params ~base ~base_history ~origin ~tentative =
         cost.Cost.base_cpu
         +. (params.Cost.backout_per_node
            *. float_of_int (Digraph.node_count (Precedence.graph pg)));
-      Backout.compute ~strategy:config.strategy pg
+      Backout.compute ~strategy pg
     end
   in
   cost.Cost.communication <-
     cost.Cost.communication +. (params.Cost.comm_per_unit *. float_of_int (Names.Set.cardinal bad));
+  { gp_tentative_exec = tentative_exec; gp_pg = pg; gp_bad = bad }
+
+type rewrite_phase = {
+  rp_rewrite : Rewrite.result;
+  rp_pruned_state : State.t;
+  rp_pruned_by_compensation : bool;
+  rp_backed_out : Names.Set.t;
+}
+
+let rewrite_local ~config ~params ~cost ~origin ~tentative ~bad =
   (* Steps 3-4: rewrite and prune on the mobile. *)
   let rw =
     Rewrite.run ~theory:config.theory ~fix_mode:config.fix_mode config.algorithm ~s0:origin
@@ -230,9 +252,23 @@ let merge ~config ~params ~base ~base_history ~origin ~tentative =
     cost.Cost.mobile_cpu
     +. (params.Cost.prune_per_action *. float_of_int prune_actions)
     +. (params.Cost.mobile_exec_per_stmt *. float_of_int ura_stmts);
+  {
+    rp_rewrite = rw;
+    rp_pruned_state = pruned_state;
+    rp_pruned_by_compensation = pruned_by_compensation;
+    rp_backed_out = Names.Set.diff (History.name_set tentative) rw.Rewrite.saved;
+  }
+
+type plan = {
+  pl_merged_core : base_txn list;
+  pl_forwarded_items : Item.Set.t;
+  pl_backed_out_programs : Program.t list;
+}
+
+let plan_commit ~graph:g ~rewrite:r ~base_history ~tentative =
+  let rw = r.rp_rewrite in
   (* New logical history: merged serial order over base ∪ repaired. *)
-  let backed_out = Names.Set.diff (History.name_set tentative) rw.Rewrite.saved in
-  let merged_names = stable_merge_order pg ~removed:backed_out in
+  let merged_names = stable_merge_order g.gp_pg ~removed:r.rp_backed_out in
   let base_by_name =
     List.fold_left
       (fun m bt -> Names.Map.add bt.program.Program.name bt m)
@@ -246,7 +282,7 @@ let merge ~config ~params ~base ~base_history ~origin ~tentative =
         | None ->
           {
             program = (History.find tentative name).History.program;
-            record = History.record_of tentative_exec name;
+            record = History.record_of g.gp_tentative_exec name;
           })
       merged_names
   in
@@ -268,7 +304,7 @@ let merge ~config ~params ~base ~base_history ~origin ~tentative =
   let forwarded_items =
     Names.Set.fold
       (fun name acc ->
-        Item.Set.union acc (Interp.dynamic_writeset (History.record_of tentative_exec name)))
+        Item.Set.union acc (Interp.dynamic_writeset (History.record_of g.gp_tentative_exec name)))
       rw.Rewrite.saved Item.Set.empty
   in
   let forwarded_items =
@@ -279,45 +315,67 @@ let merge ~config ~params ~base ~base_history ~origin ~tentative =
         | None -> true)
       forwarded_items
   in
+  let backed_out_programs =
+    List.filter
+      (fun (p : Program.t) -> Names.Set.mem p.Program.name r.rp_backed_out)
+      (History.programs tentative)
+  in
+  {
+    pl_merged_core = merged_core;
+    pl_forwarded_items = forwarded_items;
+    pl_backed_out_programs = backed_out_programs;
+  }
+
+let record_merge_metrics (report : merge_report) =
+  Obs.Counter.incr obs_merges;
+  count_outcomes report.txns;
+  Obs.Dist.observe obs_merge_cost (Cost.total report.cost)
+
+let merge ~config ~params ~base ~base_history ~origin ~tentative =
+  Obs.Span.with_ ~name:"protocol.merge" @@ fun () ->
+  let cost = Cost.zero () in
+  let g =
+    analyze_graph ~strategy:config.strategy ~params ~cost ~base_history ~origin ~tentative
+  in
+  let r = rewrite_local ~config ~params ~cost ~origin ~tentative ~bad:g.gp_bad in
+  let rw = r.rp_rewrite in
+  let plan = plan_commit ~graph:g ~rewrite:r ~base_history ~tentative in
+  let forwarded_items = plan.pl_forwarded_items in
   cost.Cost.communication <-
     cost.Cost.communication
     +. (params.Cost.comm_per_unit *. float_of_int (Item.Set.cardinal forwarded_items));
   Obs.Dist.observe_int obs_forwarded (Item.Set.cardinal forwarded_items);
   if not (Item.Set.is_empty forwarded_items) then begin
     Obs.Span.with_ ~name:"protocol.forward" (fun () ->
-        Engine.apply_updates base pruned_state forwarded_items);
+        Engine.apply_updates base r.rp_pruned_state forwarded_items);
     cost.Cost.base_cpu <- cost.Cost.base_cpu +. params.Cost.cc_per_txn;
     cost.Cost.base_io <- cost.Cost.base_io +. params.Cost.io_per_force
   end;
   (* Step 6: re-execute the backed-out tentative transactions. *)
-  let backed_out_programs =
-    List.filter
-      (fun (p : Program.t) -> Names.Set.mem p.Program.name backed_out)
-      (History.programs tentative)
-  in
   let reexec_results =
-    reexecute_backed_out ~acceptance:config.acceptance ~params ~base ~tentative_exec ~cost
-      backed_out_programs
+    reexecute_backed_out ~acceptance:config.acceptance ~params ~base
+      ~tentative_exec:g.gp_tentative_exec ~cost plan.pl_backed_out_programs
   in
   let txns =
     List.map (fun name -> { name; outcome = Merged }) (Names.Set.elements rw.Rewrite.saved)
     @ List.map fst reexec_results
   in
   let appended = List.filter_map snd reexec_results in
-  Obs.Counter.incr obs_merges;
-  count_outcomes txns;
-  Obs.Dist.observe obs_merge_cost (Cost.total cost);
-  {
-    bad;
-    affected = rw.Rewrite.affected;
-    saved = rw.Rewrite.saved;
-    backed_out;
-    txns;
-    new_history = merged_core @ appended;
-    rewrite = rw;
-    pruned_by_compensation;
-    cost;
-  }
+  let report =
+    {
+      bad = g.gp_bad;
+      affected = rw.Rewrite.affected;
+      saved = rw.Rewrite.saved;
+      backed_out = r.rp_backed_out;
+      txns;
+      new_history = plan.pl_merged_core @ appended;
+      rewrite = rw;
+      pruned_by_compensation = r.rp_pruned_by_compensation;
+      cost;
+    }
+  in
+  record_merge_metrics report;
+  report
 
 let reprocess ~acceptance ~params ~base ~origin ~tentative =
   Obs.Span.with_ ~name:"protocol.reprocess" @@ fun () ->

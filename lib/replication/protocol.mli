@@ -87,6 +87,85 @@ val merge :
   tentative:History.t ->
   merge_report
 
+(** {2 Message-level decomposition of the merge exchange}
+
+    The merge protocol is one logical exchange but four message
+    boundaries; the fault-injection layer ({!Repro_fault.Session}) runs
+    each phase at the endpoint that owns it, with an unreliable wire in
+    between, and {!merge} composes them back into the original atomic
+    protocol. Each phase accumulates its share of the Section 7.1 cost
+    into the [cost] tally it is given. *)
+
+(** Base side, steps 1-2: build [G(H_m, H_b)] from the shipped read/write
+    sets and compute the back-out set {b B}. *)
+type graph_phase = {
+  gp_tentative_exec : Repro_history.History.execution;
+  gp_pg : Repro_precedence.Precedence.t;
+  gp_bad : Names.Set.t;
+}
+
+val analyze_graph :
+  strategy:Backout.strategy ->
+  params:Cost.params ->
+  cost:Cost.tally ->
+  base_history:base_txn list ->
+  origin:State.t ->
+  tentative:History.t ->
+  graph_phase
+
+(** Mobile side, steps 3-4: rewrite the tentative history around {b B}
+    and prune the backed-out suffix. *)
+type rewrite_phase = {
+  rp_rewrite : Rewrite.result;
+  rp_pruned_state : State.t;  (** mobile state after pruning; forwarded values *)
+  rp_pruned_by_compensation : bool;
+  rp_backed_out : Names.Set.t;
+}
+
+val rewrite_local :
+  config:merge_config ->
+  params:Cost.params ->
+  cost:Cost.tally ->
+  origin:State.t ->
+  tentative:History.t ->
+  bad:Names.Set.t ->
+  rewrite_phase
+
+(** Base side, step 5 planning (pure): merged serial order, the
+    last-writer-filtered forwarded item set, and the backed-out programs
+    to re-execute. *)
+type plan = {
+  pl_merged_core : base_txn list;
+  pl_forwarded_items : Repro_txn.Item.Set.t;
+  pl_backed_out_programs : Program.t list;
+}
+
+val plan_commit :
+  graph:graph_phase ->
+  rewrite:rewrite_phase ->
+  base_history:base_txn list ->
+  tentative:History.t ->
+  plan
+
+(** Base side, one backed-out transaction of step 6: ship code, transform,
+    re-execute, accept or reject. [~durably:false] leaves the commit in
+    the volatile log tail (the session protocol's single-force commit
+    group) and charges no I/O. *)
+val reexecute_one :
+  ?durably:bool ->
+  acceptance:acceptance ->
+  params:Cost.params ->
+  base:Repro_db.Engine.t ->
+  tentative_exec:Repro_history.History.execution ->
+  cost:Cost.tally ->
+  Program.t ->
+  txn_report * base_txn option
+
+(** Count a finished merge against the protocol's observability metrics
+    (merge counter, per-outcome counters, cost distribution) — called by
+    {!merge} itself and by the session layer for session-driven merges. *)
+val record_merge_metrics : merge_report -> unit
+
 type reprocess_report = {
   txns : txn_report list;
   appended : base_txn list;  (** transactions committed at the base *)

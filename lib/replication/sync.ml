@@ -9,10 +9,24 @@ let obs_events = Obs.Counter.make "sync.events"
 let obs_anomalies = Obs.Counter.make "sync.anomalies"
 let obs_late = Obs.Counter.make "sync.late_sessions"
 let obs_windows = Obs.Counter.make "sync.windows"
+let obs_aborted = Obs.Counter.make "sync.aborted_merges"
 let obs_session_len = Obs.Dist.make "sync.session_len"
 
 type isolation = Strategy1 | Strategy2
 type protocol = Merging of Protocol.merge_config | Reprocessing
+
+type merge_attempt =
+  | Merge_completed of Protocol.merge_report
+  | Merge_aborted of string
+
+type merge_runner =
+  config:Protocol.merge_config ->
+  params:Cost.params ->
+  base:Engine.t ->
+  base_history:Protocol.base_txn list ->
+  origin:State.t ->
+  tentative:History.t ->
+  merge_attempt
 
 type workload = {
   initial : State.t;
@@ -31,6 +45,7 @@ type config = {
   isolation : isolation;
   params : Cost.params;
   seed : int;
+  merge_runner : merge_runner option;
 }
 
 let default_config =
@@ -45,6 +60,7 @@ let default_config =
     isolation = Strategy2;
     params = Cost.default_params;
     seed = 7;
+    merge_runner = None;
   }
 
 type stats = {
@@ -57,6 +73,7 @@ type stats = {
   late_sessions : int;
   late_txns : int;
   anomalies : int;
+  aborted_merges : int;
   windows_checked : int;
   serializability_violations : int;
   cost : Cost.tally;
@@ -96,6 +113,7 @@ let run config workload =
   and late_sessions = ref 0
   and late_txns = ref 0
   and anomalies = ref 0
+  and aborted_merges = ref 0
   and windows_checked = ref 0
   and violations = ref 0 in
   let mobiles =
@@ -145,6 +163,24 @@ let run config workload =
     Cost.add cost report.Protocol.cost
   in
 
+  (* Run one merge attempt, through the configured runner (e.g. the
+     fault-injection session layer) when present. A session abandoned
+     mid-merge is a distinct failure mode from the Strategy-1 snapshot
+     anomaly: it is counted in [aborted_merges], never in [anomalies], so
+     E2's headline number stays comparable whether or not faults are on. *)
+  let attempt_merge mc ~base_history ~origin ~tentative =
+    match config.merge_runner with
+    | None ->
+      Some (Protocol.merge ~config:mc ~params:config.params ~base ~base_history ~origin ~tentative)
+    | Some runner -> (
+      match runner ~config:mc ~params:config.params ~base ~base_history ~origin ~tentative with
+      | Merge_completed report -> Some report
+      | Merge_aborted _reason ->
+        incr aborted_merges;
+        Obs.Counter.incr obs_aborted;
+        None)
+  in
+
   let reset_mobile m =
     m.tentative_rev <- [];
     (match config.isolation with
@@ -176,14 +212,13 @@ let run config workload =
           reprocess_session m history
         end
         else begin
-          let report =
-            Protocol.merge ~config:mc ~params:config.params ~base ~base_history:!logical
-              ~origin:!window_origin ~tentative:history
-          in
-          logical := report.Protocol.new_history;
-          incr merges;
-          count_txn_reports report.Protocol.txns;
-          Cost.add cost report.Protocol.cost
+          match attempt_merge mc ~base_history:!logical ~origin:!window_origin ~tentative:history with
+          | Some report ->
+            logical := report.Protocol.new_history;
+            incr merges;
+            count_txn_reports report.Protocol.txns;
+            Cost.add cost report.Protocol.cost
+          | None -> reprocess_session m history
         end
       | Strategy1 ->
         (* Does the recorded base sub-history still begin at this mobile's
@@ -200,14 +235,13 @@ let run config workload =
           reprocess_session m history
         end
         else begin
-          let report =
-            Protocol.merge ~config:mc ~params:config.params ~base ~base_history:suffix
-              ~origin:m.origin ~tentative:history
-          in
-          logical := prefix @ report.Protocol.new_history;
-          incr merges;
-          count_txn_reports report.Protocol.txns;
-          Cost.add cost report.Protocol.cost
+          match attempt_merge mc ~base_history:suffix ~origin:m.origin ~tentative:history with
+          | Some report ->
+            logical := prefix @ report.Protocol.new_history;
+            incr merges;
+            count_txn_reports report.Protocol.txns;
+            Cost.add cost report.Protocol.cost
+          | None -> reprocess_session m history
         end));
     reset_mobile m
   in
@@ -268,6 +302,7 @@ let run config workload =
     late_sessions = !late_sessions;
     late_txns = !late_txns;
     anomalies = !anomalies;
+    aborted_merges = !aborted_merges;
     windows_checked = !windows_checked;
     serializability_violations = !violations;
     cost;
@@ -276,7 +311,7 @@ let run config workload =
 
 let pp_stats ppf s =
   Format.fprintf ppf
-    "@[<v>base=%d tentative=%d merges=%d saved=%d reexec=%d rejected=%d late=%d anomalies=%d@ \
-     windows=%d violations=%d@ cost: %a@]"
+    "@[<v>base=%d tentative=%d merges=%d saved=%d reexec=%d rejected=%d late=%d anomalies=%d \
+     aborted=%d@ windows=%d violations=%d@ cost: %a@]"
     s.base_txns s.tentative_txns s.merges s.saved s.reexecuted s.rejected s.late_sessions
-    s.anomalies s.windows_checked s.serializability_violations Cost.pp s.cost
+    s.anomalies s.aborted_merges s.windows_checked s.serializability_violations Cost.pp s.cost

@@ -30,6 +30,29 @@ open Repro_txn
 type isolation = Strategy1 | Strategy2
 type protocol = Merging of Protocol.merge_config | Reprocessing
 
+(** Outcome of one merge attempt under a pluggable runner: completed (the
+    report), or abandoned mid-session — a failure mode distinct from the
+    Strategy-1 snapshot anomaly. An aborted attempt leaves the base state
+    untouched; the simulator falls back to reprocessing and counts it in
+    {!stats.aborted_merges}. *)
+type merge_attempt =
+  | Merge_completed of Protocol.merge_report
+  | Merge_aborted of string  (** abort reason *)
+
+(** How a reconnection's merge is actually carried out. [None] in
+    {!config.merge_runner} calls {!Protocol.merge} directly (a perfect
+    atomic exchange); the fault-injection layer
+    ({!Repro_fault.Session.sync_runner}) substitutes a resumable
+    message-level session over an unreliable transport. *)
+type merge_runner =
+  config:Protocol.merge_config ->
+  params:Cost.params ->
+  base:Repro_db.Engine.t ->
+  base_history:Protocol.base_txn list ->
+  origin:Repro_txn.State.t ->
+  tentative:Repro_history.History.t ->
+  merge_attempt
+
 type workload = {
   initial : State.t;
   make_mobile_txn : Repro_workload.Rng.t -> name:string -> Program.t;
@@ -47,6 +70,7 @@ type config = {
   isolation : isolation;
   params : Cost.params;
   seed : int;
+  merge_runner : merge_runner option;  (** [None]: direct atomic merge *)
 }
 
 val default_config : config
@@ -61,6 +85,9 @@ type stats = {
   late_sessions : int;  (** Strategy 2: histories too old to merge *)
   late_txns : int;  (** tentative transactions in those late sessions *)
   anomalies : int;  (** Strategy 1: snapshot invalidated by an earlier merge *)
+  aborted_merges : int;
+      (** merge sessions abandoned mid-exchange (fault-injection runner);
+          each fell back to reprocessing with the base state unchanged *)
   windows_checked : int;
   serializability_violations : int;
       (** windows whose logical history does not replay to the base state *)

@@ -36,7 +36,8 @@ let test_wal_structure () =
         | Wal.Read _ -> "read"
         | Wal.Write _ -> "write"
         | Wal.Commit _ -> "commit"
-        | Wal.Abort _ -> "abort")
+        | Wal.Abort _ -> "abort"
+        | Wal.Session _ -> "session")
       entries
   in
   Alcotest.check (Alcotest.list Alcotest.string) "log structure"
@@ -79,6 +80,57 @@ let test_recovery_drops_unforced () =
   check_state "recovery drops the unforced commit"
     (State.of_list [ ("a", 15); ("b", 20); ("c", 30) ])
     (Engine.recover e)
+
+let test_torn_batch_lost_atomically () =
+  (* A crash between execute_batch's commits and its single force must
+     lose the whole batch: no prefix of it survives recovery. *)
+  let e = Engine.create s0 in
+  ignore (Engine.execute e (inc "T0" "a" 5));
+  let entries =
+    List.map
+      (fun p -> { History.program = p; History.fix = Fix.empty })
+      [ inc "T1" "a" 1; inc "T2" "b" 1; inc "T3" "c" 1 ]
+  in
+  ignore (Engine.execute_batch ~force:false e entries);
+  check_state "live state has the batch" (State.of_list [ ("a", 16); ("b", 21); ("c", 31) ])
+    (Engine.state e);
+  Engine.crash_restart e;
+  check_state "the whole batch vanished" (State.of_list [ ("a", 15); ("b", 20); ("c", 30) ])
+    (Engine.state e);
+  (* the restarted engine keeps working, and new commits are durable *)
+  ignore (Engine.execute e (inc "T4" "b" 2));
+  check_state "post-restart commit durable" (Engine.state e) (Engine.recover e)
+
+let test_session_journal_commit_group () =
+  (* A session marker inside an unforced commit group is durable exactly
+     when the group's effects are. *)
+  let e = Engine.create s0 in
+  ignore (Engine.execute ~durably:false e (inc "T1" "a" 1));
+  Engine.journal e ~session:7 "applied 1 1";
+  checkb "marker not durable before force" true (Engine.session_journal e = []);
+  Engine.crash_restart e;
+  checkb "crash loses marker and effects together" true
+    (Engine.session_journal e = [] && State.equal s0 (Engine.state e));
+  ignore (Engine.execute ~durably:false e (inc "T2" "a" 1));
+  Engine.journal e ~session:7 "applied 2 2";
+  Engine.force e;
+  Engine.crash_restart e;
+  checkb "after the force both survive" true
+    (Engine.session_journal e = [ (7, "applied 2 2") ]
+    && State.equal (State.of_list [ ("a", 11); ("b", 20); ("c", 30) ]) (Engine.state e))
+
+let test_rewind_txns () =
+  let e = Engine.create s0 in
+  ignore (Engine.execute e (inc "T1" "a" 5));
+  let first = Engine.next_txid e in
+  ignore (Engine.execute e (inc "T2" "b" 7));
+  ignore (Engine.execute e (inc "T3" "a" 2));
+  let last = Engine.next_txid e - 1 in
+  check_state "rewind unapplies the range"
+    (State.of_list [ ("a", 15); ("b", 20); ("c", 30) ])
+    (Engine.rewind_txns e ~first ~last);
+  check_state "empty range is the current state" (Engine.state e)
+    (Engine.rewind_txns e ~first ~last:(first - 1))
 
 let test_recovery_after_checkpoint () =
   let e = Engine.create s0 in
@@ -219,6 +271,9 @@ let () =
       ( "recovery",
         [
           Alcotest.test_case "drops unforced" `Quick test_recovery_drops_unforced;
+          Alcotest.test_case "torn batch lost atomically" `Quick test_torn_batch_lost_atomically;
+          Alcotest.test_case "session journal commit group" `Quick test_session_journal_commit_group;
+          Alcotest.test_case "rewind txns" `Quick test_rewind_txns;
           Alcotest.test_case "checkpoint + redo" `Quick test_recovery_after_checkpoint;
           Alcotest.test_case "undo recoverable" `Quick test_undo_is_logged_and_recoverable;
         ]

@@ -1,0 +1,268 @@
+(* Tests for the fault-injection subsystem: transport determinism and
+   fault primitives, resumable merge sessions (idempotent duplicate
+   delivery, retry under loss, crash-resume, torn commit groups, in-doubt
+   resolution), and the nemesis exactly-once property over arbitrary
+   fault schedules. *)
+
+open Repro_txn
+open Repro_history
+module Engine = Repro_db.Engine
+module Rng = Repro_workload.Rng
+module Banking = Repro_workload.Banking
+module P = Repro_replication.Protocol
+module Cost = Repro_replication.Cost
+module Net = Repro_fault.Net
+module Session = Repro_fault.Session
+module Nemesis = Repro_fault.Nemesis
+module G = Test_support.Generators
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+let check_state = Alcotest.check G.state
+
+(* ------------------------------------------------------------------ *)
+(* Transport                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let drain net ~dst =
+  let rec go acc now =
+    match Net.next_arrival net ~dst with
+    | None -> List.rev acc
+    | Some t -> (
+      match Net.recv net ~now:(max now t) ~dst with
+      | Some m -> go (m :: acc) (max now t)
+      | None -> List.rev acc)
+  in
+  go [] 0.0
+
+let test_net_deterministic () =
+  let run () =
+    let net = Net.create ~seed:42 { Net.ideal with Net.drop_rate = 0.3; dup_rate = 0.2 } in
+    for i = 0 to 19 do
+      Net.send net ~now:(float_of_int i *. 0.01) ~dst:Net.Base i
+    done;
+    let delivered = drain net ~dst:Net.Base in
+    (delivered, Net.stats net)
+  in
+  let d1, s1 = run () in
+  let d2, s2 = run () in
+  checkb "same deliveries" true (d1 = d2);
+  checkb "same stats" true (s1 = s2);
+  checki "conservation" s1.Net.sent (s1.Net.dropped + s1.Net.delivered - s1.Net.duplicated)
+
+let test_net_drop_all () =
+  let net = Net.create ~seed:1 (Net.lossy ~drop_rate:1.0) in
+  for i = 0 to 9 do
+    Net.send net ~now:0.0 ~dst:Net.Base i
+  done;
+  checkb "nothing in flight" true (Net.next_arrival net ~dst:Net.Base = None);
+  checki "all dropped" 10 (Net.stats net).Net.dropped
+
+let test_net_duplicates_all () =
+  let net = Net.create ~seed:1 { Net.ideal with Net.dup_rate = 1.0 } in
+  for i = 0 to 4 do
+    Net.send net ~now:0.0 ~dst:Net.Mobile i
+  done;
+  checki "every send doubled" 10 (List.length (drain net ~dst:Net.Mobile))
+
+let test_net_partition () =
+  let net =
+    Net.create ~seed:1 { Net.ideal with Net.partitions = [ (1.0, 2.0) ] }
+  in
+  Net.send net ~now:0.5 ~dst:Net.Base 0;
+  Net.send net ~now:1.5 ~dst:Net.Base 1;
+  Net.send net ~now:2.5 ~dst:Net.Base 2;
+  checkb "partitioned inside the window" true (Net.partitioned net 1.5);
+  checkb "link up outside" false (Net.partitioned net 2.5);
+  checkb "middle send lost" true (drain net ~dst:Net.Base = [ 0; 2 ])
+
+let test_net_reordering_from_latency () =
+  (* with a wide latency spread, back-to-back sends can overtake *)
+  let net =
+    Net.create ~seed:3 { Net.ideal with Net.min_latency = 0.01; max_latency = 5.0 }
+  in
+  for i = 0 to 19 do
+    Net.send net ~now:0.0 ~dst:Net.Base i
+  done;
+  let got = drain net ~dst:Net.Base in
+  checki "all delivered" 20 (List.length got);
+  checkb "some pair overtook" true (got <> List.sort compare got)
+
+(* ------------------------------------------------------------------ *)
+(* Sessions                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* A fixed banking workload shared by the session tests: the reference
+   engine merges atomically, the session engine goes over the wire. *)
+let fixture seed =
+  let rng = Rng.create seed in
+  let bank = Banking.make ~n_accounts:8 in
+  let s0 = Banking.initial_state bank in
+  let base_h = Banking.random_history bank rng ~prefix:"B" ~length:5 ~commuting_bias:0.5 in
+  let tentative = Banking.random_history bank rng ~prefix:"M" ~length:7 ~commuting_bias:0.5 in
+  let mk () =
+    let e = Engine.create s0 in
+    let records = Engine.execute_batch e (History.entries base_h) in
+    let history =
+      List.map2 (fun p record -> { P.program = p; record }) (History.programs base_h) records
+    in
+    (e, history)
+  in
+  (s0, tentative, mk)
+
+let run_session ?(session = Session.default_config) ~schedule ~net_seed (s0, tentative, mk) =
+  let engine, base_history = mk () in
+  let net = Net.create ~seed:net_seed schedule in
+  let res =
+    Session.run_merge ~net ~session ~config:P.default_merge_config ~params:Cost.default_params
+      ~base:engine ~base_history ~origin:s0 ~tentative ()
+  in
+  (res, engine)
+
+let reference (s0, tentative, mk) =
+  let engine, base_history = mk () in
+  let report =
+    P.merge ~config:P.default_merge_config ~params:Cost.default_params ~base:engine
+      ~base_history ~origin:s0 ~tentative
+  in
+  (report, engine)
+
+let markers engine = List.length (Engine.session_journal engine)
+
+let expect_completed (res : Session.result) =
+  match res.Session.outcome with
+  | Session.Completed report -> report
+  | Session.Aborted reason -> Alcotest.failf "session aborted: %s" reason
+
+let test_session_ideal_matches_merge () =
+  let fx = fixture 11 in
+  let ref_report, ref_engine = reference fx in
+  let res, engine = run_session ~schedule:Net.ideal ~net_seed:1 fx in
+  let report = expect_completed res in
+  check_state "same final state" (Engine.state ref_engine) (Engine.state engine);
+  checkb "same saved set" true (Names.Set.equal report.P.saved ref_report.P.saved);
+  checkb "same logical history" true
+    (List.map (fun (bt : P.base_txn) -> bt.P.program.Program.name) report.P.new_history
+    = List.map (fun (bt : P.base_txn) -> bt.P.program.Program.name) ref_report.P.new_history);
+  (* no faults: nothing retried, nothing resumed, and the communication
+     charge is exactly the atomic protocol's *)
+  checki "no retries" 0 res.Session.retries;
+  checkb "not resumed" false res.Session.resumed;
+  checkb "same communication cost" true
+    (report.P.cost.Cost.communication = ref_report.P.cost.Cost.communication);
+  checki "exactly one applied marker" 1 (markers engine)
+
+let test_session_duplicate_delivery_idempotent () =
+  let fx = fixture 12 in
+  let _, ref_engine = reference fx in
+  let res, engine =
+    run_session ~schedule:{ Net.ideal with Net.dup_rate = 1.0 } ~net_seed:2 fx
+  in
+  ignore (expect_completed res);
+  check_state "duplicates applied once" (Engine.state ref_engine) (Engine.state engine);
+  checki "exactly one applied marker" 1 (markers engine)
+
+let test_session_retries_through_loss () =
+  let fx = fixture 13 in
+  let _, ref_engine = reference fx in
+  let res, engine = run_session ~schedule:(Net.lossy ~drop_rate:0.4) ~net_seed:5 fx in
+  ignore (expect_completed res);
+  checkb "lost acks forced retries" true (res.Session.retries > 0);
+  check_state "still exactly-once" (Engine.state ref_engine) (Engine.state engine);
+  checki "exactly one applied marker" 1 (markers engine)
+
+let crash_case name schedule ~net_seed =
+  Alcotest.test_case name `Quick (fun () ->
+      let fx = fixture 14 in
+      let _, ref_engine = reference fx in
+      let res, engine = run_session ~schedule ~net_seed fx in
+      ignore (expect_completed res);
+      checkb "a crash was injected" true (res.Session.crashes > 0);
+      check_state "recovered to the fault-free state" (Engine.state ref_engine)
+        (Engine.state engine);
+      checki "exactly one applied marker" 1 (markers engine);
+      check_state "committed state durable" (Engine.state engine) (Engine.recover engine))
+
+let test_session_drop_everything_aborts () =
+  let fx = fixture 15 in
+  let session = { Session.default_config with Session.retry_timeout = 0.1; max_retries = 3; commit_retries = 3 } in
+  let engine, base_history =
+    let _, _, mk = fx in
+    mk ()
+  in
+  let pre = Engine.state engine in
+  let s0, tentative, _ = fx in
+  let net = Net.create ~seed:9 (Net.lossy ~drop_rate:1.0) in
+  let res =
+    Session.run_merge ~net ~session ~config:P.default_merge_config ~params:Cost.default_params
+      ~base:engine ~base_history ~origin:s0 ~tentative ()
+  in
+  (match res.Session.outcome with
+  | Session.Aborted _ -> ()
+  | Session.Completed _ -> Alcotest.fail "expected abort on a dead link");
+  check_state "base untouched" pre (Engine.state engine);
+  checki "no applied marker" 0 (markers engine);
+  (* the caller's fallback still works *)
+  let rr =
+    P.reprocess ~acceptance:P.accept_always ~params:Cost.default_params ~base:engine ~origin:s0
+      ~tentative
+  in
+  checkb "reprocessing fallback proceeds" true (List.length rr.P.txns > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Nemesis                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let prop_nemesis_exactly_once =
+  QCheck.Test.make ~count:60 ~name:"nemesis: exactly-once under arbitrary fault schedules"
+    QCheck.(pair small_nat small_nat)
+    (fun (a, b) ->
+      let schedule = Nemesis.random_schedule (Rng.create (1 + (131 * a) + b)) in
+      match Nemesis.check_case ~seed:(100 + b) ~schedule with
+      | Ok _ -> true
+      | Error msg -> QCheck.Test.fail_report msg)
+
+let test_nemesis_sweep_clean () =
+  let sweep = Nemesis.run_sweep ~seed:2026 ~count:30 in
+  checki "no violations" 0 (List.length sweep.Nemesis.failures);
+  checki "all cases accounted" sweep.Nemesis.cases
+    (sweep.Nemesis.completed + sweep.Nemesis.aborted);
+  checkb "faults actually fired" true (sweep.Nemesis.retries > 0 || sweep.Nemesis.crashes > 0)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "repro_fault"
+    [
+      ( "net",
+        [
+          Alcotest.test_case "deterministic" `Quick test_net_deterministic;
+          Alcotest.test_case "drop all" `Quick test_net_drop_all;
+          Alcotest.test_case "duplicate all" `Quick test_net_duplicates_all;
+          Alcotest.test_case "partition" `Quick test_net_partition;
+          Alcotest.test_case "reordering" `Quick test_net_reordering_from_latency;
+        ] );
+      ( "session",
+        [
+          Alcotest.test_case "ideal wire = atomic merge" `Quick test_session_ideal_matches_merge;
+          Alcotest.test_case "duplicate delivery idempotent" `Quick
+            test_session_duplicate_delivery_idempotent;
+          Alcotest.test_case "retries through loss" `Quick test_session_retries_through_loss;
+          crash_case "resume after base crash"
+            { Net.ideal with Net.crashes = [ Net.Base_after_handling 3 ] }
+            ~net_seed:6;
+          crash_case "torn commit group (mid-commit crash)"
+            { Net.ideal with Net.crashes = [ Net.Base_mid_commit ] }
+            ~net_seed:7;
+          crash_case "in-doubt commit (crash after force)"
+            { Net.ideal with Net.crashes = [ Net.Base_after_commit ] }
+            ~net_seed:8;
+          crash_case "mobile crash and reboot"
+            { Net.ideal with Net.crashes = [ Net.Mobile_after_handling 2 ] }
+            ~net_seed:9;
+          Alcotest.test_case "dead link aborts cleanly" `Quick test_session_drop_everything_aborts;
+        ] );
+      ( "nemesis",
+        [ Alcotest.test_case "fixed-seed sweep" `Quick test_nemesis_sweep_clean ]
+        @ qsuite [ prop_nemesis_exactly_once ] );
+    ]
