@@ -2,7 +2,7 @@
 # build, tests, docs (skipped when odoc is not installed — the build
 # container does not ship it), and the changelog check.
 
-.PHONY: all build test bench nemesis doc changelog ci
+.PHONY: all build test bench bench-snapshot smoke nemesis doc changelog ci
 
 all: build
 
@@ -14,6 +14,21 @@ test:
 
 bench:
 	dune exec bench/main.exe
+
+# Append the next BENCH_<n>.json snapshot (per-experiment timings, obs
+# counters, instrumentation-overhead trio). Non-gating: timings are
+# machine-dependent, so this is a trajectory to eyeball, not a check.
+bench-snapshot:
+	@n=1; while [ -e BENCH_$$n.json ]; do n=$$((n+1)); done; \
+	dune exec bench/main.exe -- --snapshot BENCH_$$n.json
+
+# End-to-end smoke of the tracing/forensics surface: a traced merge must
+# produce a loadable Chrome trace, and explain must produce valid JSON.
+smoke: build
+	dune exec bin/repro_cli.exe -- merge --seed 1 --trace-out /tmp/repro_trace.json > /dev/null
+	dune exec bin/repro_cli.exe -- validate-json --chrome /tmp/repro_trace.json
+	dune exec bin/repro_cli.exe -- explain --seed 1 --format=json > /tmp/repro_explain.json
+	dune exec bin/repro_cli.exe -- validate-json /tmp/repro_explain.json
 
 # Fixed-seed fault sweep: merge sessions over random fault schedules must
 # complete exactly-once or abort with the base untouched (exits 1 on any
@@ -31,5 +46,5 @@ doc:
 changelog:
 	sh tools/check_changes.sh
 
-ci: build test nemesis doc changelog
+ci: build test nemesis smoke doc changelog
 	@echo "ci: ok"

@@ -226,34 +226,108 @@ let part2 () =
    instrumentation at < 3% with recording enabled. Best-of-N wall-clock
    keeps scheduler noise out of the comparison. *)
 
-let part3 () =
-  Format.printf "@.=== Part 3: instrumentation overhead (E3 sweep, best of 5) ===@.@.";
+(* Best-of-N wall clock of [f] with the registry reset per run; [wrap]
+   sets the switch configuration under test. *)
+let best_of n wrap f =
+  let module Obs = Repro_obs.Obs in
+  let best = ref infinity in
+  for _ = 1 to n do
+    Obs.reset ();
+    let dt =
+      wrap (fun () ->
+          let t0 = Unix.gettimeofday () in
+          f ();
+          Unix.gettimeofday () -. t0)
+    in
+    if dt < !best then best := dt
+  done;
+  !best
+
+let overhead_trio () =
   let module Obs = Repro_obs.Obs in
   let run_e3 () = ignore (E3_savings.run ~seeds:8 ~skews:[ 0.9 ] ()) in
-  let best_of ~enabled n f =
-    let best = ref infinity in
-    for _ = 1 to n do
-      Obs.reset ();
-      let dt =
-        Obs.with_enabled enabled (fun () ->
-            let t0 = Unix.gettimeofday () in
-            f ();
-            Unix.gettimeofday () -. t0)
-      in
-      if dt < !best then best := dt
-    done;
-    !best
-  in
-  ignore (best_of ~enabled:false 2 run_e3);
+  ignore (best_of 2 (fun f -> f ()) run_e3);
   (* warm-up *)
-  let off = best_of ~enabled:false 5 run_e3 in
-  let on = best_of ~enabled:true 5 run_e3 in
-  let overhead = (on -. off) /. off *. 100.0 in
-  Format.printf "obs off: %8.2f ms@.obs on:  %8.2f ms@.overhead: %+.2f%% (budget < 3%%)@."
-    (off *. 1000.0) (on *. 1000.0) overhead
+  let off = best_of 5 (fun f -> f ()) run_e3 in
+  let metrics = best_of 5 (fun f -> Obs.with_enabled true f) run_e3 in
+  let events = best_of 5 (fun f -> Obs.Event.with_capturing true f) run_e3 in
+  (off, metrics, events)
+
+let part3 () =
+  Format.printf
+    "@.=== Part 3: instrumentation overhead (E3 sweep, best of 5) ===@.@.";
+  let off, metrics, events = overhead_trio () in
+  let pct x = (x -. off) /. off *. 100.0 in
+  Format.printf
+    "all switches off:   %8.2f ms   (the disabled path the <1%% budget is about)@." (off *. 1000.0);
+  Format.printf "metric recording:   %8.2f ms   %+.2f%% (budget < 3%%)@."
+    (metrics *. 1000.0) (pct metrics);
+  Format.printf "event capturing:    %8.2f ms   %+.2f%%@." (events *. 1000.0) (pct events)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot mode (--snapshot FILE): per-experiment wall-clock timings
+   with the obs counters each run accumulated, plus the Part 3 overhead
+   trio, as one JSON document. `make bench-snapshot` writes these as
+   BENCH_<n>.json files — the repo's bench trajectory. *)
+
+let snapshot_experiments =
+  [
+    ("e1", fun () -> ignore (E1_example1.run ()));
+    ("e2", fun () -> ignore (E2_sync.run ~fleets:[ 2; 4; 8 ] ()));
+    ("e2-windows", fun () -> ignore (E2_sync.run_windows ~windows:[ 15.0; 30.0; 60.0; 120.0 ] ()));
+    ("e3", fun () -> ignore (E3_savings.run ~skews:[ 0.0; 0.5; 0.9; 1.3 ] ()));
+    ("e4", fun () -> ignore (E4_commute.run ~fractions:[ 0.0; 0.25; 0.5; 0.75; 1.0 ] ()));
+    ("e5", fun () -> ignore (E5_cost.run ~overlaps:[ 0.0; 0.25; 0.5; 0.75; 1.0 ] ()));
+    ("e6", fun () -> ignore (E6_backout.run ~skews:[ 0.3; 0.9 ] ()));
+    ("e7", fun () -> ignore (E7_prune.run ~fractions:[ 0.25; 0.75; 1.0 ] ()));
+    ("e8", fun () -> ignore (E8_scaling.run ~fleets:[ 1; 2; 4; 8; 16 ] ()));
+    ("e9", fun () -> ignore (E9_faults.run ~drops:[ 0.0; 0.5 ] ()));
+    ("a1", fun () -> ignore (A1_fixmode.run ~skews:[ 0.5; 1.0 ] ()));
+    ("a2", fun () -> ignore (A2_setmode.run ~skews:[ 0.5; 1.0 ] ()));
+    ("a3", fun () -> ignore (A3_strategy.run ~skews:[ 0.9 ] ()));
+  ]
+
+let snapshot file =
+  let module Obs = Repro_obs.Obs in
+  let module Report = Repro_obs.Report in
+  let esc = Report.escape_json in
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf "{\"schema\": \"repro-bench-snapshot/1\",\n \"experiments\": [\n";
+  List.iteri
+    (fun i (name, f) ->
+      Format.printf "snapshot: %s...@." name;
+      Obs.reset ();
+      let t0 = Unix.gettimeofday () in
+      Obs.with_enabled true f;
+      let dt = Unix.gettimeofday () -. t0 in
+      let report = Obs.snapshot () in
+      let counters =
+        String.concat ", "
+          (List.map
+             (fun (c : Report.counter) ->
+               Printf.sprintf "\"%s\": %d" (esc c.Report.c_name) c.Report.value)
+             report.Report.counters)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%s  {\"name\": \"%s\", \"seconds\": %.6f, \"counters\": {%s}}"
+           (if i = 0 then "" else ",\n")
+           (esc name) dt counters))
+    snapshot_experiments;
+  Format.printf "snapshot: overhead trio...@.";
+  let off, metrics, events = overhead_trio () in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "\n ],\n \"overhead\": {\"experiment\": \"e3\", \"off_s\": %.6f, \"metrics_on_s\": \
+        %.6f, \"events_on_s\": %.6f}\n}\n"
+       off metrics events);
+  Out_channel.with_open_text file (fun oc -> Out_channel.output_string oc (Buffer.contents buf));
+  Format.printf "snapshot: wrote %s@." file
 
 let () =
-  part1 ();
-  part2 ();
-  part3 ();
-  Format.printf "@.bench: done@."
+  match Sys.argv with
+  | [| _; "--snapshot"; file |] -> snapshot file
+  | _ ->
+    part1 ();
+    part2 ();
+    part3 ();
+    Format.printf "@.bench: done@."

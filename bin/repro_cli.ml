@@ -36,15 +36,29 @@ let trace_arg =
           "Stream one structured log line per completed pipeline span to stderr (implies metric \
            recording).")
 
-let with_observability ~metrics ~trace f =
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Capture structured trace events during the run and write them to $(docv) as Chrome \
+           trace-event JSON — load it at ui.perfetto.dev (or chrome://tracing) to see the \
+           pipeline, mobile, base and network lanes on one timeline.")
+
+let with_observability ~metrics ~trace ~trace_out f =
   let module Obs = Repro_obs.Obs in
-  if metrics = None && not trace then f ()
+  if metrics = None && (not trace) && trace_out = None then f ()
   else begin
     if trace then begin
       Repro_obs.Log_reporter.install_stderr_reporter ();
       Obs.set_tracing true
     end;
-    Obs.set_enabled true;
+    if metrics <> None || trace then Obs.set_enabled true;
+    if trace_out <> None then begin
+      Obs.Event.clear ();
+      Obs.Event.set_capturing true
+    end;
     let result = f () in
     (match metrics with
     | None -> ()
@@ -54,6 +68,17 @@ let with_observability ~metrics ~trace f =
       | `Text -> print_string (Repro_obs.Report.to_text report)
       | `Json -> print_endline (Repro_obs.Report.to_json report)
       | `Csv -> print_string (Repro_obs.Report.to_csv report)));
+    (match trace_out with
+    | None -> ()
+    | Some file ->
+      Obs.Event.set_capturing false;
+      let events = Obs.Event.events () in
+      Out_channel.with_open_text file (fun oc ->
+          Out_channel.output_string oc (Repro_obs.Chrome.to_json events));
+      Printf.eprintf "trace: %d event(s) written to %s%s\n%!" (List.length events) file
+        (match Obs.Event.dropped () with
+        | 0 -> ""
+        | n -> Printf.sprintf " (%d dropped at ring capacity)" n));
     result
   end
 
@@ -300,7 +325,8 @@ let merge_cmd =
       & opt alg_conv Protocol.default_merge_config.Protocol.algorithm
       & info [ "algorithm" ] ~docv:"NAME" ~doc:"History rewriter to run (Section 5).")
   in
-  let run metrics trace seed tentative_len base_len skew commuting strategy algorithm =
+  let run metrics trace trace_out seed tentative_len base_len skew commuting strategy algorithm
+      =
     let profile =
       {
         Repro_workload.Gen.default_profile with
@@ -311,7 +337,7 @@ let merge_cmd =
     let case = Mergecase.generate ~seed ~profile ~tentative_len ~base_len ~strategy in
     let config = { Protocol.default_merge_config with Protocol.strategy; Protocol.algorithm } in
     let result =
-      with_observability ~metrics ~trace @@ fun () ->
+      with_observability ~metrics ~trace ~trace_out @@ fun () ->
       Repro_core.Session.merge_once ~config ~s0:case.Mergecase.s0
         ~tentative:(Repro_history.History.programs case.Mergecase.tentative)
         ~base:(Repro_history.History.programs case.Mergecase.base)
@@ -342,8 +368,165 @@ let merge_cmd =
          "Generate one reproducible tentative/base history pair and run the full merge pipeline \
           over it; combine with $(b,--metrics) and $(b,--trace) to inspect every stage.")
     Term.(
-      const run $ metrics_arg $ trace_arg $ seed $ tentative_len $ base_len $ skew $ commuting
-      $ strategy $ algorithm)
+      const run $ metrics_arg $ trace_arg $ trace_out_arg $ seed $ tentative_len $ base_len
+      $ skew $ commuting $ strategy $ algorithm)
+
+(* explain: per-transaction merge provenance over a generated case *)
+let explain_cmd =
+  let open Repro_replication in
+  let seed = Arg.(value & opt int 11 & info [ "seed" ] ~docv:"S" ~doc:"PRNG seed.") in
+  let tentative_len =
+    Arg.(
+      value & opt int 8
+      & info [ "tentative-len" ] ~docv:"N" ~doc:"Tentative (mobile) history length.")
+  in
+  let base_len =
+    Arg.(value & opt int 8 & info [ "base-len" ] ~docv:"N" ~doc:"Base history length.")
+  in
+  let skew =
+    Arg.(value & opt float 0.9 & info [ "skew" ] ~docv:"Z" ~doc:"Zipf skew of item selection.")
+  in
+  let commuting =
+    Arg.(
+      value & opt float 0.5
+      & info [ "commuting" ] ~docv:"F" ~doc:"Fraction of commuting transaction types.")
+  in
+  let strategy =
+    let open Repro_precedence in
+    let strat_conv =
+      Arg.enum (List.map (fun s -> (Backout.strategy_name s, s)) Backout.all_strategies)
+    in
+    Arg.(
+      value
+      & opt strat_conv Protocol.default_merge_config.Protocol.strategy
+      & info [ "strategy" ] ~docv:"NAME" ~doc:"Back-out strategy (Section 2.1 / [Dav84]).")
+  in
+  let algorithm =
+    let alg_conv =
+      Arg.enum
+        (List.map
+           (fun a -> (Repro_rewrite.Rewrite.algorithm_name a, a))
+           Repro_rewrite.Rewrite.all_algorithms)
+    in
+    Arg.(
+      value
+      & opt alg_conv Protocol.default_merge_config.Protocol.algorithm
+      & info [ "algorithm" ] ~docv:"NAME" ~doc:"History rewriter to run (Section 5).")
+  in
+  let prune =
+    let prune_conv = Arg.enum [ ("compensate", true); ("undo", false) ] in
+    Arg.(
+      value & opt prune_conv true
+      & info [ "prune" ] ~docv:"HOW"
+          ~doc:
+            "Pruning preference: $(b,compensate) (fall back to undo when a compensator is \
+             missing) or $(b,undo) (always undo + undo-repair).")
+  in
+  let txn =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "txn" ] ~docv:"NAME"
+          ~doc:
+            "Explain only this tentative transaction (e.g. Tm3); default: every tentative \
+             transaction of the case.")
+  in
+  let format =
+    let fmt_conv = Arg.enum [ ("text", `Text); ("json", `Json) ] in
+    Arg.(
+      value & opt fmt_conv `Text
+      & info [ "format" ] ~docv:"FMT" ~doc:"Output format: text or json.")
+  in
+  let run seed tentative_len base_len skew commuting strategy algorithm prefer_compensation txn
+      format =
+    let profile =
+      {
+        Repro_workload.Gen.default_profile with
+        Repro_workload.Gen.commuting_fraction = commuting;
+        Repro_workload.Gen.zipf_skew = skew;
+      }
+    in
+    let case = Mergecase.generate ~seed ~profile ~tentative_len ~base_len ~strategy in
+    let config =
+      {
+        Protocol.default_merge_config with
+        Protocol.strategy;
+        Protocol.algorithm;
+        Protocol.prefer_compensation;
+        Protocol.capture_provenance = true;
+      }
+    in
+    let result =
+      Repro_core.Session.merge_once ~config ~s0:case.Mergecase.s0
+        ~tentative:(Repro_history.History.programs case.Mergecase.tentative)
+        ~base:(Repro_history.History.programs case.Mergecase.base)
+        ()
+    in
+    let records =
+      Provenance.of_merge
+        ~pg:result.Repro_core.Session.precedence
+        ~tentative:case.Mergecase.tentative ~report:result.Repro_core.Session.report
+    in
+    let selected =
+      match txn with
+      | None -> records
+      | Some name -> (
+        match Provenance.find records name with
+        | Some r -> [ r ]
+        | None ->
+          prerr_endline ("explain: unknown tentative transaction " ^ name);
+          exit 1)
+    in
+    match format with
+    | `Json -> print_string (Provenance.to_json selected)
+    | `Text -> List.iter (fun r -> print_string (Provenance.to_text r)) selected
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Re-run the merge of a generated case with provenance capture and report, per \
+          tentative transaction, the full decision chain: cycle membership, back-out, the \
+          rewriting scan's per-pair verdicts (with the fix domains consulted), pruning method \
+          and final disposition.")
+    Term.(
+      const run $ seed $ tentative_len $ base_len $ skew $ commuting $ strategy $ algorithm
+      $ prune $ txn $ format)
+
+(* validate-json: syntax (and optionally Chrome-trace schema) check *)
+let validate_json_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"JSON file to check.")
+  in
+  let chrome =
+    Arg.(
+      value & flag
+      & info [ "chrome" ]
+          ~doc:
+            "Additionally check the Chrome trace-event structure: a traceEvents array whose \
+             events carry name/ph/pid/tid, timestamps on non-metadata events, and balanced B/E \
+             span pairs per thread.")
+  in
+  let run chrome file =
+    let source = In_channel.with_open_text file In_channel.input_all in
+    let result =
+      if chrome then Repro_obs.Chrome.validate source
+      else
+        match Repro_obs.Report.Json.parse source with
+        | _ -> Ok ()
+        | exception Failure msg -> Error msg
+    in
+    match result with
+    | Ok () -> print_endline (file ^ ": ok")
+    | Error msg ->
+      prerr_endline (file ^ ": " ^ msg);
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "validate-json"
+       ~doc:
+         "Check that $(i,FILE) parses as JSON (the CI smoke gate for the CLI's JSON \
+          producers); with $(b,--chrome), also check the trace-event schema.")
+    Term.(const run $ chrome $ file)
 
 (* analyze: offline profile analysis of a transaction-type system file *)
 let analyze_cmd =
@@ -377,9 +560,11 @@ let scenario_cmd =
   let reprocess_note =
     "Commands: init, base, mobile, connect [reprocess], expect, state — see      Repro_core.Scenario for the format."
   in
-  let run metrics trace file =
+  let run metrics trace trace_out file =
     let source = In_channel.with_open_text file In_channel.input_all in
-    match with_observability ~metrics ~trace (fun () -> Repro_core.Scenario.run source) with
+    match
+      with_observability ~metrics ~trace ~trace_out (fun () -> Repro_core.Scenario.run source)
+    with
     | Error msg ->
       prerr_endline msg;
       exit 1
@@ -390,7 +575,7 @@ let scenario_cmd =
   Cmd.v
     (Cmd.info "scenario"
        ~doc:("Play a scripted reconnection session with assertions. " ^ reprocess_note))
-    Term.(const run $ metrics_arg $ trace_arg $ file)
+    Term.(const run $ metrics_arg $ trace_arg $ trace_out_arg $ file)
 
 (* all *)
 let all_cmd =
@@ -472,8 +657,8 @@ let sim_cmd =
       value & opt int 99
       & info [ "net-seed" ] ~docv:"S" ~doc:"PRNG seed for the faulty transport.")
   in
-  let run metrics trace mobiles duration window seed strategy1 reprocess bias profiles faults
-      drop_rate crash_at net_seed =
+  let run metrics trace trace_out mobiles duration window seed strategy1 reprocess bias profiles
+      faults drop_rate crash_at net_seed =
     let workload =
       match profiles with
       | Some file -> (
@@ -525,7 +710,7 @@ let sim_cmd =
       end
     in
     let stats =
-      with_observability ~metrics ~trace @@ fun () ->
+      with_observability ~metrics ~trace ~trace_out @@ fun () ->
       Sync.run
         {
           Sync.default_config with
@@ -553,8 +738,8 @@ let sim_cmd =
   Cmd.v
     (Cmd.info "sim" ~doc:"Run one multi-node banking simulation with custom parameters.")
     Term.(
-      const run $ metrics_arg $ trace_arg $ mobiles $ duration $ window $ seed $ strategy1
-      $ reprocess $ bias $ profiles $ faults $ drop_rate $ crash_at $ net_seed)
+      const run $ metrics_arg $ trace_arg $ trace_out_arg $ mobiles $ duration $ window $ seed
+      $ strategy1 $ reprocess $ bias $ profiles $ faults $ drop_rate $ crash_at $ net_seed)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
@@ -570,5 +755,6 @@ let () =
           [
             e1_cmd; e2_cmd; e3_cmd; e4_cmd; e5_cmd; e6_cmd; e7_cmd; e8_cmd; e9_cmd; a1_cmd;
             a2_cmd; a3_cmd;
-            all_cmd; sim_cmd; merge_cmd; analyze_cmd; scenario_cmd; nemesis_cmd;
+            all_cmd; sim_cmd; merge_cmd; explain_cmd; validate_json_cmd; analyze_cmd;
+            scenario_cmd; nemesis_cmd;
           ]))

@@ -42,6 +42,7 @@ type 'a envelope = { arrival : float; seqno : int; payload : 'a }
 type 'a t = {
   rng : Rng.t;
   sched : schedule;
+  describe : 'a -> string;  (* payload label for trace events *)
   mutable to_base : 'a envelope list;  (* sorted by (arrival, seqno) *)
   mutable to_mobile : 'a envelope list;
   mutable seqno : int;
@@ -51,10 +52,11 @@ type 'a t = {
   mutable delivered : int;
 }
 
-let create ~seed sched =
+let create ?(describe = fun _ -> "msg") ~seed sched =
   {
     rng = Rng.create seed;
     sched;
+    describe;
     to_base = [];
     to_mobile = [];
     seqno = 0;
@@ -87,18 +89,36 @@ let enqueue t ~now ~dst payload =
   t.seqno <- t.seqno + 1;
   set_queue t dst (insert env (queue_of t dst))
 
+let endpoint_name = function Mobile -> "mobile" | Base -> "base"
+
+(* Wire forensics on the network lane; attrs carry the simulated clock
+   because trace wall time says nothing about the simulation. *)
+let wire_event t ~now ~dst name payload extra =
+  if Obs.Event.capturing () then
+    Obs.Event.emit ~lane:Obs.Event.Network
+      ~attrs:
+        (("msg", Obs.Event.Str (t.describe payload))
+        :: ("dst", Obs.Event.Str (endpoint_name dst))
+        :: ("sim_t", Obs.Event.Float now)
+        :: extra)
+      name
+
 let send t ~now ~dst payload =
   t.sent <- t.sent + 1;
   Obs.Counter.incr obs_sent;
+  wire_event t ~now ~dst "net.send" payload [];
   if partitioned t now || Rng.float t.rng < t.sched.drop_rate then begin
     t.dropped <- t.dropped + 1;
-    Obs.Counter.incr obs_dropped
+    Obs.Counter.incr obs_dropped;
+    wire_event t ~now ~dst "net.drop" payload
+      [ ("reason", Obs.Event.Str (if partitioned t now then "partition" else "loss")) ]
   end
   else begin
     enqueue t ~now ~dst payload;
     if Rng.float t.rng < t.sched.dup_rate then begin
       t.duplicated <- t.duplicated + 1;
       Obs.Counter.incr obs_duplicated;
+      wire_event t ~now ~dst "net.dup" payload [];
       enqueue t ~now ~dst payload
     end
   end
@@ -112,6 +132,7 @@ let recv t ~now ~dst =
     set_queue t dst rest;
     t.delivered <- t.delivered + 1;
     Obs.Counter.incr obs_delivered;
+    wire_event t ~now ~dst "net.deliver" env.payload [];
     Some env.payload
   | _ -> None
 

@@ -55,7 +55,13 @@ val lossy : drop_rate:float -> schedule
 
 type 'a t
 
-val create : seed:int -> schedule -> 'a t
+(** [create ?describe ~seed sched] — [describe] labels payloads in the
+    trace events the wire emits on the network lane when event capturing
+    is on ([net.send] / [net.drop] / [net.dup] / [net.deliver], each
+    carrying the message label, destination and simulated clock);
+    defaults to ["msg"]. *)
+val create : ?describe:('a -> string) -> seed:int -> schedule -> 'a t
+
 val schedule : 'a t -> schedule
 
 (** Is the link partitioned at [time]? *)

@@ -60,6 +60,18 @@ type result = {
   elapsed : float;
 }
 
+let wire_label = function
+  | Hello _ -> "Hello"
+  | Hello_ack _ -> "Hello_ack"
+  | Ship { seq; _ } -> Printf.sprintf "Ship[%d]" seq
+  | Ship_ack { seq; _ } -> Printf.sprintf "Ship_ack[%d]" seq
+  | Merge_req _ -> "Merge_req"
+  | Outcome _ -> "Outcome"
+  | Forward _ -> "Forward"
+  | Done _ -> "Done"
+  | Fin _ -> "Fin"
+  | Nack _ -> "Nack"
+
 (* Approximate wire size of a message in the cost model's communication
    units; only retransmissions are charged with it — the first copy of
    every payload is already costed by the protocol phases themselves, so a
@@ -155,6 +167,10 @@ let run_merge ?(sid = 1) ~net ~session ~config ~params ~base ~base_history ~orig
   let base_crash () =
     incr crashes;
     Obs.Counter.incr obs_crashes;
+    if Obs.Event.capturing () then
+      Obs.Event.emit ~lane:Obs.Event.Base
+        ~attrs:[ ("sim_t", Obs.Event.Float !now) ]
+        "crash.base";
     Engine.crash_restart base;
     bstate := None;
     raise Base_crashed
@@ -340,6 +356,10 @@ let run_merge ?(sid = 1) ~net ~session ~config ~params ~base ~base_history ~orig
         if crash_now (Net.Mobile_after_handling !mobile_handled) then begin
           incr crashes;
           Obs.Counter.incr obs_crashes;
+          if Obs.Event.capturing () then
+            Obs.Event.emit ~lane:Obs.Event.Mobile
+              ~attrs:[ ("sim_t", Obs.Event.Float !now) ]
+              "crash.mobile";
           raise Mobile_crashed
         end;
         match msg with
@@ -360,6 +380,15 @@ let run_merge ?(sid = 1) ~net ~session ~config ~params ~base ~base_history ~orig
         if attempt > 0 then begin
           incr retries;
           Obs.Counter.incr obs_retries;
+          if Obs.Event.capturing () then
+            Obs.Event.emit ~lane:Obs.Event.Network
+              ~attrs:
+                [
+                  ("msg", Obs.Event.Str (wire_label msg));
+                  ("attempt", Obs.Event.Int attempt);
+                  ("sim_t", Obs.Event.Float !now);
+                ]
+              "net.retransmit";
           cost.Cost.communication <-
             cost.Cost.communication +. (params.Cost.comm_per_unit *. units_of_wire msg)
         end;
@@ -435,16 +464,24 @@ let run_merge ?(sid = 1) ~net ~session ~config ~params ~base ~base_history ~orig
               Completed (replay_applied g r ~first ~last)
             | None -> Aborted "commit undeliverable; journal shows no effect")))
   in
+  let recover_event reason =
+    if Obs.Event.capturing () then
+      Obs.Event.emit ~lane:Obs.Event.Mobile
+        ~attrs:[ ("reason", Obs.Event.Str reason); ("sim_t", Obs.Event.Float !now) ]
+        "recover.mobile"
+  in
   let rec attempt () =
     try mobile_run () with
     | Mobile_crashed ->
       now := !now +. session.reboot_delay;
       resumed := true;
       Obs.Counter.incr obs_resumed;
+      recover_event "reboot";
       attempt ()
     | Session_lost ->
       resumed := true;
       Obs.Counter.incr obs_resumed;
+      recover_event "session-lost";
       attempt ()
   in
   let outcome = attempt () in
@@ -483,7 +520,7 @@ let sync_runner ~schedule ~session ~net_seed () =
   let runner ~config ~params ~base ~base_history ~origin ~tentative =
     incr counter;
     let sid = !counter in
-    let net = Net.create ~seed:(net_seed + (7919 * sid)) schedule in
+    let net = Net.create ~describe:wire_label ~seed:(net_seed + (7919 * sid)) schedule in
     let res =
       run_merge ~sid ~net ~session ~config ~params ~base ~base_history ~origin ~tentative ()
     in

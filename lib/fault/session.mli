@@ -49,6 +49,11 @@ type wire =
       (** base has no state for this session (it crashed): restart from
           [Hello]; the journal guarantees restart is safe *)
 
+(** Short display label of a message (["Ship[2]"], ["Done"], ...) — pass
+    as [Net.create ~describe:wire_label] so the wire's trace events name
+    the protocol messages; {!sync_runner} does so for its sessions. *)
+val wire_label : wire -> string
+
 type config = {
   chunk : int;  (** tentative-history entries per [Ship] *)
   retry_timeout : float;  (** initial per-message ack timeout *)

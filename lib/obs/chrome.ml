@@ -1,0 +1,149 @@
+(* Chrome trace-event JSON ("catapult" format) for captured event rings;
+   the output loads in Perfetto / chrome://tracing. One process, one
+   thread per lane; span begin/end pairs become "B"/"E" duration events,
+   instants become "i". *)
+
+module E = Obs.Event
+
+let lane_tid = function
+  | E.Pipeline -> 0
+  | E.Mobile -> 1
+  | E.Base -> 2
+  | E.Network -> 3
+
+let all_lanes = [ E.Pipeline; E.Mobile; E.Base; E.Network ]
+
+let esc = Report.escape_json
+
+(* Fixed-width floats keep the output deterministic and re-parseable. *)
+let fl x = Printf.sprintf "%.3f" x
+
+let value_json = function
+  | E.Str s -> Printf.sprintf "\"%s\"" (esc s)
+  | E.Int i -> string_of_int i
+  | E.Float f -> Printf.sprintf "%.6f" f
+  | E.Bool b -> if b then "true" else "false"
+
+let args_json extra attrs =
+  let fields =
+    extra @ List.map (fun (k, v) -> Printf.sprintf "\"%s\": %s" (esc k) (value_json v)) attrs
+  in
+  "{" ^ String.concat ", " fields ^ "}"
+
+let to_json ?(clock = `Wall) events =
+  let b = Buffer.create 4096 in
+  let sep = ref false in
+  let item s =
+    if !sep then Buffer.add_string b ",\n";
+    sep := true;
+    Buffer.add_string b ("  " ^ s)
+  in
+  Buffer.add_string b "{\"displayTimeUnit\": \"ms\",\n \"traceEvents\": [\n";
+  item "{\"ph\": \"M\", \"name\": \"process_name\", \"pid\": 0, \"tid\": 0, \"args\": {\"name\": \"repro\"}}";
+  let used_lanes =
+    List.filter (fun l -> List.exists (fun e -> e.E.lane = l) events) all_lanes
+  in
+  List.iter
+    (fun l ->
+      item
+        (Printf.sprintf
+           "{\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": 0, \"tid\": %d, \"args\": \
+            {\"name\": \"%s\"}}"
+           (lane_tid l) (E.lane_name l)))
+    used_lanes;
+  let t0 =
+    match clock with
+    | `Logical -> 0.0
+    | `Wall -> List.fold_left (fun acc e -> min acc e.E.wall_us) infinity events
+  in
+  (* Rebase the process-global event id to a per-trace one, so exports
+     of identical seeded runs are byte-identical. *)
+  let id0 = List.fold_left (fun acc e -> min acc e.E.id) max_int events in
+  let ts e =
+    match clock with
+    | `Logical -> float_of_int e.E.logical
+    | `Wall -> e.E.wall_us -. t0
+  in
+  List.iter
+    (fun e ->
+      let ph, extra_fields =
+        match e.E.kind with
+        | E.Span_begin -> ("B", "")
+        | E.Span_end -> ("E", "")
+        | E.Instant -> ("i", ", \"s\": \"t\"")
+      in
+      let span_args =
+        if e.E.span <> 0 then
+          [ Printf.sprintf "\"span\": %d" e.E.span; Printf.sprintf "\"parent\": %d" e.E.parent ]
+        else []
+      in
+      let args = args_json (Printf.sprintf "\"id\": %d" (e.E.id - id0 + 1) :: span_args) e.E.attrs in
+      item
+        (Printf.sprintf
+           "{\"ph\": \"%s\", \"name\": \"%s\", \"pid\": 0, \"tid\": %d, \"ts\": %s%s, \
+            \"args\": %s}"
+           ph (esc e.E.name) (lane_tid e.E.lane) (fl (ts e)) extra_fields args))
+    events;
+  Buffer.add_string b "\n]}\n";
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Schema check *)
+
+let validate source =
+  let module J = Report.Json in
+  let fail fmt = Printf.ksprintf (fun s -> failwith s) fmt in
+  try
+    let top =
+      match J.parse source with
+      | J.Obj fields -> fields
+      | _ -> fail "expected a top-level object"
+      | exception Failure msg -> fail "not valid JSON: %s" msg
+    in
+    let events =
+      match List.assoc_opt "traceEvents" top with
+      | Some (J.Arr evs) -> evs
+      | Some _ -> fail "traceEvents: expected an array"
+      | None -> fail "missing traceEvents"
+    in
+    (* per-tid stack discipline for B/E pairs *)
+    let open_spans : (int, int) Hashtbl.t = Hashtbl.create 8 in
+    let depth tid = Option.value ~default:0 (Hashtbl.find_opt open_spans tid) in
+    List.iteri
+      (fun i ev ->
+        let fields =
+          match ev with J.Obj f -> f | _ -> fail "event %d: expected an object" i
+        in
+        let str key =
+          match List.assoc_opt key fields with
+          | Some (J.Str s) -> s
+          | Some _ -> fail "event %d: %s must be a string" i key
+          | None -> fail "event %d: missing %s" i key
+        in
+        let num key =
+          match List.assoc_opt key fields with
+          | Some (J.Num n) -> n
+          | Some _ -> fail "event %d: %s must be a number" i key
+          | None -> fail "event %d: missing %s" i key
+        in
+        ignore (str "name");
+        let ph = str "ph" in
+        ignore (num "pid");
+        let tid = int_of_float (num "tid") in
+        (match ph with
+        | "M" -> ()
+        | "B" | "E" | "i" -> ignore (num "ts")
+        | other -> fail "event %d: unknown phase %S" i other);
+        match ph with
+        | "B" -> Hashtbl.replace open_spans tid (depth tid + 1)
+        | "E" ->
+          let d = depth tid in
+          if d = 0 then fail "event %d: E without matching B on tid %d" i tid;
+          Hashtbl.replace open_spans tid (d - 1)
+        | _ -> ())
+      events;
+    Hashtbl.iter
+      (fun tid d -> if d <> 0 then fail "tid %d: %d span(s) left open" tid d)
+      open_spans;
+    Ok ()
+  with Failure msg -> Error msg

@@ -1,0 +1,25 @@
+(** Chrome trace-event JSON exporter for captured {!Obs.Event} rings.
+
+    The output is the "JSON Object Format" of the Chrome trace-event
+    specification and loads directly in Perfetto ([ui.perfetto.dev]) or
+    [chrome://tracing]. Events are rendered on one process with one
+    thread per {!Obs.Event.lane} (pipeline, mobile, base, network), so a
+    merge run under fault injection shows the pipeline stages and the
+    wire traffic on separate, time-aligned tracks. *)
+
+(** [to_json ?clock events] renders [events] (as returned by
+    {!Obs.Event.events}, oldest first). [`Wall] (the default) uses
+    wall-clock microseconds rebased to the earliest event; [`Logical]
+    uses the deterministic per-trace logical timestamps, which makes the
+    output byte-stable for a seeded run (at the cost of meaningless
+    durations). Span begin/end pairs become ["B"]/["E"] duration events,
+    instants become ["i"]; metadata events name the process and the
+    lanes in use. *)
+val to_json : ?clock:[ `Wall | `Logical ] -> Obs.Event.t list -> string
+
+(** [validate s] checks that [s] is syntactically valid JSON with the
+    structure [to_json] promises: a top-level object with a
+    [traceEvents] array whose members carry [name]/[ph]/[pid]/[tid], a
+    numeric [ts] on non-metadata events, and per-thread balanced
+    ["B"]/["E"] pairs. Returns a human-readable reason on failure. *)
+val validate : string -> (unit, string) result

@@ -15,8 +15,8 @@ let emit ?(level = Logs.Info) (r : Report.t) =
   List.iter
     (fun (s : Report.span) ->
       msg (fun m ->
-          m "span name=%s count=%d total_s=%.6f max_depth=%d" s.Report.s_name s.Report.entered
-            s.Report.total_s s.Report.max_depth))
+          m "span name=%s count=%d total_s=%.6f max_depth=%d errors=%d" s.Report.s_name
+            s.Report.entered s.Report.total_s s.Report.max_depth s.Report.errors))
     r.Report.spans
 
 let install_stderr_reporter () =

@@ -35,12 +35,152 @@ type span_stat = {
   mutable entered : int;
   mutable total_s : float;
   mutable max_depth : int;
+  mutable errors : int;
 }
 
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
 let dists : (string, dist) Hashtbl.t = Hashtbl.create 64
 let spans : (string, span_stat) Hashtbl.t = Hashtbl.create 64
 let span_depth = ref 0
+
+(* ------------------------------------------------------------------ *)
+(* Trace events: a bounded ring of structured events behind its own
+   switch. Everything here is deterministic for a seeded run except
+   [wall_us]; the Chrome exporter can render against either clock. *)
+
+module Event = struct
+  type value = Str of string | Int of int | Float of float | Bool of bool
+  type kind = Span_begin | Span_end | Instant
+  type lane = Pipeline | Mobile | Base | Network
+
+  type t = {
+    id : int;
+    logical : int;
+    wall_us : float;
+    kind : kind;
+    lane : lane;
+    name : string;
+    span : int;
+    parent : int;
+    attrs : (string * value) list;
+  }
+
+  let lane_name = function
+    | Pipeline -> "pipeline"
+    | Mobile -> "mobile"
+    | Base -> "base"
+    | Network -> "network"
+
+  let capturing_flag = ref false
+  let capturing () = !capturing_flag
+  let set_capturing b = capturing_flag := b
+
+  let with_capturing flag f =
+    let saved = !capturing_flag in
+    capturing_flag := flag;
+    Fun.protect ~finally:(fun () -> capturing_flag := saved) f
+
+  let default_capacity = 65_536
+
+  let dummy =
+    {
+      id = 0;
+      logical = 0;
+      wall_us = 0.0;
+      kind = Instant;
+      lane = Pipeline;
+      name = "";
+      span = 0;
+      parent = 0;
+      attrs = [];
+    }
+
+  (* Ring state. [next_id] is process-global and survives [clear]; the
+     logical clock restarts per trace so a seeded run always yields the
+     same logical timestamps. *)
+  let buf = ref (Array.make default_capacity dummy)
+  let start = ref 0
+  let len = ref 0
+  let next_id = ref 0
+  let logical_clock = ref 0
+  let dropped_count = ref 0
+
+  (* Span-instance bookkeeping shared with [Span.with_]. *)
+  let next_span_id = ref 0
+  let current_span = ref 0
+
+  let capacity () = Array.length !buf
+
+  let set_capacity n =
+    if n <= 0 then invalid_arg "Obs.Event.set_capacity: capacity must be positive";
+    buf := Array.make n dummy;
+    start := 0;
+    len := 0
+
+  let clear () =
+    Array.fill !buf 0 (Array.length !buf) dummy;
+    start := 0;
+    len := 0;
+    logical_clock := 0;
+    dropped_count := 0;
+    next_span_id := 0;
+    current_span := 0
+
+  let push e =
+    let cap = Array.length !buf in
+    if !len < cap then begin
+      !buf.((!start + !len) mod cap) <- e;
+      incr len
+    end
+    else begin
+      (* drop-oldest: overwrite the head and advance it *)
+      !buf.(!start) <- e;
+      start := (!start + 1) mod cap;
+      incr dropped_count
+    end
+
+  let record ~kind ~lane ~name ~span ~parent attrs =
+    incr next_id;
+    incr logical_clock;
+    push
+      {
+        id = !next_id;
+        logical = !logical_clock;
+        wall_us = Unix.gettimeofday () *. 1e6;
+        kind;
+        lane;
+        name;
+        span;
+        parent;
+        attrs;
+      }
+
+  let emit ?(lane = Pipeline) ?(attrs = []) name =
+    if !capturing_flag then
+      record ~kind:Instant ~lane ~name ~span:0 ~parent:!current_span attrs
+
+  let events () =
+    let cap = Array.length !buf in
+    List.init !len (fun i -> !buf.((!start + i) mod cap))
+
+  let emitted () = !logical_clock
+  let dropped () = !dropped_count
+
+  let pp_value ppf = function
+    | Str s -> Format.pp_print_string ppf s
+    | Int i -> Format.pp_print_int ppf i
+    | Float f -> Format.fprintf ppf "%g" f
+    | Bool b -> Format.pp_print_bool ppf b
+
+  let pp ppf e =
+    Format.fprintf ppf "#%d t=%d %s %s %s"
+      e.id e.logical (lane_name e.lane)
+      (match e.kind with Span_begin -> "B" | Span_end -> "E" | Instant -> "i")
+      e.name;
+    if e.span <> 0 then Format.fprintf ppf " span=%d" e.span;
+    if e.parent <> 0 then Format.fprintf ppf " parent=%d" e.parent;
+    List.iter (fun (k, v) -> Format.fprintf ppf " %s=%a" k pp_value v) e.attrs
+end
 
 let reset () =
   Hashtbl.iter (fun _ c -> c.value <- 0) counters;
@@ -55,9 +195,11 @@ let reset () =
     (fun _ s ->
       s.entered <- 0;
       s.total_s <- 0.0;
-      s.max_depth <- 0)
+      s.max_depth <- 0;
+      s.errors <- 0)
     spans;
-  span_depth := 0
+  span_depth := 0;
+  Event.clear ()
 
 module Counter = struct
   type t = counter
@@ -112,27 +254,57 @@ module Span = struct
     match Hashtbl.find_opt spans name with
     | Some s -> s
     | None ->
-      let s = { s_name = name; entered = 0; total_s = 0.0; max_depth = 0 } in
+      let s = { s_name = name; entered = 0; total_s = 0.0; max_depth = 0; errors = 0 } in
       Hashtbl.replace spans name s;
       s
 
-  let with_ ~name f =
-    if not !enabled_flag then f ()
+  let with_ ?(lane = Event.Pipeline) ~name f =
+    let stats_on = !enabled_flag and events_on = !Event.capturing_flag in
+    if not (stats_on || events_on) then f ()
     else begin
-      let s = stat name in
+      let s = if stats_on then Some (stat name) else None in
       incr span_depth;
       let d = !span_depth in
-      if d > s.max_depth then s.max_depth <- d;
+      (match s with Some s when d > s.max_depth -> s.max_depth <- d | _ -> ());
+      let parent = !Event.current_span in
+      let sid =
+        if events_on then begin
+          incr Event.next_span_id;
+          let sid = !Event.next_span_id in
+          Event.current_span := sid;
+          Event.record ~kind:Event.Span_begin ~lane ~name ~span:sid ~parent [];
+          sid
+        end
+        else 0
+      in
       let t0 = Unix.gettimeofday () in
-      Fun.protect
-        ~finally:(fun () ->
-          let dt = Unix.gettimeofday () -. t0 in
+      let finish ~ok =
+        let dt = Unix.gettimeofday () -. t0 in
+        (match s with
+        | Some s ->
           s.entered <- s.entered + 1;
           s.total_s <- s.total_s +. dt;
-          decr span_depth;
-          if !tracing_flag then
-            Log.debug (fun m -> m "span %s %.1fus depth=%d" name (dt *. 1e6) d))
-        f
+          if not ok then s.errors <- s.errors + 1
+        | None -> ());
+        if sid <> 0 then begin
+          (* keep begin/end balanced even if capturing was toggled inside f *)
+          Event.record ~kind:Event.Span_end ~lane ~name ~span:sid ~parent
+            (if ok then [] else [ ("error", Event.Bool true) ]);
+          Event.current_span := parent
+        end;
+        decr span_depth;
+        if !tracing_flag && stats_on then
+          Log.debug (fun m ->
+              m "span %s %.1fus depth=%d%s" name (dt *. 1e6) d (if ok then "" else " error"))
+      in
+      match f () with
+      | v ->
+        finish ~ok:true;
+        v
+      | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        finish ~ok:false;
+        Printexc.raise_with_backtrace e bt
     end
 
   let depth () = !span_depth
@@ -162,5 +334,6 @@ let snapshot () =
             Report.entered = s.entered;
             Report.total_s = s.total_s;
             Report.max_depth = s.max_depth;
+            Report.errors = s.errors;
           });
   }

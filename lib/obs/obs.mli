@@ -1,14 +1,21 @@
-(** Merge-pipeline observability: counters, distributions and timed
-    spans behind a process-global registry.
+(** Merge-pipeline observability: counters, distributions, timed spans
+    and structured trace events behind a process-global registry.
 
     The pipeline stages (precedence build, back-out, rewrite, prune,
     forward, the storage engine, the protocols and the simulator)
     register their metrics once at module initialization and touch them
     on every run. Instrumentation is {e near-zero-cost when disabled}:
-    with the global switch off (the default) every hot-path operation is
-    a single mutable-bool test, and [Span.with_ ~name f] is exactly
-    [f ()] — the qcheck suite verifies that toggling the switch never
-    changes a merge result.
+    with the global switches off (the default) every hot-path operation
+    is one or two mutable-bool tests, and [Span.with_ ~name f] is
+    exactly [f ()] — the qcheck suites verify that toggling either
+    switch never changes a merge result.
+
+    Two independent switches:
+    - {!set_enabled} turns {e metric recording} on (counters, dists,
+      span statistics);
+    - {!Event.set_capturing} turns {e event tracing} on (the bounded
+      ring of structured events behind [--trace-out] and the Chrome
+      exporter, {!Chrome}).
 
     Typical use:
 
@@ -21,7 +28,7 @@
     The registry is process-global and not thread-safe, matching the
     single-threaded engines and simulator it instruments. *)
 
-(** [enabled ()] — is instrumentation recording? Off by default. *)
+(** [enabled ()] — is metric recording on? Off by default. *)
 val enabled : unit -> bool
 
 val set_enabled : bool -> unit
@@ -30,7 +37,8 @@ val set_enabled : bool -> unit
     restoring the previous switch afterwards (also on exceptions). *)
 val with_enabled : bool -> (unit -> 'a) -> 'a
 
-(** [reset ()] zeroes every registered metric, keeping registrations. *)
+(** [reset ()] zeroes every registered metric and clears the event ring,
+    keeping registrations. *)
 val reset : unit -> unit
 
 (** Span tracing: when on (and recording is enabled), every completed
@@ -43,6 +51,81 @@ val tracing : unit -> bool
 
 (** The [Logs] source every obs message is tagged with ("repro.obs"). *)
 val src : Logs.src
+
+(** Structured trace events in a bounded ring buffer.
+
+    Each event carries a process-global monotonic [id], a per-trace
+    [logical] timestamp (deterministic for a seeded run), a wall-clock
+    timestamp, the emitting {e lane} (pipeline / mobile / base /
+    network), span instance and parent ids, and key=value attributes.
+    When the ring is full the {e oldest} event is dropped; {!dropped}
+    counts the losses. {!Chrome.to_json} renders a captured trace as
+    Chrome trace-event JSON loadable in Perfetto. *)
+module Event : sig
+  type value = Str of string | Int of int | Float of float | Bool of bool
+
+  type kind =
+    | Span_begin  (** emitted by {!Span.with_} on entry *)
+    | Span_end  (** emitted by {!Span.with_} on exit (also on exceptions) *)
+    | Instant  (** emitted by {!emit} *)
+
+  (** Which timeline the event belongs to. The merge pipeline stages
+      default to [Pipeline]; the fault-injection layer tags wire traffic
+      [Network] and endpoint events [Mobile] / [Base]. *)
+  type lane = Pipeline | Mobile | Base | Network
+
+  type t = {
+    id : int;  (** process-global monotonic id (survives {!clear}) *)
+    logical : int;  (** 1-based position in the current trace *)
+    wall_us : float;  (** wall clock at emission, microseconds *)
+    kind : kind;
+    lane : lane;
+    name : string;
+    span : int;  (** span instance id for begin/end events; [0] otherwise *)
+    parent : int;  (** enclosing span instance id; [0] at top level *)
+    attrs : (string * value) list;
+  }
+
+  val lane_name : lane -> string
+
+  (** [capturing ()] — is event tracing recording? Off by default. *)
+  val capturing : unit -> bool
+
+  val set_capturing : bool -> unit
+
+  (** [with_capturing flag f] runs [f] with the capture switch set to
+      [flag], restoring the previous switch afterwards. *)
+  val with_capturing : bool -> (unit -> 'a) -> 'a
+
+  (** Ring capacity (default 65536 events). [set_capacity] reallocates
+      and discards any buffered events.
+      @raise Invalid_argument on a non-positive capacity. *)
+  val capacity : unit -> int
+
+  val set_capacity : int -> unit
+
+  (** [clear ()] empties the ring and restarts the logical clock, the
+      span-instance ids and the drop counter (the global id keeps
+      counting), so identical seeded runs capture identical traces. *)
+  val clear : unit -> unit
+
+  (** [emit ?lane ?attrs name] records one instant event when capturing;
+      no-op otherwise. Call sites that build non-trivial [attrs] should
+      guard on {!capturing} to keep the disabled path allocation-free. *)
+  val emit : ?lane:lane -> ?attrs:(string * value) list -> string -> unit
+
+  (** Buffered events, oldest first. *)
+  val events : unit -> t list
+
+  (** Events recorded in the current trace, including any the ring has
+      since dropped. *)
+  val emitted : unit -> int
+
+  (** Events lost to drop-oldest since the last {!clear}. *)
+  val dropped : unit -> int
+
+  val pp : Format.formatter -> t -> unit
+end
 
 (** Monotonic counters. *)
 module Counter : sig
@@ -78,10 +161,14 @@ end
 
 (** Nestable wall-clock spans. *)
 module Span : sig
-  (** [with_ ~name f] times [f ()] against the span [name] when enabled
-      (recording also on exceptions); just [f ()] otherwise. Spans nest:
-      the registry tracks the deepest level each span ran at. *)
-  val with_ : name:string -> (unit -> 'a) -> 'a
+  (** [with_ ?lane ~name f] times [f ()] against the span [name] when
+      metric recording is enabled (completions and errors are recorded
+      also on exceptions, which are re-raised with their backtrace), and
+      emits paired {!Event.Span_begin}/{!Event.Span_end} events on
+      [lane] (default [Pipeline]) when event capturing is on; with both
+      switches off it is exactly [f ()]. Spans nest: the registry tracks
+      the deepest level each span ran at. *)
+  val with_ : ?lane:Event.lane -> name:string -> (unit -> 'a) -> 'a
 
   (** Current nesting depth (0 outside any span). *)
   val depth : unit -> int

@@ -1,6 +1,6 @@
 type counter = { c_name : string; value : int }
 type dist = { d_name : string; count : int; total : float; min : float; max : float }
-type span = { s_name : string; entered : int; total_s : float; max_depth : int }
+type span = { s_name : string; entered : int; total_s : float; max_depth : int; errors : int }
 type t = { counters : counter list; dists : dist list; spans : span list }
 
 let empty = { counters = []; dists = []; spans = [] }
@@ -48,8 +48,8 @@ let to_text r =
     List.iter
       (fun s ->
         Buffer.add_string b
-          (Printf.sprintf "  %s n=%d total=%.3fms depth<=%d\n" (pad s.s_name) s.entered
-             (s.total_s *. 1e3) s.max_depth))
+          (Printf.sprintf "  %s n=%d total=%.3fms depth<=%d errors=%d\n" (pad s.s_name)
+             s.entered (s.total_s *. 1e3) s.max_depth s.errors))
       r.spans
   end;
   if Buffer.length b = 0 then Buffer.add_string b "no metrics recorded\n";
@@ -58,24 +58,25 @@ let to_text r =
 (* ------------------------------------------------------------------ *)
 (* CSV *)
 
-let csv_header = "kind,name,value,count,total,min,max,max_depth"
+let csv_header = "kind,name,value,count,total,min,max,max_depth,errors"
 
 let to_csv r =
   let b = Buffer.create 1024 in
   Buffer.add_string b csv_header;
   List.iter
-    (fun c -> Buffer.add_string b (Printf.sprintf "\ncounter,%s,%d,,,,," c.c_name c.value))
+    (fun c -> Buffer.add_string b (Printf.sprintf "\ncounter,%s,%d,,,,,," c.c_name c.value))
     r.counters;
   List.iter
     (fun d ->
       Buffer.add_string b
-        (Printf.sprintf "\ndist,%s,,%d,%s,%s,%s," d.d_name d.count (fl d.total) (fl d.min)
+        (Printf.sprintf "\ndist,%s,,%d,%s,%s,%s,," d.d_name d.count (fl d.total) (fl d.min)
            (fl d.max)))
     r.dists;
   List.iter
     (fun s ->
       Buffer.add_string b
-        (Printf.sprintf "\nspan,%s,,%d,%s,,,%d" s.s_name s.entered (fl s.total_s) s.max_depth))
+        (Printf.sprintf "\nspan,%s,,%d,%s,,,%d,%d" s.s_name s.entered (fl s.total_s)
+           s.max_depth s.errors))
     r.spans;
   Buffer.contents b
 
@@ -102,9 +103,9 @@ let of_csv source =
           let line = i + 2 in
           if String.trim row <> "" then
             match String.split_on_char ',' row with
-            | [ "counter"; name; v; ""; ""; ""; ""; "" ] ->
+            | [ "counter"; name; v; ""; ""; ""; ""; ""; "" ] ->
               counters := { c_name = name; value = int_field line "value" v } :: !counters
-            | [ "dist"; name; ""; n; total; mn; mx; "" ] ->
+            | [ "dist"; name; ""; n; total; mn; mx; ""; "" ] ->
               dists :=
                 {
                   d_name = name;
@@ -114,13 +115,14 @@ let of_csv source =
                   max = float_field line "max" mx;
                 }
                 :: !dists
-            | [ "span"; name; ""; n; total; ""; ""; depth ] ->
+            | [ "span"; name; ""; n; total; ""; ""; depth; errors ] ->
               spans :=
                 {
                   s_name = name;
                   entered = int_field line "count" n;
                   total_s = float_field line "total" total;
                   max_depth = int_field line "max_depth" depth;
+                  errors = int_field line "errors" errors;
                 }
                 :: !spans
             | _ -> failwith (Printf.sprintf "line %d: malformed row %S" line row))
@@ -174,8 +176,9 @@ let to_json r =
     (fun s ->
       item
         (Printf.sprintf
-           "    {\"name\": \"%s\", \"count\": %d, \"total_s\": %s, \"max_depth\": %d}"
-           (escape_json s.s_name) s.entered (fl s.total_s) s.max_depth))
+           "    {\"name\": \"%s\", \"count\": %d, \"total_s\": %s, \"max_depth\": %d, \
+            \"errors\": %d}"
+           (escape_json s.s_name) s.entered (fl s.total_s) s.max_depth s.errors))
     r.spans;
   Buffer.add_string b "\n  ]\n}\n";
   Buffer.contents b
@@ -366,6 +369,7 @@ let of_json source =
               entered = int_ "span count" (field "span" f "count");
               total_s = num "span total" (field "span" f "total_s");
               max_depth = int_ "span max_depth" (field "span" f "max_depth");
+              errors = int_ "span errors" (field "span" f "errors");
             })
       in
       Ok { counters; dists; spans }

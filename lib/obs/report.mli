@@ -20,9 +20,11 @@ type counter = { c_name : string; value : int }
     When [count] is [0] the other fields are all zero. *)
 type dist = { d_name : string; count : int; total : float; min : float; max : float }
 
-(** A timed span: completions, cumulative wall-clock seconds, and the
-    deepest nesting level at which the span ran (1 = top level). *)
-type span = { s_name : string; entered : int; total_s : float; max_depth : int }
+(** A timed span: completions, cumulative wall-clock seconds, the
+    deepest nesting level at which the span ran (1 = top level), and how
+    many of the completions ended by raising — [entered] counts every
+    exit, [errors] the exceptional ones. *)
+type span = { s_name : string; entered : int; total_s : float; max_depth : int; errors : int }
 
 type t = { counters : counter list; dists : dist list; spans : span list }
 
@@ -40,8 +42,9 @@ val strip_timings : t -> t
 (** Aligned, sectioned listing for terminals. *)
 val to_text : t -> string
 
-(** One flat table: [kind,name,value,count,total,min,max,max_depth]
-    with a header row; fields a kind does not use are left empty. *)
+(** One flat table:
+    [kind,name,value,count,total,min,max,max_depth,errors] with a header
+    row; fields a kind does not use are left empty. *)
 val to_csv : t -> string
 
 (** A single JSON object with [counters], [dists] and [spans] arrays. *)
@@ -58,3 +61,31 @@ val of_csv : string -> (t, string) result
 val of_json : string -> (t, string) result
 
 val pp : Format.formatter -> t -> unit
+
+(** {2 JSON utilities}
+
+    The minimal JSON machinery the renderers and parsers are built on,
+    exposed so that the other JSON producers and validators of the tree
+    (the Chrome trace exporter, provenance records, the CLI's
+    [validate-json]) need not reimplement it. *)
+
+(** [escape_json s] escapes [s] for embedding inside a double-quoted
+    JSON string literal. *)
+val escape_json : string -> string
+
+(** A minimal JSON reader covering objects, arrays, strings, numbers,
+    booleans and null. Not a general-purpose parser: no surrogate
+    pairs, numbers are [float]s. *)
+module Json : sig
+  type value =
+    | Obj of (string * value) list
+    | Arr of value list
+    | Str of string
+    | Num of float
+    | Bool of bool
+    | Null
+
+  (** [parse s] reads one JSON value spanning all of [s].
+      @raise Failure with an offset and message on malformed input. *)
+  val parse : string -> value
+end

@@ -149,7 +149,7 @@ let exhaustive pg =
   try_size 0
 
 let compute ~strategy pg =
-  Obs.Span.with_ ~name:"backout.compute" @@ fun () ->
+  Obs.Span.with_ ~lane:Obs.Event.Base ~name:"backout.compute" @@ fun () ->
   let b =
     match strategy with
     | All_in_cycles -> all_in_cycles pg
@@ -165,4 +165,13 @@ let compute ~strategy pg =
     Obs.Dist.observe_int obs_b_size size;
     Obs.Dist.observe_int (obs_b_size_of strategy) size
   end;
+  if Obs.Event.capturing () then
+    Obs.Event.emit ~lane:Obs.Event.Base
+      ~attrs:
+        [
+          ("strategy", Obs.Event.Str (strategy_name strategy));
+          ("b_size", Obs.Event.Int (Names.Set.cardinal b));
+          ("b", Obs.Event.Str (String.concat "," (Names.Set.elements b)));
+        ]
+      "backout.computed";
   b

@@ -18,7 +18,7 @@ type t = {
 }
 
 let build ~tentative ~base =
-  Obs.Span.with_ ~name:"precedence.build" @@ fun () ->
+  Obs.Span.with_ ~lane:Obs.Event.Base ~name:"precedence.build" @@ fun () ->
   let summaries = Array.of_list (tentative @ base) in
   let n = Array.length summaries in
   let index = Hashtbl.create n in
@@ -64,6 +64,11 @@ let build ~tentative ~base =
   Obs.Counter.incr obs_builds;
   Obs.Dist.observe_int obs_nodes n;
   Obs.Dist.observe_int obs_edges (Digraph.edge_count graph);
+  if Obs.Event.capturing () then
+    Obs.Event.emit ~lane:Obs.Event.Base
+      ~attrs:
+        [ ("nodes", Obs.Event.Int n); ("edges", Obs.Event.Int (Digraph.edge_count graph)) ]
+      "precedence.built";
   { graph; summaries; index; acyclic = None }
 
 let of_executions ~tentative ~base =

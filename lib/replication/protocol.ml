@@ -43,6 +43,7 @@ type merge_config = {
   fix_mode : Rewrite.fix_mode;
   prefer_compensation : bool;
   acceptance : acceptance;
+  capture_provenance : bool;
 }
 
 let default_merge_config =
@@ -53,6 +54,7 @@ let default_merge_config =
     fix_mode = Rewrite.Exact;
     prefer_compensation = true;
     acceptance = accept_always;
+    capture_provenance = false;
   }
 
 type merge_report = {
@@ -154,16 +156,26 @@ let reexecute_one ?(durably = true) ~acceptance ~params ~base ~tentative_exec ~c
   else ({ name; outcome = Rejected }, None)
 
 let reexecute_backed_out ~acceptance ~params ~base ~tentative_exec ~cost names_in_order =
-  Obs.Span.with_ ~name:"protocol.reexecute" @@ fun () ->
+  Obs.Span.with_ ~lane:Obs.Event.Base ~name:"protocol.reexecute" @@ fun () ->
   List.map (reexecute_one ~acceptance ~params ~base ~tentative_exec ~cost) names_in_order
+
+let outcome_name = function
+  | Merged -> "merged"
+  | Reexecuted -> "reexecuted"
+  | Rejected -> "rejected"
 
 let count_outcomes txns =
   List.iter
     (fun (t : txn_report) ->
-      match t.outcome with
+      (match t.outcome with
       | Merged -> Obs.Counter.incr obs_txn_merged
       | Reexecuted -> Obs.Counter.incr obs_txn_reexecuted
-      | Rejected -> Obs.Counter.incr obs_txn_rejected)
+      | Rejected -> Obs.Counter.incr obs_txn_rejected);
+      if Obs.Event.capturing () then
+        Obs.Event.emit
+          ~attrs:
+            [ ("txn", Obs.Event.Str t.name); ("outcome", Obs.Event.Str (outcome_name t.outcome)) ]
+          "txn.outcome")
     txns
 
 (* The merge exchange, decomposed along its message boundaries
@@ -232,8 +244,8 @@ type rewrite_phase = {
 let rewrite_local ~config ~params ~cost ~origin ~tentative ~bad =
   (* Steps 3-4: rewrite and prune on the mobile. *)
   let rw =
-    Rewrite.run ~theory:config.theory ~fix_mode:config.fix_mode config.algorithm ~s0:origin
-      tentative ~bad
+    Rewrite.run ~theory:config.theory ~fix_mode:config.fix_mode
+      ~capture:config.capture_provenance config.algorithm ~s0:origin tentative ~bad
   in
   cost.Cost.mobile_cpu <-
     cost.Cost.mobile_cpu +. (params.Cost.rewrite_per_check *. float_of_int rw.Rewrite.pair_checks);
@@ -252,6 +264,15 @@ let rewrite_local ~config ~params ~cost ~origin ~tentative ~bad =
     cost.Cost.mobile_cpu
     +. (params.Cost.prune_per_action *. float_of_int prune_actions)
     +. (params.Cost.mobile_exec_per_stmt *. float_of_int ura_stmts);
+  if Obs.Event.capturing () then
+    Obs.Event.emit ~lane:Obs.Event.Mobile
+      ~attrs:
+        [
+          ( "method",
+            Obs.Event.Str (if pruned_by_compensation then "compensation" else "undo-repair") );
+          ("actions", Obs.Event.Int prune_actions);
+        ]
+      "prune.done";
   {
     rp_rewrite = rw;
     rp_pruned_state = pruned_state;
@@ -346,7 +367,7 @@ let merge ~config ~params ~base ~base_history ~origin ~tentative =
     +. (params.Cost.comm_per_unit *. float_of_int (Item.Set.cardinal forwarded_items));
   Obs.Dist.observe_int obs_forwarded (Item.Set.cardinal forwarded_items);
   if not (Item.Set.is_empty forwarded_items) then begin
-    Obs.Span.with_ ~name:"protocol.forward" (fun () ->
+    Obs.Span.with_ ~lane:Obs.Event.Base ~name:"protocol.forward" (fun () ->
         Engine.apply_updates base r.rp_pruned_state forwarded_items);
     cost.Cost.base_cpu <- cost.Cost.base_cpu +. params.Cost.cc_per_txn;
     cost.Cost.base_io <- cost.Cost.base_io +. params.Cost.io_per_force

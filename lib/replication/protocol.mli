@@ -57,6 +57,10 @@ type merge_config = {
       (** prune by compensation when every suffix transaction has a
           derivable compensator, otherwise by undo + undo-repair *)
   acceptance : acceptance;
+  capture_provenance : bool;
+      (** thread [~capture:true] through {!Rewrite.run} so the report's
+          [rewrite.attempts] records every pair verdict — the input of
+          {!Provenance.of_merge}. Off by default (zero hot-path cost). *)
 }
 
 val default_merge_config : merge_config

@@ -1,0 +1,62 @@
+(** Per-transaction merge provenance: why each tentative transaction
+    ended up where it did.
+
+    A merge run decides every tentative transaction's fate through a
+    chain of stages — cycle membership in [G(H_m, H_b)] (Precedence),
+    election into the back-out set {b B} (Backout), the rewriting scan's
+    pair verdicts (Rewrite), pruning by compensation or undo +
+    undo-repair (Prune), and finally re-execution at the base
+    (Protocol). {!of_merge} reconstructs that chain from a merge report
+    into one record per tentative transaction; the CLI's [explain]
+    command renders them.
+
+    Scan attempts (per-pair verdicts) are present only when the merge
+    ran with [capture_provenance = true]; everything else derives from
+    fields every merge report carries. *)
+
+open Repro_history
+open Repro_precedence
+open Repro_rewrite
+
+(** The final fate of a tentative transaction. *)
+type disposition =
+  | Kept  (** desirable and unaffected: already in the repaired prefix *)
+  | Saved_by_can_follow  (** moved into the prefix by can-follow jumps only (Algorithm 1) *)
+  | Saved_by_can_precede  (** move needed at least one can-precede jump (Algorithm 2) *)
+  | Backed_out of {
+      pruned : [ `Compensation | `Undo_repair ];  (** how the suffix left the mobile state *)
+      reexec : [ `Reexecuted | `Rejected ];  (** fate at the base (step 6) *)
+    }
+
+type t = {
+  txn : Names.t;
+  index : int;  (** 0-based position in the tentative history *)
+  cycle_peers : Names.Set.t;
+      (** fellow members of its cyclic SCC in [G(H_m, H_b)]; empty when
+          on no cycle *)
+  in_bad : bool;  (** member of {b B} *)
+  in_affected : bool;  (** member of [AG] *)
+  move : Rewrite.move option;  (** its successful move, if the scan saved it *)
+  attempts : Rewrite.attempt list;
+      (** scan attempts with this transaction as the mover, verdicts
+          included; [[]] unless the merge captured provenance *)
+  disposition : disposition;
+}
+
+(** [of_merge ~pg ~tentative ~report] — one record per transaction of
+    [tentative], in history order. [pg] must be the precedence graph of
+    the same merge that produced [report].
+
+    @raise Invalid_argument if [report] lacks a re-execution outcome for
+    a backed-out transaction (the report and history disagree). *)
+val of_merge :
+  pg:Precedence.t -> tentative:History.t -> report:Protocol.merge_report -> t list
+
+val find : t list -> Names.t -> t option
+val disposition_name : disposition -> string
+
+(** Multi-line human narration of one record. *)
+val to_text : t -> string
+
+(** All records as one JSON object [{"provenance": [...]}]. *)
+val to_json : t list -> string

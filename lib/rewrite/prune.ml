@@ -32,7 +32,7 @@ let expected (r : Rewrite.result) =
   History.final_state r.Rewrite.execution.History.initial r.Rewrite.repaired
 
 let compensate (r : Rewrite.result) =
-  Obs.Span.with_ ~name:"prune.compensate" @@ fun () ->
+  Obs.Span.with_ ~lane:Obs.Event.Mobile ~name:"prune.compensate" @@ fun () ->
   let suffix = Rewrite.suffix r in
   let rec unwind state compensators_run = function
     | [] ->
@@ -62,7 +62,7 @@ let rec count_updates = function
   | Stmt.If (_, ss1, ss2) :: rest -> count_updates ss1 + count_updates ss2 + count_updates rest
 
 let undo (r : Rewrite.result) =
-  Obs.Span.with_ ~name:"prune.undo" @@ fun () ->
+  Obs.Span.with_ ~lane:Obs.Event.Mobile ~name:"prune.undo" @@ fun () ->
   let exec = r.Rewrite.execution in
   let suffix_names =
     Names.Set.of_names

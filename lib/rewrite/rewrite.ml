@@ -26,6 +26,15 @@ type set_mode = Dynamic | Static
 type jump = { jumped : Names.t; via : [ `Can_follow | `Can_precede ] }
 type move = { mover : Names.t; jumps : jump list }
 
+type verdict =
+  | Follows
+  | Precedes of Item.Set.t
+  | Commutes
+  | Blocked of Item.Set.t
+
+type decision = { target : Names.t; verdict : verdict }
+type attempt = { att_mover : Names.t; decisions : decision list; moved : bool }
+
 type result = {
   algorithm : algorithm;
   original : History.t;
@@ -38,6 +47,7 @@ type result = {
   moves : int;
   pair_checks : int;
   trace : move list;
+  attempts : attempt list;
 }
 
 (* Working representation: the current arrangement is a list of original
@@ -48,10 +58,12 @@ type scan_state = {
   is_bad : bool array;
   fixes : Fix.t array;
   set_mode : set_mode;
+  capture : bool;  (* record per-pair verdicts for provenance *)
   mutable order : int list;  (* current arrangement *)
   mutable moves : int;
   mutable pair_checks : int;
   mutable rev_trace : move list;
+  mutable rev_attempts : attempt list;
 }
 
 let reads_of st i =
@@ -73,24 +85,51 @@ let program_of st i = st.recs.(i).Interp.program
 let dyn_can_follow st ~jumped:j ~mover:i =
   Item.Set.disjoint (writes_of st j) (Item.Set.union (reads_of st i) (writes_of st i))
 
-let may_move ~theory st algorithm ~block ~mover:i =
-  List.for_all
-    (fun j ->
-      st.pair_checks <- st.pair_checks + 1;
-      match algorithm with
-      | Can_follow -> dyn_can_follow st ~jumped:j ~mover:i
-      | Can_follow_precede ->
-        dyn_can_follow st ~jumped:j ~mover:i
-        ||
-        (Obs.Counter.incr obs_oracle_calls;
-         Semantics.can_precede ~theory ~fix_domain:(Fix.domain st.fixes.(j))
-           ~mover:(program_of st i) ~target:(program_of st j))
-      | Commute_only ->
-        Obs.Counter.incr obs_oracle_calls;
-        Semantics.commutes_backward_through ~theory ~mover:(program_of st i)
+(* One relation test, as a verdict. The check sequence and every counter
+   increment are byte-for-byte those of the plain boolean test, so
+   provenance capture never perturbs the cost accounting. *)
+let check_pair ~theory st algorithm ~mover:i j =
+  st.pair_checks <- st.pair_checks + 1;
+  match algorithm with
+  | Can_follow ->
+    if dyn_can_follow st ~jumped:j ~mover:i then Follows else Blocked Item.Set.empty
+  | Can_follow_precede ->
+    if dyn_can_follow st ~jumped:j ~mover:i then Follows
+    else begin
+      Obs.Counter.incr obs_oracle_calls;
+      let dom = Fix.domain st.fixes.(j) in
+      if
+        Semantics.can_precede ~theory ~fix_domain:dom ~mover:(program_of st i)
           ~target:(program_of st j)
-      | Closure -> assert false)
-    block
+      then Precedes dom
+      else Blocked dom
+    end
+  | Commute_only ->
+    Obs.Counter.incr obs_oracle_calls;
+    if
+      Semantics.commutes_backward_through ~theory ~mover:(program_of st i)
+        ~target:(program_of st j)
+    then Commutes
+    else Blocked Item.Set.empty
+  | Closure -> assert false
+
+(* [List.for_all] unrolled so capture can keep the decisions: same
+   left-to-right order, same short-circuit on the first blocked pair. *)
+let may_move ~theory st algorithm ~block ~mover:i =
+  let rec go acc = function
+    | [] -> (true, List.rev acc)
+    | j :: rest -> (
+      let verdict = check_pair ~theory st algorithm ~mover:i j in
+      let acc =
+        if st.capture then
+          { target = st.recs.(j).Interp.program.Program.name; verdict } :: acc
+        else acc
+      in
+      match verdict with
+      | Blocked _ -> (false, List.rev acc)
+      | Follows | Precedes _ | Commutes -> go acc rest)
+  in
+  go [] block
 
 (* Lemma 1: jumping T (mover) left past T' augments F' with the items T'
    read that T wrote, pinned at the values T' originally read. *)
@@ -125,7 +164,12 @@ let scan ~theory algorithm st ~b1 ~n =
   for i = b1 + 1 to n - 1 do
     if not st.is_bad.(i) then begin
       let block = block_of st ~b1 ~mover:i in
-      if may_move ~theory st algorithm ~block ~mover:i then begin
+      let ok, decisions = may_move ~theory st algorithm ~block ~mover:i in
+      if st.capture then
+        st.rev_attempts <-
+          { att_mover = st.recs.(i).Interp.program.Program.name; decisions; moved = ok }
+          :: st.rev_attempts;
+      if ok then begin
         let jumps =
           List.map
             (fun j ->
@@ -211,8 +255,8 @@ let observe_result (r : result) =
   end;
   r
 
-let run ~theory ~fix_mode ?(set_mode = Dynamic) algorithm ~s0 history ~bad =
-  Obs.Span.with_ ~name:"rewrite.run" @@ fun () ->
+let run ~theory ~fix_mode ?(set_mode = Dynamic) ?(capture = false) algorithm ~s0 history ~bad =
+  Obs.Span.with_ ~lane:Obs.Event.Mobile ~name:"rewrite.run" @@ fun () ->
   List.iter
     (fun (e : History.entry) ->
       if not (Fix.is_empty e.History.fix) then
@@ -252,6 +296,7 @@ let run ~theory ~fix_mode ?(set_mode = Dynamic) algorithm ~s0 history ~bad =
       moves = 0;
       pair_checks = 0;
       trace = [];
+      attempts = [];
     }
   | Can_follow | Can_follow_precede | Commute_only ->
     let st =
@@ -260,10 +305,12 @@ let run ~theory ~fix_mode ?(set_mode = Dynamic) algorithm ~s0 history ~bad =
         is_bad;
         fixes = Array.make n Fix.empty;
         set_mode;
+        capture;
         order = List.init n (fun i -> i);
         moves = 0;
         pair_checks = 0;
         rev_trace = [];
+        rev_attempts = [];
       }
     in
     let b1 =
@@ -304,6 +351,7 @@ let run ~theory ~fix_mode ?(set_mode = Dynamic) algorithm ~s0 history ~bad =
       moves = st.moves;
       pair_checks = st.pair_checks;
       trace = List.rev st.rev_trace;
+      attempts = List.rev st.rev_attempts;
     }
 
 let suffix r =

@@ -54,6 +54,21 @@ type jump = { jumped : Names.t; via : [ `Can_follow | `Can_precede ] }
     transaction it was pushed past. *)
 type move = { mover : Names.t; jumps : jump list }
 
+(** How one pair test resolved (captured only under [~capture:true]).
+    [Precedes d] and [Blocked d] carry the fix domain the can-precede
+    oracle consulted ([Blocked Item.Set.empty] when no oracle ran). *)
+type verdict =
+  | Follows  (** the target can follow the mover (Definition 3) *)
+  | Precedes of Item.Set.t  (** the mover can precede the fixed target (Definition 4) *)
+  | Commutes  (** the mover commutes backward through the target *)
+  | Blocked of Item.Set.t  (** no relation held; the attempt stops here *)
+
+type decision = { target : Names.t; verdict : verdict }
+
+(** One scan attempt: the candidate mover, the pair verdicts in block
+    order (ending at the first [Blocked]), and whether it moved. *)
+type attempt = { att_mover : Names.t; decisions : decision list; moved : bool }
+
 type result = {
   algorithm : algorithm;
   original : History.t;
@@ -66,10 +81,15 @@ type result = {
   moves : int;  (** transactions moved left by the scan *)
   pair_checks : int;  (** relation tests performed (cost accounting) *)
   trace : move list;  (** the scan's moves, in the order they happened *)
+  attempts : attempt list;  (** every attempt with verdicts; [[]] unless captured *)
 }
 
-(** [run ~theory ~fix_mode ?set_mode algorithm ~s0 history ~bad] rewrites
-    [history]. [set_mode] defaults to [Dynamic].
+(** [run ~theory ~fix_mode ?set_mode ?capture algorithm ~s0 history ~bad]
+    rewrites [history]. [set_mode] defaults to [Dynamic]. With
+    [~capture:true] (default false) the result's [attempts] records
+    every pair verdict the scan evaluated — the raw material of merge
+    provenance; capture performs exactly the same relation tests in the
+    same order, so [pair_checks] and the oracle counters are unchanged.
 
     [bad] must name transactions of [history]. Entries of [history] must
     carry empty fixes (it is an ordinary execution history).
@@ -79,6 +99,7 @@ val run :
   theory:Semantics.theory ->
   fix_mode:fix_mode ->
   ?set_mode:set_mode ->
+  ?capture:bool ->
   algorithm ->
   s0:State.t ->
   History.t ->

@@ -91,6 +91,36 @@ let test_span_exception_safe () =
   checki "depth restored after raise" 0 (Obs.Span.depth ());
   checki "span still recorded" 1 (span_entry "test.span_raises" (Obs.snapshot ())).Report.entered
 
+let test_span_error_accounting () =
+  fresh ();
+  Obs.with_enabled true (fun () ->
+      let once raise_it =
+        try Obs.Span.with_ ~name:"test.span_errors" (fun () -> if raise_it then failwith "boom")
+        with Failure _ -> ()
+      in
+      once true;
+      once false;
+      once true);
+  let s = span_entry "test.span_errors" (Obs.snapshot ()) in
+  checki "all completions counted" 3 s.Report.entered;
+  checki "raising completions counted" 2 s.Report.errors
+
+let test_span_errors_render () =
+  fresh ();
+  Obs.with_enabled true (fun () ->
+      try Obs.Span.with_ ~name:"test.span_errors_render" (fun () -> failwith "boom")
+      with Failure _ -> ());
+  let r = Obs.snapshot () in
+  let header = "kind,name,value,count,total,min,max,max_depth,errors" in
+  (match String.index_opt (Report.to_csv r) '\n' with
+  | Some i -> checks "csv carries the errors column" header (String.sub (Report.to_csv r) 0 i)
+  | None -> Alcotest.fail "csv has no rows");
+  match Report.of_json (Report.to_json r) with
+  | Error msg -> Alcotest.failf "of_json: %s" msg
+  | Ok r' ->
+    checki "errors survive the json round-trip" 1
+      (span_entry "test.span_errors_render" r').Report.errors
+
 let test_span_disabled_transparent () =
   fresh ();
   let r = Obs.Span.with_ ~name:"test.span_disabled" (fun () -> 17) in
@@ -215,6 +245,8 @@ let () =
         [
           Alcotest.test_case "nesting and depth tracking" `Quick test_span_nesting;
           Alcotest.test_case "records on exception" `Quick test_span_exception_safe;
+          Alcotest.test_case "error accounting" `Quick test_span_error_accounting;
+          Alcotest.test_case "errors rendered and round-tripped" `Quick test_span_errors_render;
           Alcotest.test_case "disabled is transparent" `Quick test_span_disabled_transparent;
         ] );
       ( "snapshot",

@@ -1,0 +1,214 @@
+(* Tests for the structured-event ring and the Chrome trace-event
+   exporter: deterministic event streams for seeded runs, drop-oldest
+   semantics at capacity, exporter schema validity (via the same
+   validator the CLI's [validate-json --chrome] uses), wire events on
+   the network lane, and the qcheck property that event capturing never
+   changes a merge result. *)
+
+open Repro_txn
+module Obs = Repro_obs.Obs
+module Event = Repro_obs.Obs.Event
+module Chrome = Repro_obs.Chrome
+module Session = Repro_core.Session
+module Protocol = Repro_replication.Protocol
+module Net = Repro_fault.Net
+module G = Test_support.Generators
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+let checks = Alcotest.check Alcotest.string
+
+let default_capacity = Event.capacity ()
+
+let fresh () =
+  Obs.set_enabled false;
+  Event.set_capturing false;
+  Event.set_capacity default_capacity;
+  Obs.reset ()
+
+let inc name item d =
+  Program.make ~name ~ttype:"inc"
+    ~params:[ ("d", d) ]
+    [ Stmt.Update (item, Expr.Add (Expr.Item item, Expr.Param "d")) ]
+
+(* A small conflicting merge: enough to exercise precedence, back-out,
+   rewrite and protocol span/instant emission. *)
+let seeded_merge () =
+  let s0 = State.of_list [ ("x", 1); ("y", 2) ] in
+  ignore
+    (Session.merge_once ~s0
+       ~tentative:[ inc "Tm1" "x" 5; inc "Tm2" "y" 3 ]
+       ~base:[ inc "Tb1" "x" 2 ] ())
+
+let captured_events f =
+  Event.clear ();
+  Event.with_capturing true f;
+  Event.events ()
+
+(* Determinism: ignoring the process-global id and the wall clock, the
+   same seeded run captures the same event stream. *)
+
+let shape (e : Event.t) =
+  (e.Event.logical, e.Event.kind, Event.lane_name e.Event.lane, e.Event.name, e.Event.attrs)
+
+let test_ring_deterministic () =
+  fresh ();
+  let a = captured_events seeded_merge in
+  let b = captured_events seeded_merge in
+  checkb "events captured" true (a <> []);
+  checkb "same shapes" true (List.map shape a = List.map shape b);
+  let logicals = List.map (fun (e : Event.t) -> e.Event.logical) a in
+  checkb "logical clock is 1..n" true (logicals = List.init (List.length a) (fun i -> i + 1));
+  let ids = List.map (fun (e : Event.t) -> e.Event.id) a in
+  checkb "ids strictly increasing" true (List.sort_uniq compare ids = ids)
+
+let test_ring_drop_oldest () =
+  fresh ();
+  Event.set_capacity 8;
+  Event.with_capturing true (fun () ->
+      for i = 1 to 20 do
+        Event.emit (Printf.sprintf "e%d" i)
+      done);
+  checki "all counted" 20 (Event.emitted ());
+  checki "oldest dropped" 12 (Event.dropped ());
+  let names = List.map (fun (e : Event.t) -> e.Event.name) (Event.events ()) in
+  checkb "ring holds the newest 8" true
+    (names = List.init 8 (fun i -> Printf.sprintf "e%d" (i + 13)));
+  Alcotest.check_raises "non-positive capacity rejected"
+    (Invalid_argument "Obs.Event.set_capacity: capacity must be positive") (fun () ->
+      Event.set_capacity 0);
+  fresh ()
+
+let test_capture_off_is_silent () =
+  fresh ();
+  Event.emit "ignored";
+  seeded_merge ();
+  checki "nothing captured" 0 (Event.emitted ());
+  checki "nothing buffered" 0 (List.length (Event.events ()))
+
+(* Chrome exporter: schema-valid per the CLI validator, and
+   byte-deterministic in logical-clock mode. *)
+
+let test_chrome_valid_and_deterministic () =
+  fresh ();
+  let export () = Chrome.to_json ~clock:`Logical (captured_events seeded_merge) in
+  let j1 = export () in
+  let j2 = export () in
+  (match Chrome.validate j1 with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "validate: %s" msg);
+  checks "logical-clock export is byte-stable" j1 j2
+
+let test_chrome_rejects_garbage () =
+  checkb "not json" true (Result.is_error (Chrome.validate "nope"));
+  checkb "no traceEvents" true (Result.is_error (Chrome.validate "{\"a\": 1}"));
+  checkb "unbalanced span" true
+    (Result.is_error
+       (Chrome.validate
+          "{\"traceEvents\": [{\"name\": \"x\", \"ph\": \"E\", \"pid\": 1, \"tid\": 0, \
+           \"ts\": 0}]}"))
+
+(* Wire events: a lossy/duplicating transport tags its traffic on the
+   network lane. *)
+
+let test_network_lane_events () =
+  fresh ();
+  let events =
+    captured_events (fun () ->
+        let net =
+          Net.create
+            ~describe:(fun i -> Printf.sprintf "m%d" i)
+            ~seed:42
+            { Net.ideal with Net.drop_rate = 0.5; dup_rate = 0.5 }
+        in
+        for i = 0 to 19 do
+          Net.send net ~now:(float_of_int i *. 0.01) ~dst:Net.Base i
+        done;
+        let rec drain now =
+          match Net.next_arrival net ~dst:Net.Base with
+          | None -> ()
+          | Some t ->
+            ignore (Net.recv net ~now:(max now t) ~dst:Net.Base);
+            drain (max now t)
+        in
+        drain 0.0)
+  in
+  let count name =
+    List.length (List.filter (fun (e : Event.t) -> e.Event.name = name) events)
+  in
+  checkb "all on the network lane" true
+    (List.for_all (fun (e : Event.t) -> e.Event.lane = Event.Network) events);
+  checki "every send traced" 20 (count "net.send");
+  checkb "some drops traced" true (count "net.drop" > 0);
+  checkb "some dups traced" true (count "net.dup" > 0);
+  checkb "deliveries traced" true (count "net.deliver" > 0);
+  checkb "messages labelled" true
+    (List.for_all
+       (fun (e : Event.t) ->
+         match List.assoc_opt "msg" e.Event.attrs with
+         | Some (Event.Str s) -> String.length s > 1 && s.[0] = 'm'
+         | _ -> false)
+       events)
+
+(* The qcheck property: capturing events is invisible to the merge. *)
+
+let outcome_string (t : Protocol.txn_report) =
+  Printf.sprintf "%s=%s" t.Protocol.name
+    (match t.Protocol.outcome with
+    | Protocol.Merged -> "merged"
+    | Protocol.Reexecuted -> "reexecuted"
+    | Protocol.Rejected -> "rejected")
+
+let merge_fingerprint ~capturing ~s0 ~tentative ~base =
+  Obs.reset ();
+  Event.with_capturing capturing (fun () ->
+      let r = Session.merge_once ~s0 ~tentative ~base () in
+      Format.asprintf "%a | %s" State.pp r.Session.merged_state
+        (String.concat "," (List.map outcome_string r.Session.report.Protocol.txns)))
+
+let merge_inputs_gen =
+  let open QCheck.Gen in
+  let programs prefix n =
+    flatten_l (List.init n (fun i -> G.program_gen ~name:(Printf.sprintf "%s%d" prefix (i + 1))))
+  in
+  let* s0 = G.state_gen in
+  let* tentative = int_range 1 5 >>= programs "Tm" in
+  let* base = int_range 0 3 >>= programs "Tb" in
+  return (s0, tentative, base)
+
+let arbitrary_merge_inputs =
+  QCheck.make
+    ~print:(fun (s0, tentative, base) ->
+      let pp_programs ppf ps =
+        Format.pp_print_list ~pp_sep:Format.pp_print_cut Program.pp_full ppf ps
+      in
+      Format.asprintf "@[<v>s0: %a@ tentative:@ %a@ base:@ %a@]" State.pp s0 pp_programs
+        tentative pp_programs base)
+    merge_inputs_gen
+
+let prop_capture_invisible =
+  QCheck.Test.make ~count:150 ~name:"event capturing never changes merge_once output"
+    arbitrary_merge_inputs (fun (s0, tentative, base) ->
+      let off = merge_fingerprint ~capturing:false ~s0 ~tentative ~base in
+      let on = merge_fingerprint ~capturing:true ~s0 ~tentative ~base in
+      fresh ();
+      String.equal off on)
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "ring",
+        [
+          Alcotest.test_case "deterministic for a seeded run" `Quick test_ring_deterministic;
+          Alcotest.test_case "drop-oldest at capacity" `Quick test_ring_drop_oldest;
+          Alcotest.test_case "capture off is silent" `Quick test_capture_off_is_silent;
+        ] );
+      ( "chrome",
+        [
+          Alcotest.test_case "export is valid and byte-stable" `Quick
+            test_chrome_valid_and_deterministic;
+          Alcotest.test_case "validator rejects garbage" `Quick test_chrome_rejects_garbage;
+        ] );
+      ("network", [ Alcotest.test_case "wire events on the network lane" `Quick test_network_lane_events ]);
+      ("property", [ QCheck_alcotest.to_alcotest prop_capture_invisible ]);
+    ]
