@@ -2,7 +2,7 @@
 # build, tests, docs (skipped when odoc is not installed — the build
 # container does not ship it), and the changelog check.
 
-.PHONY: all build test bench bench-snapshot smoke nemesis doc changelog ci
+.PHONY: all build test bench bench-snapshot smoke nemesis nemesis-disk doc changelog ci
 
 all: build
 
@@ -36,6 +36,14 @@ smoke: build
 nemesis:
 	dune exec bin/repro_cli.exe -- nemesis --count 50 --seed 2026
 
+# Combined disk+network sweep: every case also persists the base WAL
+# through a fault-injecting disk (torn/short writes, bit flips, read
+# truncation, fsync lies) and must detect every corruption, recover a
+# verified prefix, and salvage exactly the longest valid durable prefix
+# (exits 1 on any violation).
+nemesis-disk:
+	dune exec bin/repro_cli.exe -- nemesis --disk --count 200 --seed 2026
+
 doc:
 	@if command -v odoc >/dev/null 2>&1; then \
 		dune build @doc; \
@@ -46,5 +54,5 @@ doc:
 changelog:
 	sh tools/check_changes.sh
 
-ci: build test nemesis smoke doc changelog
+ci: build test nemesis nemesis-disk smoke doc changelog
 	@echo "ci: ok"

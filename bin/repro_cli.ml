@@ -241,8 +241,18 @@ let nemesis_cmd =
     Arg.(value & opt int 100 & info [ "count" ] ~docv:"N" ~doc:"Number of fault cases to check.")
   in
   let seed = Arg.(value & opt int 2026 & info [ "seed" ] ~docv:"S" ~doc:"PRNG seed.") in
-  let run count seed =
-    let sweep = Repro_fault.Nemesis.run_sweep ~seed ~count in
+  let disk =
+    Arg.(
+      value & flag
+      & info [ "disk" ]
+          ~doc:
+            "Also draw a random disk fault schedule per case (torn writes, short writes, bit \
+             flips, read truncation, fsync lies) and check the corruption-safety contract: \
+             recovery surfaces a verified prefix, loss is never silent, and salvage recovers \
+             exactly the longest valid durable prefix.")
+  in
+  let run count seed disk =
+    let sweep = Repro_fault.Nemesis.run_sweep ~disk ~seed ~count () in
     Format.printf "%a@." Repro_fault.Nemesis.pp_sweep sweep;
     if sweep.Repro_fault.Nemesis.failures <> [] then exit 1
   in
@@ -250,10 +260,10 @@ let nemesis_cmd =
     (Cmd.info "nemesis"
        ~doc:
          "Run merge sessions under random fault schedules (drops, duplicates, reordering, \
-          partitions, crashes) and check the exactly-once contract: completed sessions match \
-          the fault-free run, aborted sessions leave the base untouched. Exits 1 on any \
-          violation.")
-    Term.(const run $ count $ seed)
+          partitions, crashes — plus disk faults with $(b,--disk)) and check the exactly-once \
+          contract: completed sessions match the fault-free run, aborted sessions leave the \
+          base untouched. Exits 1 on any violation.")
+    Term.(const run $ count $ seed $ disk)
 
 (* ablations *)
 let a1_cmd =
@@ -528,6 +538,55 @@ let validate_json_cmd =
           producers); with $(b,--chrome), also check the trace-event schema.")
     Term.(const run $ chrome $ file)
 
+(* scrub: offline WAL verification *)
+let scrub_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Persisted WAL file.")
+  in
+  let run file =
+    match Repro_db.Scrub.file ~path:file with
+    | Error msg ->
+      prerr_endline (file ^ ": " ^ msg);
+      exit 2
+    | Ok report ->
+      Format.printf "%a@." Repro_db.Scrub.pp report;
+      if not (Repro_db.Scrub.is_clean report) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "scrub"
+       ~doc:
+         "Verify a persisted write-ahead log offline: check every record's framing, CRC-32, \
+          sequence continuity and barrier coverage, and report the damage (clean / torn tail \
+          / corrupt, plus the transaction ids recognizable in the damaged region). Exits 0 \
+          only when the log is clean.")
+    Term.(const run $ file)
+
+(* salvage: recover the longest valid durable prefix of a damaged WAL *)
+let salvage_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Persisted WAL file.")
+  in
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Where to write the salvaged log.")
+  in
+  let run file out =
+    match Repro_db.Salvage.file ~path:file ~out with
+    | Error msg ->
+      prerr_endline (file ^ ": " ^ msg);
+      exit 2
+    | Ok outcome -> Format.printf "%a@." Repro_db.Salvage.pp outcome
+  in
+  Cmd.v
+    (Cmd.info "salvage"
+       ~doc:
+         "Recover the longest valid durable prefix of a (possibly damaged) write-ahead log \
+          into $(b,--out), reporting what was dropped and which transaction ids were lost. \
+          The salvaged image always verifies clean under $(b,scrub).")
+    Term.(const run $ file $ out)
+
 (* analyze: offline profile analysis of a transaction-type system file *)
 let analyze_cmd =
   let file =
@@ -755,6 +814,6 @@ let () =
           [
             e1_cmd; e2_cmd; e3_cmd; e4_cmd; e5_cmd; e6_cmd; e7_cmd; e8_cmd; e9_cmd; a1_cmd;
             a2_cmd; a3_cmd;
-            all_cmd; sim_cmd; merge_cmd; explain_cmd; validate_json_cmd; analyze_cmd;
-            scenario_cmd; nemesis_cmd;
+            all_cmd; sim_cmd; merge_cmd; explain_cmd; validate_json_cmd; scrub_cmd;
+            salvage_cmd; analyze_cmd; scenario_cmd; nemesis_cmd;
           ]))

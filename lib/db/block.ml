@@ -1,0 +1,181 @@
+type schedule = {
+  torn_write_rate : float;
+  short_write_rate : float;
+  bitflip_rate : float;
+  truncate_read_rate : float;
+  fsync_lie_rate : float;
+  fsync_lies : int list;
+}
+
+let faithful =
+  {
+    torn_write_rate = 0.0;
+    short_write_rate = 0.0;
+    bitflip_rate = 0.0;
+    truncate_read_rate = 0.0;
+    fsync_lie_rate = 0.0;
+    fsync_lies = [];
+  }
+
+(* Private splitmix64 stream, same construction as Repro_workload.Rng —
+   replicated here so repro_db keeps its small dependency footprint
+   (txn/history/obs only). *)
+module Rng = struct
+  type t = { mutable state : int64 }
+
+  let golden_gamma = 0x9E3779B97F4A7C15L
+
+  let mix z =
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+
+  let next t =
+    t.state <- Int64.add t.state golden_gamma;
+    mix t.state
+
+  let create seed = { state = mix (Int64.of_int seed) }
+
+  let int t bound =
+    if bound <= 0 then invalid_arg "Block.Rng.int: bound must be positive";
+    let v = Int64.to_int (Int64.shift_right_logical (next t) 2) in
+    v mod bound
+
+  let float t =
+    let v = Int64.to_float (Int64.shift_right_logical (next t) 11) in
+    v /. 9007199254740992.0 (* 2^53 *)
+
+  let bool t p = float t < p
+end
+
+type stats = {
+  appends : int;
+  syncs : int;
+  short_writes : int;
+  lies_told : int;
+  torn_crashes : int;
+  read_faults : int;
+}
+
+type t = {
+  sched : schedule;
+  rng : Rng.t;
+  buf : Buffer.t;  (* the medium: durable prefix + page-cache tail *)
+  mutable durable : int;  (* byte offset covered by the last honest sync *)
+  mutable sync_ordinal : int;
+  mutable appends : int;
+  mutable syncs : int;
+  mutable short_writes : int;
+  mutable lies_told : int;
+  mutable torn_crashes : int;
+  mutable read_faults : int;
+}
+
+let create ?(seed = 0) sched =
+  {
+    sched;
+    rng = Rng.create seed;
+    buf = Buffer.create 256;
+    durable = 0;
+    sync_ordinal = 0;
+    appends = 0;
+    syncs = 0;
+    short_writes = 0;
+    lies_told = 0;
+    torn_crashes = 0;
+    read_faults = 0;
+  }
+
+let schedule t = t.sched
+let length t = Buffer.length t.buf
+let durable_length t = t.durable
+let contents t = Buffer.contents t.buf
+let durable_contents t = Buffer.sub t.buf 0 t.durable
+
+let append t bytes =
+  t.appends <- t.appends + 1;
+  let n = String.length bytes in
+  if n > 0 && Rng.bool t.rng t.sched.short_write_rate then begin
+    t.short_writes <- t.short_writes + 1;
+    Buffer.add_substring t.buf bytes 0 (Rng.int t.rng n)
+  end
+  else Buffer.add_string t.buf bytes
+
+let sync t =
+  t.syncs <- t.syncs + 1;
+  t.sync_ordinal <- t.sync_ordinal + 1;
+  let lies =
+    List.mem t.sync_ordinal t.sched.fsync_lies || Rng.bool t.rng t.sched.fsync_lie_rate
+  in
+  if lies then t.lies_told <- t.lies_told + 1 else t.durable <- Buffer.length t.buf
+
+(* Replace the medium with the first [n] of its bytes. *)
+let keep_prefix t n =
+  let kept = Buffer.sub t.buf 0 n in
+  Buffer.clear t.buf;
+  Buffer.add_string t.buf kept
+
+let crash t =
+  let tail = Buffer.length t.buf - t.durable in
+  if tail > 0 && Rng.bool t.rng t.sched.torn_write_rate then begin
+    (* torn write: a partial prefix of the unsynced tail — possibly cut
+       mid-record — made it to the medium before the power went *)
+    t.torn_crashes <- t.torn_crashes + 1;
+    t.durable <- t.durable + 1 + Rng.int t.rng tail
+  end;
+  keep_prefix t t.durable
+
+let truncate t n =
+  let n = min n (Buffer.length t.buf) in
+  keep_prefix t n;
+  t.durable <- n
+
+let flip_bit s i bit = Bytes.set s i (Char.chr (Char.code (Bytes.get s i) lxor (1 lsl bit)))
+
+(* Cut one line of [s] short at a random interior byte, keeping the
+   lines after it: the shape left by a damaged sector inside the file. *)
+let truncate_line rng s =
+  let lines = String.split_on_char '\n' s in
+  let n = List.length lines in
+  if n = 0 then s
+  else begin
+    let victim = Rng.int rng n in
+    let cut line =
+      let len = String.length line in
+      if len = 0 then line else String.sub line 0 (Rng.int rng len)
+    in
+    String.concat "\n" (List.mapi (fun i l -> if i = victim then cut l else l) lines)
+  end
+
+let read t =
+  let snap = Buffer.contents t.buf in
+  let flip = String.length snap > 0 && Rng.bool t.rng t.sched.bitflip_rate in
+  let cut = String.length snap > 0 && Rng.bool t.rng t.sched.truncate_read_rate in
+  if not (flip || cut) then snap
+  else begin
+    t.read_faults <- t.read_faults + 1;
+    let snap =
+      if not flip then snap
+      else begin
+        let b = Bytes.of_string snap in
+        flip_bit b (Rng.int t.rng (Bytes.length b)) (Rng.int t.rng 8);
+        Bytes.to_string b
+      end
+    in
+    if cut then truncate_line t.rng snap else snap
+  end
+
+let stats t =
+  {
+    appends = t.appends;
+    syncs = t.syncs;
+    short_writes = t.short_writes;
+    lies_told = t.lies_told;
+    torn_crashes = t.torn_crashes;
+    read_faults = t.read_faults;
+  }
+
+let pp_stats ppf (s : stats) =
+  Format.fprintf ppf
+    "appends=%d syncs=%d short_writes=%d lies=%d torn_crashes=%d read_faults=%d" s.appends
+    s.syncs s.short_writes s.lies_told s.torn_crashes s.read_faults

@@ -1,0 +1,92 @@
+(** A seeded deterministic "disk" for the WAL to persist through.
+
+    The write-ahead log is the ground truth every recovery path trusts —
+    undo, rewind, deterministic session replay. This module makes that
+    trust testable: a byte device with a fault schedule in the style of
+    the network layer's [Fault.Net.schedule], drawn from a private
+    splitmix64 stream so the same [(seed, schedule)] pair always yields
+    the same faults.
+
+    Fault model (docs/FAULTS.md, "Disk fault model"):
+    - {e short writes}: an [append] persists only a prefix of the buffer
+      it was handed;
+    - {e fsync lies}: a [sync] is acknowledged but the durable mark does
+      not advance — a later honest sync (or nothing, if the node crashes
+      first) is what actually hardens the tail;
+    - {e torn writes}: a [crash] may leave a random prefix of the
+      unsynced tail — possibly cut mid-record — on the medium;
+    - {e read faults}: a [read] returns a private snapshot that may have
+      one silent bit flip and/or one line cut short; the medium itself
+      is not modified.
+
+    [contents] / [durable_contents] bypass the fault model and expose
+    the faithful medium — they exist for harnesses (the nemesis uses
+    them as ground truth), not for recovery code. *)
+
+type schedule = {
+  torn_write_rate : float;
+      (** probability that a crash leaves a partial prefix of the
+          unsynced tail on the medium (instead of losing it whole) *)
+  short_write_rate : float;  (** per-append probability of a prefix-only write *)
+  bitflip_rate : float;  (** per-read probability of one silent bit flip *)
+  truncate_read_rate : float;
+      (** per-read probability that one line of the snapshot comes back
+          cut short *)
+  fsync_lie_rate : float;  (** per-sync probability of a lie *)
+  fsync_lies : int list;
+      (** 1-based sync ordinals that always lie — for deterministic
+          tests; the rate above drives random schedules *)
+}
+
+(** All rates zero, no scripted lies: a perfect disk. *)
+val faithful : schedule
+
+type t
+
+(** [create ?seed sched] — an empty device (default [seed] 0). *)
+val create : ?seed:int -> schedule -> t
+
+val schedule : t -> schedule
+
+(** [append t bytes] writes at the end of the device. The bytes live in
+    the "page cache" (volatile) until a successful [sync]; a short write
+    silently persists only a prefix. *)
+val append : t -> string -> unit
+
+(** [sync t] acknowledges durability of everything appended so far —
+    honestly, unless this sync lies (see {!schedule}). *)
+val sync : t -> unit
+
+(** [crash t] loses the unsynced tail: everything beyond the durable
+    mark vanishes, except that a torn write may leave a prefix of it. *)
+val crash : t -> unit
+
+(** [read t] — the device contents as a recovery pass sees them: a
+    snapshot that read faults may have silently damaged. *)
+val read : t -> string
+
+(** [truncate t n] faithfully discards every byte beyond offset [n] and
+    marks the rest durable — the recovery path's [ftruncate] after
+    salvaging a valid prefix. [n] past the end is a no-op. *)
+val truncate : t -> int -> unit
+
+(** Faithful bytes on the medium, including the unsynced tail. *)
+val contents : t -> string
+
+(** Faithful bytes covered by the durable mark. *)
+val durable_contents : t -> string
+
+val length : t -> int
+val durable_length : t -> int
+
+type stats = {
+  appends : int;
+  syncs : int;
+  short_writes : int;
+  lies_told : int;
+  torn_crashes : int;
+  read_faults : int;
+}
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit

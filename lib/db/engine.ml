@@ -12,13 +12,15 @@ type t = {
   mutable committed : int;
 }
 
-let create s0 =
+let create ?device s0 =
   let t = { state = s0; initial = s0; wal = Wal.create (); next_txid = 1; committed = 0 } in
+  (match device with Some dev -> Wal.attach t.wal dev | None -> ());
   Wal.append t.wal (Wal.Checkpoint s0);
   Wal.force t.wal;
   t
 
 let state t = t.state
+let device t = Wal.device t.wal
 
 let log_record t txid (r : Interp.record) =
   Wal.append t.wal (Wal.Begin txid);
@@ -123,10 +125,12 @@ let crash_restart t =
   Obs.Span.with_ ~name:"db.crash_restart" @@ fun () ->
   Obs.Counter.incr obs_recoveries;
   Wal.crash t.wal;
+  let recovery = Wal.reload t.wal in
   let durable = Wal.durable_entries t.wal in
   t.state <- replay_entries ~fallback:t.initial durable;
   t.committed <-
-    List.fold_left (fun n e -> match e with Wal.Commit _ -> n + 1 | _ -> n) 0 durable
+    List.fold_left (fun n e -> match e with Wal.Commit _ -> n + 1 | _ -> n) 0 durable;
+  recovery
 
 let journal t ~session note = Wal.append t.wal (Wal.Session (session, note))
 let force t = Wal.force t.wal
@@ -152,7 +156,7 @@ let persist t ~path = Wal.save t.wal ~path
 let restart ~path =
   match Wal.load ~path with
   | Error msg -> Error msg
-  | Ok entries ->
+  | Ok (entries, verdict) ->
     let state = replay_entries ~fallback:State.empty entries in
     let max_txid =
       List.fold_left
@@ -172,7 +176,7 @@ let restart ~path =
       (function Wal.Session (sid, note) -> Wal.append t.wal (Wal.Session (sid, note)) | _ -> ())
       entries;
     Wal.force t.wal;
-    Ok t
+    Ok (t, verdict)
 
 let log t = t.wal
 let transactions_committed t = t.committed

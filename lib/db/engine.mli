@@ -18,10 +18,18 @@ open Repro_txn
 
 type t
 
-val create : State.t -> t
+(** [create ?device s0] — a fresh engine over initial state [s0]. With
+    [?device] the WAL persists through that (fault-injecting) disk
+    ({!Wal.attach}): every force writes checksummed records and syncs,
+    and {!crash_restart} recovers through corruption-detecting
+    {!Wal.reload}. *)
+val create : ?device:Block.t -> State.t -> t
 
 (** Current committed state. *)
 val state : t -> State.t
+
+(** The attached storage device, if any. *)
+val device : t -> Block.t option
 
 (** [execute t ?fix program] — run, log, commit, force. With
     [~durably:false] the force is skipped: the commit record stays in the
@@ -54,10 +62,15 @@ val checkpoint : t -> unit
 val recover : t -> State.t
 
 (** [crash_restart t] simulates a node crash followed by restart, in
-    place: the volatile log tail is lost ({!Wal.crash}) and the state is
-    rebuilt like {!recover}. Everything unforced — including a partially
-    appended commit group — vanishes atomically. *)
-val crash_restart : t -> unit
+    place: the volatile log tail is lost ({!Wal.crash}), the durable log
+    is re-read through the attached device's fault model ({!Wal.reload})
+    and verified record by record, and the state is rebuilt from the
+    recovered prefix. Everything unforced — including a partially
+    appended commit group — vanishes atomically. The returned
+    {!Wal.recovery} tells the caller whether believed-durable data was
+    lost ([lost_durable > 0]) — storage the node must no longer trust.
+    Without a device the verdict is trivially [Clean]. *)
+val crash_restart : t -> Wal.recovery
 
 (** {2 Session journal}
 
@@ -92,10 +105,14 @@ val next_txid : t -> int
 (** [persist t ~path] writes the durable log to disk ({!Wal.save}). *)
 val persist : t -> path:string -> unit
 
-(** [restart ~path] rebuilds an engine from a persisted log: replays it
-    like {!recover}, checkpoints the result, and continues transaction
-    identifiers past the highest seen. *)
-val restart : path:string -> (t, string) Stdlib.result
+(** [restart ~path] rebuilds an engine from a persisted log: verifies
+    and replays it like {!recover}, checkpoints the result, and
+    continues transaction identifiers past the highest seen. The
+    {!Wal.verdict} reports any damage the verification pass truncated
+    away; a caller that requires an intact log should insist on
+    [Clean].
+    @return [Error] only when the file is not a recognizable log. *)
+val restart : path:string -> (t * Wal.verdict, string) Stdlib.result
 
 val log : t -> Wal.t
 val transactions_committed : t -> int

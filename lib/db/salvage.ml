@@ -1,0 +1,55 @@
+type outcome = {
+  entries : Wal.entry list;
+  verdict : Wal.verdict;
+  kept_records : int;
+  dropped : int;
+  lost_txids : int list;
+  output : string;
+}
+
+let empty_log = Wal.format_header ^ "\n"
+
+let of_string raw =
+  match Wal.decode raw with
+  | Ok d ->
+    {
+      entries = d.Wal.d_entries;
+      verdict = d.Wal.d_verdict;
+      kept_records = d.Wal.d_records;
+      dropped = d.Wal.d_dropped;
+      lost_txids = d.Wal.d_lost_txids;
+      output = (if d.Wal.d_kept_bytes = 0 then empty_log else String.sub raw 0 d.Wal.d_kept_bytes);
+    }
+  | Error reason ->
+    {
+      entries = [];
+      verdict = Wal.Corrupt { seq = 0; reason };
+      kept_records = 0;
+      dropped = 0;
+      lost_txids = [];
+      output = empty_log;
+    }
+
+let file ~path ~out =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | raw -> (
+    let o = of_string raw in
+    match Out_channel.with_open_bin out (fun oc -> Out_channel.output_string oc o.output) with
+    | () -> Ok o
+    | exception Sys_error msg -> Error msg)
+
+let pp ppf o =
+  Format.fprintf ppf
+    "@[<v>verdict: %a@ recovered: %d entries (%d record lines)@ dropped: %d record line%s%a@]"
+    Wal.pp_verdict o.verdict (List.length o.entries) o.kept_records o.dropped
+    (if o.dropped = 1 then "" else "s")
+    (fun ppf -> function
+      | [] -> ()
+      | ids ->
+        Format.fprintf ppf "@ lost txids: %a"
+          (Format.pp_print_list
+             ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+             Format.pp_print_int)
+          ids)
+    o.lost_txids

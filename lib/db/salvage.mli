@@ -1,0 +1,27 @@
+(** Salvage a damaged log: recover the longest valid durable prefix and
+    report what was lost, by transaction id.
+
+    The recovered output is the verified byte prefix of the input
+    (header + every record up to and including the last valid barrier),
+    so salvaging an undamaged log is the identity and the output always
+    scrubs {!Repro_db.Wal.Clean}. A log whose header itself is gone
+    salvages to a fresh empty log. Exposed as
+    [repro_cli salvage FILE --out FILE]. *)
+
+type outcome = {
+  entries : Wal.entry list;  (** the recovered durable prefix *)
+  verdict : Wal.verdict;  (** what the verification pass found *)
+  kept_records : int;
+  dropped : int;  (** record lines not recovered *)
+  lost_txids : int list;
+  output : string;  (** the salvaged log image *)
+}
+
+val of_string : string -> outcome
+
+(** [file ~path ~out] salvages [path] and writes the recovered image to
+    [out].
+    @return [Error] on an I/O failure. *)
+val file : path:string -> out:string -> (outcome, string) result
+
+val pp : Format.formatter -> outcome -> unit

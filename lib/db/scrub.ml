@@ -1,0 +1,68 @@
+module Obs = Repro_obs.Obs
+
+let obs_runs = Obs.Counter.make "db.scrub.runs"
+let obs_damaged = Obs.Counter.make "db.scrub.damaged"
+let obs_records = Obs.Counter.make "db.scrub.records"
+
+type report = {
+  verdict : Wal.verdict;
+  entries : int;
+  records : int;
+  barriers : int;
+  dropped : int;
+  kept_bytes : int;
+  lost_txids : int list;
+}
+
+let is_clean r = match r.verdict with Wal.Clean -> true | _ -> false
+
+let of_string raw =
+  Obs.Span.with_ ~name:"db.scrub" @@ fun () ->
+  Obs.Counter.incr obs_runs;
+  let report =
+    match Wal.decode raw with
+    | Ok d ->
+      {
+        verdict = d.Wal.d_verdict;
+        entries = List.length d.Wal.d_entries;
+        records = d.Wal.d_records;
+        barriers = List.length d.Wal.d_barriers;
+        dropped = d.Wal.d_dropped;
+        kept_bytes = d.Wal.d_kept_bytes;
+        lost_txids = d.Wal.d_lost_txids;
+      }
+    | Error reason ->
+      {
+        verdict = Wal.Corrupt { seq = 0; reason };
+        entries = 0;
+        records = 0;
+        barriers = 0;
+        dropped = 0;
+        kept_bytes = 0;
+        lost_txids = [];
+      }
+  in
+  Obs.Counter.incr ~by:report.records obs_records;
+  if not (is_clean report) then Obs.Counter.incr obs_damaged;
+  report
+
+let file ~path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | raw -> Ok (of_string raw)
+  | exception Sys_error msg -> Error msg
+
+let pp ppf r =
+  Format.fprintf ppf
+    "@[<v>verdict: %a@ records: %d (%d entries, %d barriers), %d bytes@ dropped: %d record \
+     line%s%a@]"
+    Wal.pp_verdict r.verdict r.records r.entries r.barriers r.kept_bytes r.dropped
+    (if r.dropped = 1 then "" else "s")
+    (fun ppf -> function
+      | [] -> ()
+      | ids ->
+        Format.fprintf ppf "@ lost txids: %a"
+          (Format.pp_print_list
+             ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+             Format.pp_print_int)
+          ids)
+    r.lost_txids

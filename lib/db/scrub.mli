@@ -1,0 +1,28 @@
+(** Offline log verification: read a persisted WAL image, verify every
+    record (framing, CRC-32, sequence continuity, barrier coverage) and
+    report the damage without modifying anything.
+
+    Exposed as [repro_cli scrub FILE] — exit status 0 iff the log is
+    {!Repro_db.Wal.Clean}. Counts [db.scrub.runs], [db.scrub.records]
+    and [db.scrub.damaged] under a [db.scrub] span. *)
+
+type report = {
+  verdict : Wal.verdict;
+  entries : int;  (** durable entries in the valid prefix *)
+  records : int;  (** record lines kept (entries + barriers) *)
+  barriers : int;
+  dropped : int;  (** record lines beyond the valid prefix *)
+  kept_bytes : int;
+  lost_txids : int list;  (** transaction ids recognizable in the damage *)
+}
+
+(** [of_string raw] verifies a log image. An unrecognizable header
+    reports as [Corrupt] at record 0 — scrub never raises. *)
+val of_string : string -> report
+
+(** [file ~path] — {!of_string} on the file's bytes.
+    @return [Error] on an I/O failure. *)
+val file : path:string -> (report, string) result
+
+val is_clean : report -> bool
+val pp : Format.formatter -> report -> unit

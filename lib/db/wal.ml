@@ -14,31 +14,34 @@ type t = {
   mutable total : int;
   mutable durable : int;  (* count of entries covered by the last force *)
   mutable forces : int;
+  mutable rev_barriers : int list;  (* entry counts at each force, newest first *)
+  mutable device : Block.t option;
+  mutable disk_seq : int;  (* sequence number of the next on-disk record *)
 }
 
 module Obs = Repro_obs.Obs
 
 let obs_records = Obs.Counter.make "db.wal_records"
 let obs_forces = Obs.Counter.make "db.wal_forces"
+let obs_corruption = Obs.Counter.make "db.corruption_detected"
+let obs_torn = Obs.Counter.make "db.torn_tail_records"
+let obs_lost = Obs.Counter.make "db.durable_records_lost"
 
-let create () = { rev_entries = []; total = 0; durable = 0; forces = 0 }
+let create () =
+  {
+    rev_entries = [];
+    total = 0;
+    durable = 0;
+    forces = 0;
+    rev_barriers = [];
+    device = None;
+    disk_seq = 0;
+  }
 
 let append t e =
   t.rev_entries <- e :: t.rev_entries;
   t.total <- t.total + 1;
   Obs.Counter.incr obs_records
-
-let force t =
-  if t.durable < t.total then begin
-    t.durable <- t.total;
-    t.forces <- t.forces + 1;
-    Obs.Counter.incr obs_forces
-  end
-
-let crash t =
-  let rec drop n l = if n <= 0 then l else match l with [] -> [] | _ :: tl -> drop (n - 1) tl in
-  t.rev_entries <- drop (t.total - t.durable) t.rev_entries;
-  t.total <- t.durable
 
 let entries t = List.rev t.rev_entries
 
@@ -48,6 +51,11 @@ let durable_entries t =
 
 let force_count t = t.forces
 let length t = t.total
+let device t = t.device
+
+(* ---------------------------------------------------------------------- *)
+(* Line codec for entry payloads.                                         *)
+(* ---------------------------------------------------------------------- *)
 
 let check_item x =
   String.iter
@@ -60,19 +68,6 @@ let check_item x =
 let state_to_string s =
   String.concat ","
     (List.map (fun (x, v) -> Printf.sprintf "%s=%d" (check_item x) v) (State.to_list s))
-
-let state_of_string str =
-  if String.equal str "" then State.empty
-  else
-    State.of_list
-      (List.map
-         (fun binding ->
-           match String.index_opt binding '=' with
-           | Some i ->
-             ( String.sub binding 0 i,
-               int_of_string (String.sub binding (i + 1) (String.length binding - i - 1)) )
-           | None -> failwith "malformed state binding")
-         (String.split_on_char ',' str))
 
 let entry_to_line = function
   | Begin id -> Printf.sprintf "begin %d" id
@@ -87,43 +82,439 @@ let entry_to_line = function
       note;
     Printf.sprintf "session %d %s" sid note
 
+type parse_error =
+  | Unknown_record of string
+  | Bad_int of { field : string; value : string }
+  | Bad_item of string
+  | Bad_state of string
+
+let string_of_parse_error = function
+  | Unknown_record line -> Printf.sprintf "unrecognized log line %S" line
+  | Bad_int { field; value } -> Printf.sprintf "bad integer in %s: %S" field value
+  | Bad_item x -> Printf.sprintf "bad item name %S" x
+  | Bad_state b -> Printf.sprintf "bad state binding %S" b
+
+let pp_parse_error ppf e = Format.pp_print_string ppf (string_of_parse_error e)
+
+(* Strict decimal parser: optional leading '-', digits only. Unlike
+   [int_of_string] it rejects '0x'/'0b' prefixes, '_' separators, '+'
+   signs and empty strings, so the codec accepts exactly what
+   [entry_to_line] can emit. *)
+let int_of_string_strict s =
+  let n = String.length s in
+  let start = if n > 0 && s.[0] = '-' then 1 else 0 in
+  if n = start || n - start > 18 then None
+  else
+    let rec go i acc =
+      if i >= n then Some (if start = 1 then -acc else acc)
+      else
+        match s.[i] with
+        | '0' .. '9' -> go (i + 1) ((acc * 10) + (Char.code s.[i] - Char.code '0'))
+        | _ -> None
+    in
+    go start 0
+
+let int_field ~field value k =
+  match int_of_string_strict value with
+  | Some v -> k v
+  | None -> Error (Bad_int { field; value })
+
+let item_field x k =
+  if String.length x = 0 || String.exists (fun c -> c = ' ' || c = '=' || c = ',') x then
+    Error (Bad_item x)
+  else k x
+
+let state_of_string str =
+  if String.equal str "" then Ok State.empty
+  else
+    let rec go acc = function
+      | [] -> Ok (State.of_list (List.rev acc))
+      | binding :: rest -> (
+        match String.index_opt binding '=' with
+        | None -> Error (Bad_state binding)
+        | Some i ->
+          let x = String.sub binding 0 i in
+          let v = String.sub binding (i + 1) (String.length binding - i - 1) in
+          if String.length x = 0 || String.exists (fun c -> c = ' ' || c = '=') x then
+            Error (Bad_state binding)
+          else (
+            match int_of_string_strict v with
+            | None -> Error (Bad_state binding)
+            | Some v -> go ((x, v) :: acc) rest))
+    in
+    go [] (String.split_on_char ',' str)
+
 let entry_of_line line =
-  let fail msg = Error (Printf.sprintf "%s: %S" msg line) in
   match String.split_on_char ' ' line with
-  | [ "begin"; id ] -> (try Ok (Begin (int_of_string id)) with _ -> fail "bad begin")
-  | [ "commit"; id ] -> (try Ok (Commit (int_of_string id)) with _ -> fail "bad commit")
-  | [ "abort"; id ] -> (try Ok (Abort (int_of_string id)) with _ -> fail "bad abort")
-  | [ "read"; id; x; v ] -> (
-    try Ok (Read (int_of_string id, x, int_of_string v)) with _ -> fail "bad read")
-  | [ "write"; id; x; b; a ] -> (
-    try Ok (Write (int_of_string id, x, int_of_string b, int_of_string a))
-    with _ -> fail "bad write")
+  | [ "begin"; id ] -> int_field ~field:"begin txid" id (fun id -> Ok (Begin id))
+  | [ "commit"; id ] -> int_field ~field:"commit txid" id (fun id -> Ok (Commit id))
+  | [ "abort"; id ] -> int_field ~field:"abort txid" id (fun id -> Ok (Abort id))
+  | [ "read"; id; x; v ] ->
+    int_field ~field:"read txid" id @@ fun id ->
+    item_field x @@ fun x ->
+    int_field ~field:"read value" v @@ fun v -> Ok (Read (id, x, v))
+  | [ "write"; id; x; b; a ] ->
+    int_field ~field:"write txid" id @@ fun id ->
+    item_field x @@ fun x ->
+    int_field ~field:"write before-image" b @@ fun b ->
+    int_field ~field:"write after-image" a @@ fun a -> Ok (Write (id, x, b, a))
   | [ "checkpoint" ] -> Ok (Checkpoint State.empty)
   | [ "checkpoint"; s ] -> (
-    try Ok (Checkpoint (state_of_string s)) with _ -> fail "bad checkpoint")
-  | "session" :: sid :: rest -> (
-    try Ok (Session (int_of_string sid, String.concat " " rest)) with _ -> fail "bad session")
-  | _ -> fail "unrecognized log line"
+    match state_of_string s with Ok st -> Ok (Checkpoint st) | Error e -> Error e)
+  | "session" :: sid :: rest ->
+    int_field ~field:"session id" sid (fun sid -> Ok (Session (sid, String.concat " " rest)))
+  | _ -> Error (Unknown_record line)
 
-let save t ~path =
-  Out_channel.with_open_text path (fun oc ->
+(* ---------------------------------------------------------------------- *)
+(* On-disk format v2: self-describing header, then one record per line,  *)
+(*   <seq> <crc32-hex> <payload>                                         *)
+(* with the CRC computed over "<seq> <payload>". Payloads are entry      *)
+(* lines, or "barrier <n>" — the checksummed force-barrier record, where *)
+(* <n> is the number of entries the force covers. Only entries covered   *)
+(* by a valid barrier in the contiguous valid prefix are durable: a      *)
+(* force's effects and its barrier harden together, so a torn tail can   *)
+(* never surface half a commit group.                                    *)
+(* ---------------------------------------------------------------------- *)
+
+let format_header = "repro-wal 2"
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           if Int32.logand !c 1l <> 0l then
+             c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+           else c := Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFFl in
+  String.iter
+    (fun ch ->
+      c :=
+        Int32.logxor
+          (Int32.shift_right_logical !c 8)
+          table.(Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code ch))) 0xFFl)))
+    s;
+  Int32.logxor !c 0xFFFFFFFFl
+
+let record_line ~seq payload =
+  Printf.sprintf "%d %08lx %s" seq (crc32 (Printf.sprintf "%d %s" seq payload)) payload
+
+let barrier_payload covered = Printf.sprintf "barrier %d" covered
+
+type verdict = Clean | Torn_tail of int | Corrupt of { seq : int; reason : string }
+
+let pp_verdict ppf = function
+  | Clean -> Format.pp_print_string ppf "clean"
+  | Torn_tail 0 -> Format.pp_print_string ppf "torn tail (no records lost)"
+  | Torn_tail n -> Format.fprintf ppf "torn tail (%d record line%s discarded)" n (if n = 1 then "" else "s")
+  | Corrupt { seq; reason } -> Format.fprintf ppf "corrupt at record %d: %s" seq reason
+
+type decoded = {
+  d_entries : entry list;
+  d_verdict : verdict;
+  d_barriers : int list;
+  d_records : int;
+  d_dropped : int;
+  d_kept_bytes : int;
+  d_lost_txids : int list;
+}
+
+let empty_decoded =
+  {
+    d_entries = [];
+    d_verdict = Torn_tail 0;
+    d_barriers = [];
+    d_records = 0;
+    d_dropped = 0;
+    d_kept_bytes = 0;
+    d_lost_txids = [];
+  }
+
+let is_crc_hex s =
+  String.length s = 8
+  && String.for_all (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false) s
+
+(* Structural validation of one record line: framing, checksum, then the
+   sequence number — in that order, so a record moved out of place (e.g.
+   a duplicated sequence number) reports a sequence error rather than a
+   checksum one. Returns the payload. *)
+let parse_record ~expect line =
+  match String.index_opt line ' ' with
+  | None -> Error "record framing: missing sequence field"
+  | Some sp1 -> (
+    let seq_s = String.sub line 0 sp1 in
+    let rest = String.sub line (sp1 + 1) (String.length line - sp1 - 1) in
+    match String.index_opt rest ' ' with
+    | None -> Error "record framing: missing checksum field"
+    | Some sp2 -> (
+      let crc_s = String.sub rest 0 sp2 in
+      let payload = String.sub rest (sp2 + 1) (String.length rest - sp2 - 1) in
+      match int_of_string_strict seq_s with
+      | None -> Error (Printf.sprintf "record framing: bad sequence %S" seq_s)
+      | Some seq ->
+        if not (is_crc_hex crc_s) then
+          Error (Printf.sprintf "record framing: bad checksum field %S" crc_s)
+        else
+          let actual = Printf.sprintf "%08lx" (crc32 (Printf.sprintf "%d %s" seq payload)) in
+          if not (String.equal actual crc_s) then Error "checksum mismatch"
+          else if seq <> expect then
+            Error (Printf.sprintf "sequence %d where %d was expected" seq expect)
+          else Ok payload))
+
+(* A record whose framing and checksum hold regardless of position. *)
+let record_self_valid line =
+  match String.index_opt line ' ' with
+  | None -> None
+  | Some sp1 -> (
+    let seq_s = String.sub line 0 sp1 in
+    let rest = String.sub line (sp1 + 1) (String.length line - sp1 - 1) in
+    match String.index_opt rest ' ' with
+    | None -> None
+    | Some sp2 -> (
+      let crc_s = String.sub rest 0 sp2 in
+      let payload = String.sub rest (sp2 + 1) (String.length rest - sp2 - 1) in
+      match int_of_string_strict seq_s with
+      | None -> None
+      | Some seq ->
+        if
+          is_crc_hex crc_s
+          && String.equal crc_s
+               (Printf.sprintf "%08lx" (crc32 (Printf.sprintf "%d %s" seq payload)))
+        then Some payload
+        else None))
+
+let classify_payload payload =
+  match String.split_on_char ' ' payload with
+  | [ "barrier"; n ] -> (
+    match int_of_string_strict n with
+    | Some n -> `Barrier n
+    | None -> `Bad (Printf.sprintf "bad barrier record %S" payload))
+  | _ -> (
+    match entry_of_line payload with
+    | Ok e -> `Entry e
+    | Error pe -> `Bad (string_of_parse_error pe))
+
+let txid_of_entry = function
+  | Begin id | Read (id, _, _) | Write (id, _, _, _) | Commit id | Abort id -> Some id
+  | Checkpoint _ | Session _ -> None
+
+let is_strict_prefix s full =
+  String.length s < String.length full && String.equal s (String.sub full 0 (String.length s))
+
+let decode raw =
+  if String.length (String.trim raw) = 0 then Ok empty_decoded
+  else
+    let lines = String.split_on_char '\n' raw in
+    (* a final newline leaves one trailing empty element; interior empty
+       lines are damage and stay *)
+    let lines = match List.rev lines with "" :: rest -> List.rev rest | _ -> lines in
+    match lines with
+    | [] -> Ok empty_decoded
+    | hd :: records when String.equal hd format_header ->
+      let arr = Array.of_list records in
+      let n = Array.length arr in
+      let rev_entries = ref [] and n_entries = ref 0 in
+      let rev_barriers = ref [] in
+      let last_barrier = ref (-1) (* index into arr *) and covered = ref 0 in
+      let invalid = ref None in
+      let i = ref 0 in
+      while !invalid = None && !i < n do
+        (match parse_record ~expect:!i arr.(!i) with
+        | Error reason -> invalid := Some (!i, reason)
+        | Ok payload -> (
+          match classify_payload payload with
+          | `Entry e ->
+            rev_entries := e :: !rev_entries;
+            incr n_entries
+          | `Barrier b ->
+            if b = !n_entries then begin
+              rev_barriers := b :: !rev_barriers;
+              last_barrier := !i;
+              covered := b
+            end
+            else
+              invalid :=
+                Some (!i, Printf.sprintf "barrier covers %d entries, log holds %d" b !n_entries)
+          | `Bad reason -> invalid := Some (!i, reason)));
+        if !invalid = None then incr i
+      done;
+      let kept_records = !last_barrier + 1 in
+      let dropped = n - kept_records in
+      let verdict =
+        match !invalid with
+        | None -> if dropped = 0 then Clean else Torn_tail dropped
+        | Some (idx, reason) ->
+          (* A self-valid record after the damage proves the damage is
+             interior (read corruption), not a torn tail — torn writes
+             only ever cut the end off. *)
+          let interior = ref false in
+          for j = idx + 1 to n - 1 do
+            if record_self_valid arr.(j) <> None then interior := true
+          done;
+          if !interior then Corrupt { seq = idx; reason } else Torn_tail dropped
+      in
+      let entries =
+        let rec take k l acc =
+          if k = 0 then List.rev acc
+          else match l with [] -> List.rev acc | x :: tl -> take (k - 1) tl (x :: acc)
+        in
+        take !covered (List.rev !rev_entries) []
+      in
+      let kept_bytes =
+        let b = ref (String.length format_header + 1) in
+        for j = 0 to kept_records - 1 do
+          b := !b + String.length arr.(j) + 1
+        done;
+        min !b (String.length raw)
+      in
+      let lost_txids =
+        let ids = Hashtbl.create 8 in
+        (* entries parsed validly but beyond the last barrier *)
+        let rec drop k l = if k <= 0 then l else match l with [] -> [] | _ :: tl -> drop (k - 1) tl in
+        List.iter
+          (fun e -> match txid_of_entry e with Some id -> Hashtbl.replace ids id () | None -> ())
+          (drop !covered (List.rev !rev_entries));
+        (* best-effort parse of the damaged region *)
+        for j = kept_records to n - 1 do
+          match record_self_valid arr.(j) with
+          | Some payload -> (
+            match classify_payload payload with
+            | `Entry e -> (
+              match txid_of_entry e with Some id -> Hashtbl.replace ids id () | None -> ())
+            | `Barrier _ | `Bad _ -> ())
+          | None -> ()
+        done;
+        List.sort compare (Hashtbl.fold (fun id () acc -> id :: acc) ids [])
+      in
+      Ok
+        {
+          d_entries = entries;
+          d_verdict = verdict;
+          d_barriers = List.rev !rev_barriers;
+          d_records = kept_records;
+          d_dropped = dropped;
+          d_kept_bytes = kept_bytes;
+          d_lost_txids = lost_txids;
+        }
+    | [ only ] when is_strict_prefix only format_header ->
+      (* torn write of the header itself: an empty log *)
+      Ok { empty_decoded with d_verdict = Torn_tail 1; d_dropped = 1 }
+    | _ -> Error (Printf.sprintf "unrecognized log header (want %S)" format_header)
+
+(* ---------------------------------------------------------------------- *)
+(* Durability: forces write through the attached device.                  *)
+(* ---------------------------------------------------------------------- *)
+
+let durable_image t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf format_header;
+  Buffer.add_char buf '\n';
+  let seq = ref 0 in
+  let emit payload =
+    Buffer.add_string buf (record_line ~seq:!seq payload);
+    Buffer.add_char buf '\n';
+    incr seq
+  in
+  let barriers = ref (List.rev t.rev_barriers) in
+  let count = ref 0 in
+  let flush_barrier () =
+    match !barriers with
+    | b :: rest when b = !count ->
+      emit (barrier_payload b);
+      barriers := rest
+    | _ -> ()
+  in
+  flush_barrier ();
+  List.iter
+    (fun e ->
+      emit (entry_to_line e);
+      incr count;
+      flush_barrier ())
+    (durable_entries t);
+  (Buffer.contents buf, !seq)
+
+let attach t dev =
+  t.device <- Some dev;
+  let image, seq = durable_image t in
+  Block.append dev image;
+  t.disk_seq <- seq;
+  Block.sync dev
+
+let force t =
+  if t.durable < t.total then begin
+    (match t.device with
+    | None -> ()
+    | Some dev ->
+      let tail =
+        let rec take k l acc = if k <= 0 then acc else match l with [] -> acc | x :: tl -> take (k - 1) tl (x :: acc) in
+        take (t.total - t.durable) t.rev_entries []
+      in
       List.iter
         (fun e ->
-          Out_channel.output_string oc (entry_to_line e);
-          Out_channel.output_char oc '\n')
-        (durable_entries t))
+          Block.append dev (record_line ~seq:t.disk_seq (entry_to_line e) ^ "\n");
+          t.disk_seq <- t.disk_seq + 1)
+        tail;
+      Block.append dev (record_line ~seq:t.disk_seq (barrier_payload t.total) ^ "\n");
+      t.disk_seq <- t.disk_seq + 1;
+      Block.sync dev);
+    t.durable <- t.total;
+    t.forces <- t.forces + 1;
+    t.rev_barriers <- t.total :: t.rev_barriers;
+    Obs.Counter.incr obs_forces
+  end
+
+let crash t =
+  let rec drop n l = if n <= 0 then l else match l with [] -> [] | _ :: tl -> drop (n - 1) tl in
+  t.rev_entries <- drop (t.total - t.durable) t.rev_entries;
+  t.total <- t.durable;
+  match t.device with None -> () | Some dev -> Block.crash dev
+
+type recovery = { verdict : verdict; lost_durable : int; discarded : int }
+
+let clean_recovery = { verdict = Clean; lost_durable = 0; discarded = 0 }
+
+let reload t =
+  match t.device with
+  | None -> clean_recovery
+  | Some dev ->
+    let believed = t.durable in
+    let dec =
+      match decode (Block.read dev) with
+      | Ok dec -> dec
+      | Error reason -> { empty_decoded with d_verdict = Corrupt { seq = 0; reason } }
+    in
+    t.rev_entries <- List.rev dec.d_entries;
+    t.total <- List.length dec.d_entries;
+    t.durable <- t.total;
+    t.rev_barriers <- List.rev dec.d_barriers;
+    t.disk_seq <- dec.d_records;
+    Block.truncate dev dec.d_kept_bytes;
+    let lost = max 0 (believed - t.total) in
+    (match dec.d_verdict with
+    | Corrupt _ -> Obs.Counter.incr obs_corruption
+    | Torn_tail n when n > 0 -> Obs.Counter.incr ~by:n obs_torn
+    | Torn_tail _ | Clean -> ());
+    if lost > 0 then Obs.Counter.incr ~by:lost obs_lost;
+    { verdict = dec.d_verdict; lost_durable = lost; discarded = dec.d_dropped }
+
+(* ---------------------------------------------------------------------- *)
+(* File persistence (same v2 format).                                     *)
+(* ---------------------------------------------------------------------- *)
+
+let save t ~path =
+  let image, _ = durable_image t in
+  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc image)
 
 let load ~path =
-  let lines = In_channel.with_open_text path In_channel.input_lines in
-  let rec go acc n = function
-    | [] -> Ok (List.rev acc)
-    | "" :: rest -> go acc (n + 1) rest
-    | line :: rest -> (
-      match entry_of_line line with
-      | Ok e -> go (e :: acc) (n + 1) rest
-      | Error msg -> Error (Printf.sprintf "line %d: %s" n msg))
-  in
-  go [] 1 lines
+  let raw = In_channel.with_open_text path In_channel.input_all in
+  match decode raw with
+  | Ok dec -> Ok (dec.d_entries, dec.d_verdict)
+  | Error msg -> Error msg
 
 let pp_entry ppf = function
   | Begin id -> Format.fprintf ppf "BEGIN %d" id
@@ -133,3 +524,13 @@ let pp_entry ppf = function
   | Abort id -> Format.fprintf ppf "ABORT %d" id
   | Checkpoint _ -> Format.fprintf ppf "CHECKPOINT"
   | Session (sid, note) -> Format.fprintf ppf "SESSION %d %s" sid note
+
+let entry_equal a b =
+  match (a, b) with
+  | Checkpoint s, Checkpoint s' -> State.equal s s'
+  | Begin i, Begin j | Commit i, Commit j | Abort i, Abort j -> i = j
+  | Read (i, x, v), Read (j, y, w) -> i = j && Item.equal x y && v = w
+  | Write (i, x, b1, a1), Write (j, y, b2, a2) ->
+    i = j && Item.equal x y && b1 = b2 && a1 = a2
+  | Session (i, n), Session (j, m) -> i = j && String.equal n m
+  | _ -> false

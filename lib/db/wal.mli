@@ -7,9 +7,30 @@
     recorded in the log" (Section 7.1) — so read records are logged too —
     and the cost model counts log {e forces}.
 
-    The log is in-memory (the simulator's "durable storage"); a force
-    marks a durability point and is the unit the Section 7.1 cost model
-    charges I/O for. *)
+    The log is in-memory; a force marks a durability point and is the
+    unit the Section 7.1 cost model charges I/O for. Optionally the log
+    {e persists through a device} ({!Block}, {!attach}): every force
+    writes the tail as checksummed records closed by a barrier record and
+    syncs, and {!reload} is corruption-detecting recovery — it verifies
+    every record, truncates at the first invalid one, and classifies the
+    damage ({!verdict}).
+
+    {2 On-disk format (v2)}
+
+    A header line ["repro-wal 2"], then one record per line:
+
+    {v <seq> <crc32-hex> <payload> v}
+
+    [<seq>] numbers records from 0 with no gaps; the CRC-32 (IEEE) is
+    computed over ["<seq> <payload>"]. A payload is an entry line
+    ({!entry_to_line}) or the force-barrier record ["barrier <n>"] where
+    [<n>] is the total number of entries the force covers — a
+    self-consistency check on top of the checksum. {e Only entries
+    covered by a valid barrier inside the contiguous valid prefix are
+    durable}: a force's records and its barrier harden together, so a
+    torn tail can never surface half a commit group (in particular, a
+    session commit's effects can never survive without their journal
+    marker, or vice versa). *)
 
 type entry =
   | Begin of int  (** transaction id *)
@@ -29,35 +50,120 @@ type t
 val create : unit -> t
 val append : t -> entry -> unit
 
-(** [force t] marks everything appended so far as durable. *)
+(** [force t] marks everything appended so far as durable; with a device
+    attached it writes the tail records plus a barrier and syncs. *)
 val force : t -> unit
 
 (** [crash t] simulates losing the volatile tail: every entry appended
-    after the last force is discarded. *)
+    after the last force is discarded, and the attached device (if any)
+    crashes too ({!Block.crash}). Follow with {!reload} to recover what
+    the device actually kept. *)
 val crash : t -> unit
 
 (** Entries appended so far, oldest first. *)
 val entries : t -> entry list
 
-(** Entries covered by a force (what survives a crash). *)
+(** Entries covered by a force (what an honest crash would leave). *)
 val durable_entries : t -> entry list
 
 val force_count : t -> int
 val length : t -> int
 val pp_entry : Format.formatter -> entry -> unit
 
-(** {2 On-disk persistence}
+(** Structural equality ([Checkpoint] states compared by
+    {!Repro_txn.State.equal}). *)
+val entry_equal : entry -> entry -> bool
 
-    Entries serialize one per line; item names must not contain spaces,
-    ['='] or [','] (all generated names satisfy this). Only {e durable}
-    entries are saved — exactly what a crash would leave behind. *)
+(** {2 Device attachment} *)
+
+(** [attach t dev] makes [t] persist through [dev]: the current durable
+    image (header, records, barriers) is written and synced, and every
+    subsequent {!force} appends through the device. Attach to a fresh
+    device only. *)
+val attach : t -> Block.t -> unit
+
+val device : t -> Block.t option
+
+(** The outcome of verifying a log image.
+
+    - [Clean]: every record valid, the image ends at a barrier.
+    - [Torn_tail n]: the only damage is after the last valid barrier —
+      the shape an interrupted write leaves; [n] record lines were
+      discarded.
+    - [Corrupt]: record [seq] is invalid but self-valid records follow
+      it — interior damage (e.g. a silent bit flip), not a torn tail.
+      Nothing after the last valid barrier {e before} the damage is
+      surfaced. *)
+type verdict = Clean | Torn_tail of int | Corrupt of { seq : int; reason : string }
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+(** What {!reload} found. [lost_durable] counts entries the log believed
+    durable (acknowledged forces) that recovery could not surface — the
+    signature of fsync lies and interior corruption; [discarded] counts
+    record lines dropped beyond the recovered prefix. *)
+type recovery = { verdict : verdict; lost_durable : int; discarded : int }
+
+(** [reload t] — corruption-detecting recovery from the attached device
+    (no device: trivially [Clean]). Reads the device (through its read
+    faults), verifies record by record, replaces the in-memory log with
+    the longest barrier-covered valid prefix, truncates the device to
+    those bytes, and reports the damage. Counts
+    [db.corruption_detected], [db.torn_tail_records] and
+    [db.durable_records_lost]. *)
+val reload : t -> recovery
+
+(** {2 Line codec} *)
+
+(** Entry payloads serialize one per line; item names must not contain
+    spaces, ['='] or [','] (all generated names satisfy this). *)
 
 val entry_to_line : entry -> string
-val entry_of_line : string -> (entry, string) result
 
-(** [save t ~path] writes the durable entries to [path] (truncating). *)
+(** Why a payload failed to parse. Every malformed input maps to a typed
+    error; no exception escapes {!entry_of_line}. *)
+type parse_error =
+  | Unknown_record of string
+  | Bad_int of { field : string; value : string }
+  | Bad_item of string
+  | Bad_state of string
+
+val string_of_parse_error : parse_error -> string
+val pp_parse_error : Format.formatter -> parse_error -> unit
+val entry_of_line : string -> (entry, parse_error) result
+
+(** {2 Verified decoding} *)
+
+val format_header : string
+
+(** [record_line ~seq payload] — one encoded record line (no newline);
+    exposed so tests and tools can craft images. *)
+val record_line : seq:int -> string -> string
+
+(** What {!decode} recovered from a log image. *)
+type decoded = {
+  d_entries : entry list;  (** the barrier-covered valid prefix *)
+  d_verdict : verdict;
+  d_barriers : int list;  (** covered entry counts, oldest first *)
+  d_records : int;  (** record lines kept (entries + barriers) *)
+  d_dropped : int;  (** record lines beyond the recovered prefix *)
+  d_kept_bytes : int;  (** bytes of header + kept records *)
+  d_lost_txids : int list;
+      (** transaction ids recognizable in the dropped region *)
+}
+
+(** [decode raw] verifies a log image. [Error] only when the header is
+    unrecognizable (not even a torn prefix of it) — everything else is
+    an [Ok] with a verdict. An empty/whitespace image decodes to an
+    empty [Torn_tail 0] log. *)
+val decode : string -> (decoded, string) result
+
+(** {2 File persistence (same v2 format)} *)
+
+(** [save t ~path] writes the durable image to [path] (truncating). *)
 val save : t -> path:string -> unit
 
-(** [load ~path] reads a log file back.
-    @return [Error] with a line number and message on a malformed line. *)
-val load : path:string -> (entry list, string) result
+(** [load ~path] reads and verifies a log file: the recovered entries
+    plus the damage verdict.
+    @return [Error] only on an unrecognizable header. *)
+val load : path:string -> (entry list * verdict, string) result

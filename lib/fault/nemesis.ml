@@ -1,6 +1,10 @@
 open Repro_txn
 open Repro_history
 module Engine = Repro_db.Engine
+module Wal = Repro_db.Wal
+module Block = Repro_db.Block
+module Scrub = Repro_db.Scrub
+module Salvage = Repro_db.Salvage
 module Rng = Repro_workload.Rng
 module Banking = Repro_workload.Banking
 module P = Repro_replication.Protocol
@@ -30,16 +34,50 @@ let random_schedule rng =
   in
   { Net.drop_rate; dup_rate; min_latency; max_latency; partitions; crashes }
 
+let random_disk_schedule rng =
+  {
+    Block.torn_write_rate = (if Rng.bool rng 0.5 then frac rng 0.0 1.0 else 0.0);
+    short_write_rate = (if Rng.bool rng 0.25 then frac rng 0.0 0.15 else 0.0);
+    bitflip_rate = (if Rng.bool rng 0.35 then frac rng 0.0 0.5 else 0.0);
+    truncate_read_rate = (if Rng.bool rng 0.3 then frac rng 0.0 0.5 else 0.0);
+    fsync_lie_rate = (if Rng.bool rng 0.3 then frac rng 0.0 0.6 else 0.0);
+    fsync_lies = [];
+  }
+
 type verdict = {
   completed : bool;
   resumed : bool;
   crashes : int;
   retries : int;
   forced : bool;
+  damaged : bool;
 }
 
 let replay_programs s0 (txns : P.base_txn list) =
   List.fold_left (fun s (bt : P.base_txn) -> Interp.apply s bt.P.program) s0 txns
+
+(* Independent replay oracle: last checkpoint (reset on the fly), then
+   after-images of committed transactions. Deliberately re-stated here
+   rather than calling the engine's own replay, so a recovery bug cannot
+   vouch for itself. *)
+let replay_wal s0 entries =
+  let committed = Hashtbl.create 32 in
+  List.iter
+    (function Wal.Commit id -> Hashtbl.replace committed id () | _ -> ())
+    entries;
+  List.fold_left
+    (fun s e ->
+      match e with
+      | Wal.Checkpoint c -> c
+      | Wal.Write (id, x, _, after) when Hashtbl.mem committed id -> State.set s x after
+      | _ -> s)
+    s0 entries
+
+let rec entries_prefix xs ys =
+  match (xs, ys) with
+  | [], _ -> true
+  | _ :: _, [] -> false
+  | x :: xs', y :: ys' -> Wal.entry_equal x y && entries_prefix xs' ys'
 
 let applied_markers engine ~sid =
   List.length
@@ -47,7 +85,7 @@ let applied_markers engine ~sid =
        (fun (s, note) -> s = sid && Session.parse_applied note <> None)
        (Engine.session_journal engine))
 
-let check_case ~seed ~schedule =
+let check_case ?disk ~seed ~schedule () =
   let rng = Rng.create seed in
   let bank = Banking.make ~n_accounts:8 in
   let s0 = Banking.initial_state bank in
@@ -58,9 +96,10 @@ let check_case ~seed ~schedule =
     Banking.random_history bank rng ~prefix:"M" ~length:tent_len ~commuting_bias:0.6
   in
   (* Two identical engines: one merges fault-free (the reference run), the
-     other through the session layer over the faulty wire. *)
-  let mk_engine () =
-    let e = Engine.create s0 in
+     other through the session layer over the faulty wire — and, with
+     [disk], through a faulty storage device as well. *)
+  let mk_engine ?device () =
+    let e = Engine.create ?device s0 in
     let records = Engine.execute_batch e (History.entries base_h) in
     let history =
       List.map2
@@ -75,8 +114,10 @@ let check_case ~seed ~schedule =
       ~base_history:ref_history ~origin:s0 ~tentative
   in
   let ref_state = Engine.state ref_engine in
-  let engine, base_history = mk_engine () in
+  let device = Option.map (fun sched -> Block.create ~seed:(seed + 2) sched) disk in
+  let engine, base_history = mk_engine ?device () in
   let pre_state = Engine.state engine in
+  let pre_durable = Wal.durable_entries (Engine.log engine) in
   let net = Net.create ~seed:(seed + 1) schedule in
   match
     Session.run_merge ~sid:1 ~net ~session:Session.default_config ~config:P.default_merge_config
@@ -92,9 +133,60 @@ let check_case ~seed ~schedule =
         crashes = res.Session.crashes;
         retries = res.Session.retries;
         forced = res.Session.forced_resolution;
+        damaged = res.Session.storage_failure;
       }
     in
     let check cond msg rest = if cond then rest () else Error msg in
+    (* With a device attached: force one final crash-restart and check
+       the corruption-safety contract — the recovered log is a verified
+       prefix of what was believed durable, the loss report is exact,
+       the rebuilt state replays from that prefix, and salvage recovers
+       exactly the same prefix from the medium. *)
+    let disk_checks () =
+      match device with
+      | None -> Ok ()
+      | Some dev ->
+        let believed = Wal.durable_entries (Engine.log engine) in
+        let recovery = Engine.crash_restart engine in
+        let surfaced = Wal.durable_entries (Engine.log engine) in
+        check
+          (entries_prefix surfaced believed)
+          "disk recovery: surfaced log is not a prefix of the believed-durable log"
+        @@ fun () ->
+        check
+          (recovery.Wal.lost_durable = List.length believed - List.length surfaced)
+          "disk recovery: lost_durable miscounts the believed-vs-recovered gap"
+        @@ fun () ->
+        check
+          (List.length surfaced = List.length believed
+          || recovery.Wal.verdict <> Wal.Clean
+          || recovery.Wal.lost_durable > 0)
+          "disk recovery: silent loss — records vanished under a Clean verdict"
+        @@ fun () ->
+        check
+          (State.equal (Engine.state engine) (replay_wal s0 surfaced))
+          "disk recovery: recovered state is not the replay of the recovered prefix"
+        @@ fun () ->
+        (* Salvage the (now truncated) medium through a faulty read: it
+           must reproduce a prefix of what recovery surfaced — exactly
+           all of it when the read happens to be faithful — and the
+           salvaged image must itself verify clean. *)
+        let snap = Block.read dev in
+        let sal = Salvage.of_string snap in
+        check
+          (entries_prefix sal.Salvage.entries surfaced)
+          "salvage: recovered entries are not a prefix of the durable log"
+        @@ fun () ->
+        check
+          ((not (String.equal snap (Block.durable_contents dev)))
+          || List.length sal.Salvage.entries = List.length surfaced)
+          "salvage: faithful read did not reproduce the full durable prefix"
+        @@ fun () ->
+        check
+          (Scrub.is_clean (Scrub.of_string sal.Salvage.output))
+          "salvage: salvaged image does not scrub clean"
+        @@ fun () -> Ok ()
+    in
     match res.Session.outcome with
     | Session.Completed report ->
       check
@@ -115,7 +207,28 @@ let check_case ~seed ~schedule =
       check
         (State.equal (Engine.recover engine) (Engine.state engine))
         "completed session: committed state not durable"
-      @@ fun () -> Ok (verdict true)
+      @@ fun () ->
+      check
+        (not res.Session.storage_failure)
+        "completed session: completed despite a detected storage failure"
+      @@ fun () -> ( match disk_checks () with Ok () -> Ok (verdict true) | Error e -> Error e)
+    | Session.Aborted _ when res.Session.storage_failure ->
+      (* The base detected durable loss and refused to continue: it must
+         hold a verified prefix of its pre-session log (the commit group,
+         marker included, must be gone), with the state replayed from
+         exactly that prefix. *)
+      let surfaced = Wal.durable_entries (Engine.log engine) in
+      check (markers = 0)
+        (Printf.sprintf "damaged abort: %d applied markers (want 0)" markers)
+      @@ fun () ->
+      check
+        (entries_prefix surfaced pre_durable)
+        "damaged abort: recovered log is not a prefix of the pre-session log"
+      @@ fun () ->
+      check
+        (State.equal (Engine.state engine) (replay_wal s0 surfaced))
+        "damaged abort: base state is not the replay of the recovered prefix"
+      @@ fun () -> ( match disk_checks () with Ok () -> Ok (verdict false) | Error e -> Error e)
     | Session.Aborted _ ->
       check
         (State.equal (Engine.state engine) pre_state)
@@ -133,7 +246,7 @@ let check_case ~seed ~schedule =
            (replay_programs s0 (base_history @ rr.P.appended))
            (Engine.state engine))
         "aborted session: reprocessing fallback not serializable"
-      @@ fun () -> Ok (verdict false))
+      @@ fun () -> ( match disk_checks () with Ok () -> Ok (verdict false) | Error e -> Error e))
 
 type sweep = {
   cases : int;
@@ -143,10 +256,11 @@ type sweep = {
   crashes : int;
   retries : int;
   forced : int;
+  damaged : int;
   failures : (int * string) list;
 }
 
-let run_sweep ~seed ~count =
+let run_sweep ?(disk = false) ~seed ~count () =
   let sched_rng = Rng.create (seed lxor 0x9e3779b9) in
   let completed = ref 0
   and aborted = ref 0
@@ -154,16 +268,19 @@ let run_sweep ~seed ~count =
   and crashes = ref 0
   and retries = ref 0
   and forced = ref 0
+  and damaged = ref 0
   and failures = ref [] in
   for i = 0 to count - 1 do
     let schedule = random_schedule sched_rng in
-    match check_case ~seed:(seed + i) ~schedule with
+    let disk_schedule = if disk then Some (random_disk_schedule sched_rng) else None in
+    match check_case ?disk:disk_schedule ~seed:(seed + i) ~schedule () with
     | Ok v ->
       if v.completed then incr completed else incr aborted;
       if v.resumed then incr resumed;
       crashes := !crashes + v.crashes;
       retries := !retries + v.retries;
-      if v.forced then incr forced
+      if v.forced then incr forced;
+      if v.damaged then incr damaged
     | Error msg -> failures := (seed + i, msg) :: !failures
   done;
   {
@@ -174,13 +291,14 @@ let run_sweep ~seed ~count =
     crashes = !crashes;
     retries = !retries;
     forced = !forced;
+    damaged = !damaged;
     failures = List.rev !failures;
   }
 
 let pp_sweep ppf s =
   Format.fprintf ppf
-    "@[<v>cases=%d completed=%d aborted=%d resumed=%d crashes=%d retries=%d forced=%d@ %a@]"
-    s.cases s.completed s.aborted s.resumed s.crashes s.retries s.forced
+    "@[<v>cases=%d completed=%d aborted=%d resumed=%d crashes=%d retries=%d forced=%d damaged=%d@ %a@]"
+    s.cases s.completed s.aborted s.resumed s.crashes s.retries s.forced s.damaged
     (Format.pp_print_list (fun ppf (seed, msg) ->
          Format.fprintf ppf "FAIL seed=%d: %s" seed msg))
     s.failures

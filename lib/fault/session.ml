@@ -7,6 +7,7 @@ module Cost = Repro_replication.Cost
 module Sync = Repro_replication.Sync
 module P = Protocol
 module Obs = Repro_obs.Obs
+module Rng = Repro_workload.Rng
 
 let obs_completed = Obs.Counter.make "fault.sessions_completed"
 let obs_aborted = Obs.Counter.make "fault.sessions_aborted"
@@ -14,6 +15,7 @@ let obs_resumed = Obs.Counter.make "fault.sessions_resumed"
 let obs_retries = Obs.Counter.make "fault.retries"
 let obs_crashes = Obs.Counter.make "fault.crashes"
 let obs_forced = Obs.Counter.make "fault.forced_resolutions"
+let obs_storage = Obs.Counter.make "fault.storage_failures"
 let obs_latency = Obs.Dist.make "fault.session_latency"
 let obs_messages = Obs.Dist.make "fault.session_messages"
 
@@ -28,6 +30,7 @@ type wire =
   | Done of { sid : int; report : Protocol.merge_report }
   | Fin of { sid : int }
   | Nack of { sid : int }
+  | Fatal of { sid : int }
 
 type config = {
   chunk : int;
@@ -36,6 +39,7 @@ type config = {
   max_retries : int;
   commit_retries : int;
   reboot_delay : float;
+  jitter : float;
 }
 
 let default_config =
@@ -46,6 +50,7 @@ let default_config =
     max_retries = 8;
     commit_retries = 20;
     reboot_delay = 0.5;
+    jitter = 0.0;
   }
 
 type outcome = Completed of Protocol.merge_report | Aborted of string
@@ -57,6 +62,7 @@ type result = {
   crashes : int;
   resumed : bool;
   forced_resolution : bool;
+  storage_failure : bool;
   elapsed : float;
 }
 
@@ -71,6 +77,7 @@ let wire_label = function
   | Done _ -> "Done"
   | Fin _ -> "Fin"
   | Nack _ -> "Nack"
+  | Fatal _ -> "Fatal"
 
 (* Approximate wire size of a message in the cost model's communication
    units; only retransmissions are charged with it — the first copy of
@@ -80,7 +87,7 @@ let wire_label = function
    the whole commit group with a single force, where the atomic protocol
    forces once for the forwarded updates plus once per re-execution.) *)
 let units_of_wire = function
-  | Hello _ | Hello_ack _ | Ship_ack _ | Merge_req _ | Fin _ | Nack _ -> 1.0
+  | Hello _ | Hello_ack _ | Ship_ack _ | Merge_req _ | Fin _ | Nack _ | Fatal _ -> 1.0
   | Ship { entries; _ } ->
     List.fold_left
       (fun acc (e : History.entry) ->
@@ -122,6 +129,7 @@ type base_session = {
 exception Base_crashed
 exception Mobile_crashed
 exception Session_lost
+exception Storage_failed
 
 let chunk_entries n entries =
   let rec take k = function
@@ -139,16 +147,20 @@ let chunk_entries n entries =
   in
   match go entries with [] -> [ [] ] | cs -> cs
 
-let run_merge ?(sid = 1) ~net ~session ~config ~params ~base ~base_history ~origin ~tentative
-    () =
+let run_merge ?(sid = 1) ?retry_seed ~net ~session ~config ~params ~base ~base_history
+    ~origin ~tentative () =
   Obs.Span.with_ ~name:"fault.session" @@ fun () ->
   let sched = Net.schedule net in
   let cost = Cost.zero () in
   let now = ref 0.0 in
+  (* Private stream for backoff jitter: seeded, so retry timing is as
+     deterministic as every other fault draw. *)
+  let jrng = Rng.create (match retry_seed with Some s -> s | None -> 0x7ea1 + (31 * sid)) in
   let retries = ref 0
   and messages = ref 0
   and crashes = ref 0
   and resumed = ref false
+  and storage_failed = ref false
   and forced = ref false in
   let base_handled = ref 0 and mobile_handled = ref 0 in
   let crash_remaining = ref sched.Net.crashes in
@@ -171,7 +183,24 @@ let run_merge ?(sid = 1) ~net ~session ~config ~params ~base ~base_history ~orig
       Obs.Event.emit ~lane:Obs.Event.Base
         ~attrs:[ ("sim_t", Obs.Event.Float !now) ]
         "crash.base";
-    Engine.crash_restart base;
+    let recovery = Engine.crash_restart base in
+    if recovery.Repro_db.Wal.lost_durable > 0 then begin
+      (* The restarted base could not recover everything it had
+         acknowledged as durable: its log — the ground truth the whole
+         session protocol leans on — is damaged. The base refuses to
+         serve this (or any resumed) session; the mobile aborts cleanly
+         and the base keeps only the verified valid prefix. *)
+      storage_failed := true;
+      Obs.Counter.incr obs_storage;
+      if Obs.Event.capturing () then
+        Obs.Event.emit ~lane:Obs.Event.Base
+          ~attrs:
+            [
+              ("lost", Obs.Event.Int recovery.Repro_db.Wal.lost_durable);
+              ("sim_t", Obs.Event.Float !now);
+            ]
+          "crash.base.storage_failed"
+    end;
     bstate := None;
     raise Base_crashed
   in
@@ -321,12 +350,12 @@ let run_merge ?(sid = 1) ~net ~session ~config ~params ~base ~base_history ~orig
       | Some _ -> ()
       | None -> nack ())
     | Fin { sid = s } -> if s = sid then bstate := None
-    | Hello_ack _ | Ship_ack _ | Outcome _ | Done _ | Nack _ -> ()
+    | Hello_ack _ | Ship_ack _ | Outcome _ | Done _ | Nack _ | Fatal _ -> ()
   in
   let base_receive msg =
     incr base_handled;
     if crash_now (Net.Base_after_handling !base_handled) then base_crash ();
-    base_handle msg
+    if !storage_failed then reply (Fatal { sid }) else base_handle msg
   in
 
   (* ------------------------------------------------------------------ *)
@@ -364,6 +393,7 @@ let run_merge ?(sid = 1) ~net ~session ~config ~params ~base ~base_history ~orig
         end;
         match msg with
         | Nack { sid = s } when s = sid -> raise Session_lost
+        | Fatal { sid = s } when s = sid -> raise Storage_failed
         | m -> ( match pred m with Some v -> Some v | None -> await deadline pred)))
     | _ ->
       now := deadline;
@@ -395,7 +425,14 @@ let run_merge ?(sid = 1) ~net ~session ~config ~params ~base ~base_history ~orig
         incr messages;
         Net.send net ~now:!now ~dst:Net.Base msg;
         let backoff = session.backoff ** float_of_int (min attempt 8) in
-        let deadline = !now +. (session.retry_timeout *. backoff) in
+        (* Seeded jitter spreads retransmission timing by up to
+           ±[session.jitter] of the nominal timeout; at the default 0.0
+           the schedule is the bare exponential. *)
+        let jitter =
+          if session.jitter = 0.0 then 1.0
+          else 1.0 +. (session.jitter *. ((2.0 *. Rng.float jrng) -. 1.0))
+        in
+        let deadline = !now +. (session.retry_timeout *. backoff *. jitter) in
         match await deadline pred with Some v -> Some v | None -> go (attempt + 1)
       end
     in
@@ -407,13 +444,41 @@ let run_merge ?(sid = 1) ~net ~session ~config ~params ~base ~base_history ~orig
   (* ------------------------------------------------------------------ *)
   let chunks = chunk_entries session.chunk (History.entries tentative) in
   let n_chunks = List.length chunks in
+  (* Once a [Forward] has been put on the wire, the base may have
+     durably committed even if no reply ever arrives — so {e every}
+     subsequent give-up is in-doubt and must be resolved through the
+     journal, not just an exhausted [Forward] retry. (A resumed session
+     restarts from [Hello]; aborting there after a successful commit
+     would be a phantom abort: the caller would fall back to
+     reprocessing a session the base already applied.) Before any
+     [Forward] was sent the base is provably untouched and giving up
+     aborts directly. *)
+  let forward_sent = ref false in
+  let give_up reason =
+    if not !forward_sent then Aborted reason
+    else begin
+      forced := true;
+      Obs.Counter.incr obs_forced;
+      if !storage_failed then Aborted "base storage corruption detected"
+      else
+        match find_applied base ~sid with
+        | Some (first, last) ->
+          let g =
+            P.analyze_graph ~strategy:config.P.strategy ~params ~cost ~base_history ~origin
+              ~tentative
+          in
+          let r = P.rewrite_local ~config ~params ~cost ~origin ~tentative ~bad:g.P.gp_bad in
+          Completed (replay_applied g r ~first ~last)
+        | None -> Aborted reason
+    end
+  in
   let mobile_run () =
     match
       rpc (Hello { sid; chunks = n_chunks }) (function
         | Hello_ack { sid = s; next } when s = sid -> Some next
         | _ -> None)
     with
-    | None -> Aborted "hello: retry budget exhausted"
+    | None -> give_up "hello: retry budget exhausted"
     | Some next -> (
       let rec ship seq =
         if seq >= n_chunks then true
@@ -428,17 +493,18 @@ let run_merge ?(sid = 1) ~net ~session ~config ~params ~base ~base_history ~orig
           | Some () -> ship (seq + 1)
           | None -> false
       in
-      if not (ship next) then Aborted "ship: retry budget exhausted"
+      if not (ship next) then give_up "ship: retry budget exhausted"
       else
         match
           rpc (Merge_req { sid }) (function
             | Outcome { sid = s; bad } when s = sid -> Some bad
             | _ -> None)
         with
-        | None -> Aborted "merge request: retry budget exhausted"
+        | None -> give_up "merge request: retry budget exhausted"
         | Some bad -> (
           (* Steps 3-4 run at the mobile. *)
           let r = P.rewrite_local ~config ~params ~cost ~origin ~tentative ~bad in
+          forward_sent := true;
           match
             rpc ~attempts:session.commit_retries (Forward { sid; rewrite = r }) (function
               | Done { sid = s; report } when s = sid -> Some report
@@ -455,6 +521,8 @@ let run_merge ?(sid = 1) ~net ~session ~config ~params ~base ~base_history ~orig
                forced before [Done] is ever sent). *)
             forced := true;
             Obs.Counter.incr obs_forced;
+            if !storage_failed then Aborted "base storage corruption detected"
+            else
             match find_applied base ~sid with
             | Some (first, last) ->
               let g =
@@ -472,6 +540,7 @@ let run_merge ?(sid = 1) ~net ~session ~config ~params ~base ~base_history ~orig
   in
   let rec attempt () =
     try mobile_run () with
+    | Storage_failed -> Aborted "base storage corruption detected"
     | Mobile_crashed ->
       now := !now +. session.reboot_delay;
       resumed := true;
@@ -499,6 +568,7 @@ let run_merge ?(sid = 1) ~net ~session ~config ~params ~base ~base_history ~orig
     crashes = !crashes;
     resumed = !resumed;
     forced_resolution = !forced;
+    storage_failure = !storage_failed;
     elapsed = !now;
   }
 

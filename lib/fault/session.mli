@@ -48,6 +48,11 @@ type wire =
   | Nack of { sid : int }
       (** base has no state for this session (it crashed): restart from
           [Hello]; the journal guarantees restart is safe *)
+  | Fatal of { sid : int }
+      (** the base restarted but could not recover everything it had
+          acknowledged as durable (storage corruption / fsync lies —
+          see {!Repro_db.Wal.reload}): the session cannot safely
+          continue and the mobile aborts cleanly *)
 
 (** Short display label of a message (["Ship[2]"], ["Done"], ...) — pass
     as [Net.create ~describe:wire_label] so the wire's trace events name
@@ -63,6 +68,11 @@ type config = {
       (** retry budget for [Forward] — higher, because giving up there
           is the in-doubt case and needs journal-peek resolution *)
   reboot_delay : float;  (** mobile crash-to-restart delay *)
+  jitter : float;
+      (** seeded multiplicative jitter on the backoff timeout: each
+          retry waits [retry_timeout * backoff^attempt * (1 ± jitter)],
+          drawn from a private deterministic stream ([?retry_seed]).
+          [0.0] (the default) keeps the bare exponential schedule *)
 }
 
 val default_config : config
@@ -80,6 +90,10 @@ type result = {
   forced_resolution : bool;
       (** the commit outcome was resolved by peeking the journal after
           the retry budget ran out (in-doubt window) *)
+  storage_failure : bool;
+      (** a base crash-restart lost believed-durable log records
+          ({!Repro_db.Wal.recovery}): the base refused to continue and
+          the session aborted *)
   elapsed : float;  (** simulated session duration *)
 }
 
@@ -92,6 +106,7 @@ type result = {
     additionally charges retransmissions and recovery recomputation. *)
 val run_merge :
   ?sid:int ->
+  ?retry_seed:int ->
   net:wire Net.t ->
   session:config ->
   config:Protocol.merge_config ->

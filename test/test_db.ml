@@ -1,11 +1,16 @@
 (* Tests for the single-node engine: WAL bookkeeping, batch forcing,
    forwarded-update application, physical undo, checkpointing and crash
-   recovery. *)
+   recovery — plus the corruption-safe storage layer: the fault-injecting
+   block device, the checksummed on-disk format, corruption-detecting
+   recovery, and scrub/salvage. *)
 
 open Repro_txn
 open Repro_history
 module Engine = Repro_db.Engine
 module Wal = Repro_db.Wal
+module Block = Repro_db.Block
+module Scrub = Repro_db.Scrub
+module Salvage = Repro_db.Salvage
 module G = Test_support.Generators
 
 let checki = Alcotest.check Alcotest.int
@@ -94,7 +99,7 @@ let test_torn_batch_lost_atomically () =
   ignore (Engine.execute_batch ~force:false e entries);
   check_state "live state has the batch" (State.of_list [ ("a", 16); ("b", 21); ("c", 31) ])
     (Engine.state e);
-  Engine.crash_restart e;
+  ignore (Engine.crash_restart e : Wal.recovery);
   check_state "the whole batch vanished" (State.of_list [ ("a", 15); ("b", 20); ("c", 30) ])
     (Engine.state e);
   (* the restarted engine keeps working, and new commits are durable *)
@@ -108,13 +113,13 @@ let test_session_journal_commit_group () =
   ignore (Engine.execute ~durably:false e (inc "T1" "a" 1));
   Engine.journal e ~session:7 "applied 1 1";
   checkb "marker not durable before force" true (Engine.session_journal e = []);
-  Engine.crash_restart e;
+  ignore (Engine.crash_restart e : Wal.recovery);
   checkb "crash loses marker and effects together" true
     (Engine.session_journal e = [] && State.equal s0 (Engine.state e));
   ignore (Engine.execute ~durably:false e (inc "T2" "a" 1));
   Engine.journal e ~session:7 "applied 2 2";
   Engine.force e;
-  Engine.crash_restart e;
+  ignore (Engine.crash_restart e : Wal.recovery);
   checkb "after the force both survive" true
     (Engine.session_journal e = [ (7, "applied 2 2") ]
     && State.equal (State.of_list [ ("a", 11); ("b", 20); ("c", 30) ]) (Engine.state e))
@@ -186,6 +191,409 @@ let test_undo_is_logged_and_recoverable () =
   Engine.undo e r;
   check_state "undo recovers too" (Engine.state e) (Engine.recover e)
 
+(* ------------------------------------------------------------------ *)
+(* Block device: the fault-injecting disk                             *)
+(* ------------------------------------------------------------------ *)
+
+let is_string_prefix s full =
+  String.length s <= String.length full && String.equal s (String.sub full 0 (String.length s))
+
+let test_block_faithful_roundtrip () =
+  let d = Block.create Block.faithful in
+  Block.append d "hello\n";
+  checki "volatile until sync" 0 (Block.durable_length d);
+  Block.sync d;
+  checkb "synced bytes durable" true (String.equal (Block.durable_contents d) "hello\n");
+  Block.append d "tail\n";
+  Block.crash d;
+  checkb "unsynced tail lost whole" true (String.equal (Block.contents d) "hello\n");
+  checkb "read is faithful" true (String.equal (Block.read d) "hello\n")
+
+let test_block_scripted_fsync_lie () =
+  let d = Block.create { Block.faithful with Block.fsync_lies = [ 2 ] } in
+  Block.append d "a\n";
+  Block.sync d;
+  (* sync #2 lies: acknowledged, but the durable mark must not move *)
+  Block.append d "b\n";
+  Block.sync d;
+  checki "lie counted" 1 (Block.stats d).Block.lies_told;
+  checki "durable mark did not advance" 2 (Block.durable_length d);
+  Block.crash d;
+  checkb "acknowledged write gone after the crash" true (String.equal (Block.contents d) "a\n");
+  (* a later honest sync hardens everything that is still there *)
+  Block.append d "c\n";
+  Block.sync d;
+  checki "honest sync recovers durability" 4 (Block.durable_length d)
+
+let test_block_short_write () =
+  let d = Block.create ~seed:5 { Block.faithful with Block.short_write_rate = 1.0 } in
+  Block.append d "0123456789";
+  checkb "only a prefix persisted" true (Block.length d < 10);
+  checkb "what persisted is a prefix" true (is_string_prefix (Block.contents d) "0123456789");
+  checki "short write counted" 1 (Block.stats d).Block.short_writes
+
+let test_block_torn_crash () =
+  let d = Block.create ~seed:7 { Block.faithful with Block.torn_write_rate = 1.0 } in
+  Block.append d "base\n";
+  Block.sync d;
+  Block.append d "0123456789";
+  let pre = Block.contents d in
+  Block.crash d;
+  let c = Block.contents d in
+  checki "torn crash counted" 1 (Block.stats d).Block.torn_crashes;
+  checkb "a nonempty prefix of the tail survived" true (String.length c > 5);
+  checkb "the medium is a prefix of what was written" true (is_string_prefix c pre)
+
+let test_block_read_faults_leave_medium () =
+  let d = Block.create ~seed:11 { Block.faithful with Block.bitflip_rate = 1.0 } in
+  Block.append d "a quick brown fox\n";
+  Block.sync d;
+  let faithful = Block.contents d in
+  let snap = Block.read d in
+  checkb "the snapshot was damaged" false (String.equal snap faithful);
+  checkb "the medium itself is untouched" true (String.equal (Block.contents d) faithful);
+  checkb "read fault counted" true ((Block.stats d).Block.read_faults > 0)
+
+let test_block_deterministic () =
+  let run () =
+    let d =
+      Block.create ~seed:3
+        {
+          Block.faithful with
+          Block.short_write_rate = 0.5;
+          bitflip_rate = 0.5;
+          truncate_read_rate = 0.5;
+          fsync_lie_rate = 0.5;
+          torn_write_rate = 0.5;
+        }
+    in
+    for i = 0 to 9 do
+      Block.append d (Printf.sprintf "line %d\n" i);
+      if i mod 3 = 0 then Block.sync d
+    done;
+    let r1 = Block.read d in
+    Block.crash d;
+    (r1, Block.read d, Block.contents d, Block.stats d)
+  in
+  checkb "same seed, same fault trace" true (run () = run ())
+
+let test_block_truncate () =
+  let d = Block.create Block.faithful in
+  Block.append d "abcdef";
+  Block.sync d;
+  Block.truncate d 3;
+  checkb "bytes discarded" true (String.equal (Block.contents d) "abc");
+  checki "rest marked durable" 3 (Block.durable_length d);
+  Block.truncate d 100;
+  checkb "past-the-end truncate is a no-op" true (String.equal (Block.contents d) "abc")
+
+(* ------------------------------------------------------------------ *)
+(* On-disk format v2: verified decoding                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Craft a log image by hand: header, checksummed records, one barrier
+   covering all entries. *)
+let image_of_payloads payloads =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf Wal.format_header;
+  Buffer.add_char buf '\n';
+  List.iteri
+    (fun seq payload ->
+      Buffer.add_string buf (Wal.record_line ~seq payload);
+      Buffer.add_char buf '\n')
+    payloads;
+  Buffer.contents buf
+
+let image_of_entries entries =
+  image_of_payloads
+    (List.map Wal.entry_to_line entries @ [ Printf.sprintf "barrier %d" (List.length entries) ])
+
+let expect_decode raw =
+  match Wal.decode raw with Ok d -> d | Error msg -> Alcotest.failf "decode failed: %s" msg
+
+let rec entries_prefix xs ys =
+  match (xs, ys) with
+  | [], _ -> true
+  | _ :: _, [] -> false
+  | x :: xs', y :: ys' -> Wal.entry_equal x y && entries_prefix xs' ys'
+
+let test_decode_empty_image () =
+  let d = expect_decode "" in
+  checkb "no entries" true (d.Wal.d_entries = []);
+  checkb "empty decodes as a torn-but-lossless tail" true (d.Wal.d_verdict = Wal.Torn_tail 0)
+
+let test_decode_clean_image () =
+  let entries = [ Wal.Begin 1; Wal.Write (1, "a", 10, 15); Wal.Commit 1 ] in
+  let d = expect_decode (image_of_entries entries) in
+  checkb "clean" true (d.Wal.d_verdict = Wal.Clean);
+  checkb "all entries surfaced" true
+    (List.length d.Wal.d_entries = 3 && entries_prefix d.Wal.d_entries entries);
+  checki "nothing dropped" 0 d.Wal.d_dropped
+
+let test_decode_respects_barrier_coverage () =
+  (* Valid entries beyond the last valid barrier are NOT durable: a force's
+     records and its barrier harden together. *)
+  let p1 = [ Wal.entry_to_line (Wal.Begin 1); Wal.entry_to_line (Wal.Commit 1); "barrier 2" ] in
+  let p2 = [ Wal.entry_to_line (Wal.Begin 2); Wal.entry_to_line (Wal.Abort 2); "barrier 4" ] in
+  let raw = image_of_payloads (p1 @ p2) in
+  (* cut into the second barrier record: the whole second group must drop *)
+  let torn = String.sub raw 0 (String.length raw - 4) in
+  let d = expect_decode torn in
+  (match d.Wal.d_verdict with
+  | Wal.Torn_tail n -> checki "three record lines discarded" 3 n
+  | v -> Alcotest.failf "want torn tail, got %s" (Format.asprintf "%a" Wal.pp_verdict v));
+  checkb "only the first barrier's entries survive" true
+    (List.length d.Wal.d_entries = 2
+    && entries_prefix d.Wal.d_entries [ Wal.Begin 1; Wal.Commit 1 ]);
+  checkb "the cut transaction is reported lost" true (List.mem 2 d.Wal.d_lost_txids)
+
+let test_decode_duplicate_sequence () =
+  (* A replayed/duplicated record carries a stale sequence number; with a
+     self-valid record after it this is interior damage, not a torn tail. *)
+  let raw =
+    String.concat "\n"
+      [
+        Wal.format_header;
+        Wal.record_line ~seq:0 (Wal.entry_to_line (Wal.Begin 1));
+        Wal.record_line ~seq:0 (Wal.entry_to_line (Wal.Begin 1));
+        Wal.record_line ~seq:2 (Wal.entry_to_line (Wal.Commit 1));
+        "";
+      ]
+  in
+  match (expect_decode raw).Wal.d_verdict with
+  | Wal.Corrupt { seq; reason } ->
+    checki "damage located at the duplicate" 1 seq;
+    checkb "classified as a sequence error" true
+      (String.length reason >= 8 && String.sub reason 0 8 = "sequence")
+  | v -> Alcotest.failf "want corrupt, got %s" (Format.asprintf "%a" Wal.pp_verdict v)
+
+let test_decode_interior_flip_is_corrupt () =
+  let entries = [ Wal.Begin 1; Wal.Commit 1; Wal.Begin 2; Wal.Commit 2 ] in
+  let raw = image_of_entries entries in
+  (* flip one payload character of the first record; later records stay
+     valid, so this must classify as interior corruption *)
+  let b = Bytes.of_string raw in
+  let pos = String.length Wal.format_header + 1 + String.length (Wal.record_line ~seq:0 "") in
+  Bytes.set b pos (if Bytes.get b pos = 'x' then 'y' else 'x');
+  let d = expect_decode (Bytes.to_string b) in
+  (match d.Wal.d_verdict with
+  | Wal.Corrupt { seq = 0; _ } -> ()
+  | v -> Alcotest.failf "want corrupt at record 0, got %s" (Format.asprintf "%a" Wal.pp_verdict v));
+  checkb "nothing surfaced past the damage" true (d.Wal.d_entries = [])
+
+let test_decode_mid_record_tear () =
+  let entries = [ Wal.Begin 1; Wal.Commit 1 ] in
+  let raw = image_of_entries entries in
+  (* drop the trailing newline and a few bytes: the only barrier is cut,
+     so nothing is covered and every record line counts as dropped *)
+  let torn = String.sub raw 0 (String.length raw - 3) in
+  let d = expect_decode torn in
+  (match d.Wal.d_verdict with
+  | Wal.Torn_tail 3 -> ()
+  | v -> Alcotest.failf "want torn tail 3, got %s" (Format.asprintf "%a" Wal.pp_verdict v));
+  checkb "uncovered entries not surfaced" true (d.Wal.d_entries = [])
+
+let test_decode_torn_header () =
+  (* a torn write of the header line itself is an empty log, not garbage *)
+  let d = expect_decode (String.sub Wal.format_header 0 6) in
+  checkb "torn header is an empty log" true
+    (d.Wal.d_entries = [] && d.Wal.d_verdict = Wal.Torn_tail 1);
+  match Wal.decode "definitely not a wal\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected an unrecognizable-header error"
+
+let test_decode_bad_barrier_coverage () =
+  let raw =
+    image_of_payloads [ Wal.entry_to_line (Wal.Begin 1); "barrier 5" ]
+  in
+  let d = expect_decode raw in
+  checkb "over-claiming barrier rejected" true
+    (match d.Wal.d_verdict with Wal.Torn_tail _ | Wal.Corrupt _ -> true | Wal.Clean -> false);
+  checkb "its entries are not durable" true (d.Wal.d_entries = [])
+
+(* ------------------------------------------------------------------ *)
+(* Device-backed recovery through Engine/Wal.reload                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_engine_device_clean_recovery () =
+  let dev = Block.create Block.faithful in
+  let e = Engine.create ~device:dev s0 in
+  ignore (Engine.execute e (inc "T1" "a" 5));
+  ignore (Engine.execute ~durably:false e (inc "T2" "b" 7));
+  let r = Engine.crash_restart e in
+  checkb "clean verdict" true (r.Wal.verdict = Wal.Clean);
+  checki "no durable loss" 0 r.Wal.lost_durable;
+  check_state "forced commit survived, unforced did not"
+    (State.of_list [ ("a", 15); ("b", 20); ("c", 30) ])
+    (Engine.state e);
+  (* the reloaded engine keeps writing through the same device *)
+  ignore (Engine.execute e (inc "T3" "c" 1));
+  let r2 = Engine.crash_restart e in
+  checkb "still clean after more traffic" true (r2.Wal.verdict = Wal.Clean && r2.Wal.lost_durable = 0);
+  checki "post-restart commit durable" 31 (State.get (Engine.state e) "c")
+
+let test_engine_device_fsync_lie_detected () =
+  (* Syncs: attach #1, initial checkpoint force #2, T1's force #3 (lies).
+     The crash then eats T1 wholesale — a Clean-looking log — and the
+     believed-durable counter is what exposes the loss. *)
+  let dev = Block.create { Block.faithful with Block.fsync_lies = [ 3 ] } in
+  let e = Engine.create ~device:dev s0 in
+  ignore (Engine.execute e (inc "T1" "a" 5));
+  let r = Engine.crash_restart e in
+  checkb "verdict alone cannot see a lie" true (r.Wal.verdict = Wal.Clean);
+  checki "but the believed-durable gap can: begin+read+write+commit lost" 4 r.Wal.lost_durable;
+  check_state "state rolled back to the last honest sync" s0 (Engine.state e)
+
+let test_engine_device_torn_force_recovers_prefix () =
+  (* A lying sync leaves the force's records in the page cache; a torn
+     crash then keeps a partial prefix of them. Recovery must classify
+     the tear, drop the partial group, and report the loss. *)
+  let dev =
+    Block.create ~seed:13
+      { Block.faithful with Block.fsync_lies = [ 3 ]; Block.torn_write_rate = 1.0 }
+  in
+  let e = Engine.create ~device:dev s0 in
+  ignore (Engine.execute e (inc "T1" "a" 5));
+  let r = Engine.crash_restart e in
+  checkb "loss detected" true (r.Wal.lost_durable = 4);
+  checkb "not silently clean with bytes torn mid-group" true
+    (match r.Wal.verdict with
+    | Wal.Torn_tail _ -> true
+    | Wal.Clean -> (Block.stats dev).Block.torn_crashes = 0
+    | Wal.Corrupt _ -> false);
+  check_state "half a commit group never surfaces" s0 (Engine.state e);
+  (* the truncated device now reads back clean *)
+  checkb "medium scrubs clean after recovery truncation" true
+    (Scrub.is_clean (Scrub.of_string (Block.contents dev)))
+
+(* ------------------------------------------------------------------ *)
+(* Scrub / salvage                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_scrub_reports () =
+  let entries = [ Wal.Begin 1; Wal.Commit 1 ] in
+  let raw = image_of_entries entries in
+  let clean = Scrub.of_string raw in
+  checkb "clean image is clean" true (Scrub.is_clean clean);
+  checki "entries counted" 2 clean.Scrub.entries;
+  checki "barriers counted" 1 clean.Scrub.barriers;
+  let damaged = Scrub.of_string (String.sub raw 0 (String.length raw - 2)) in
+  checkb "torn image is not clean" false (Scrub.is_clean damaged);
+  let garbage = Scrub.of_string "???\n" in
+  checkb "garbage reports corrupt instead of raising" true
+    (match garbage.Scrub.verdict with Wal.Corrupt _ -> true | _ -> false)
+
+let test_salvage_identity_on_clean () =
+  let raw = image_of_entries [ Wal.Begin 1; Wal.Write (1, "a", 0, 1); Wal.Commit 1 ] in
+  let o = Salvage.of_string raw in
+  checkb "salvaging an undamaged log is the identity" true (String.equal o.Salvage.output raw);
+  checki "nothing dropped" 0 o.Salvage.dropped
+
+let test_salvage_recovers_longest_valid_prefix () =
+  let p1 = [ Wal.entry_to_line (Wal.Begin 1); Wal.entry_to_line (Wal.Commit 1); "barrier 2" ] in
+  let p2 = [ Wal.entry_to_line (Wal.Begin 2); Wal.entry_to_line (Wal.Commit 2); "barrier 4" ] in
+  let raw = image_of_payloads (p1 @ p2) in
+  let torn = String.sub raw 0 (String.length raw - 5) in
+  let o = Salvage.of_string torn in
+  checkb "output is the verified byte prefix" true (is_string_prefix o.Salvage.output torn);
+  checki "first group recovered" 2 (List.length o.Salvage.entries);
+  checkb "lost transaction identified" true (List.mem 2 o.Salvage.lost_txids);
+  checkb "salvaged image scrubs clean" true (Scrub.is_clean (Scrub.of_string o.Salvage.output));
+  (* headerless garbage salvages to a fresh empty log *)
+  let o2 = Salvage.of_string "???" in
+  checkb "no header: fresh empty log" true
+    (String.equal o2.Salvage.output (Wal.format_header ^ "\n"))
+
+(* ------------------------------------------------------------------ *)
+(* Typed line-codec errors                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_entry_of_line_typed_errors () =
+  let expect line pred name =
+    match Wal.entry_of_line line with
+    | Ok _ -> Alcotest.failf "%s: expected a parse error for %S" name line
+    | Error e -> checkb name true (pred e)
+  in
+  expect "frob 1" (function Wal.Unknown_record _ -> true | _ -> false) "unknown record";
+  expect "begin zz"
+    (function Wal.Bad_int { field = "begin txid"; value = "zz" } -> true | _ -> false)
+    "bad begin txid";
+  expect "begin 0x10" (function Wal.Bad_int _ -> true | _ -> false) "no hex literals";
+  expect "begin 99999999999999999999999"
+    (function Wal.Bad_int _ -> true | _ -> false)
+    "overflow rejected";
+  expect "read 1 a 1 2" (function Wal.Unknown_record _ -> true | _ -> false) "arity enforced";
+  expect "write 1 a 0 nope"
+    (function Wal.Bad_int { field = "write after-image"; _ } -> true | _ -> false)
+    "bad after-image";
+  expect "checkpoint a=1,b=x" (function Wal.Bad_state "b=x" -> true | _ -> false) "bad binding";
+  expect "checkpoint =1,a=2" (function Wal.Bad_state _ -> true | _ -> false) "empty item name";
+  checkb "messages render" true
+    (String.length (Wal.string_of_parse_error (Wal.Bad_item "a b")) > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Format properties                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let entry_gen =
+  let open QCheck.Gen in
+  let item = oneofl [ "a"; "b"; "c"; "d" ] in
+  let id = map (fun n -> n mod 1000) nat in
+  let v = map (fun n -> (n mod 2001) - 1000) nat in
+  oneof
+    [
+      map (fun i -> Wal.Begin i) id;
+      map3 (fun i x value -> Wal.Read (i, x, value)) id item v;
+      map (fun ((i, x), (b, a)) -> Wal.Write (i, x, b, a)) (pair (pair id item) (pair v v));
+      map (fun i -> Wal.Commit i) id;
+      map (fun i -> Wal.Abort i) id;
+      map (fun s -> Wal.Checkpoint s) G.state_gen;
+      map2
+        (fun i (a, b) -> Wal.Session (i, Printf.sprintf "applied %d %d" a b))
+        id (pair small_nat small_nat);
+    ]
+
+let prop_entry_line_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"entry_to_line / entry_of_line roundtrip"
+    (QCheck.make entry_gen)
+    (fun e ->
+      match Wal.entry_of_line (Wal.entry_to_line e) with
+      | Ok e' -> Wal.entry_equal e e'
+      | Error err -> QCheck.Test.fail_report (Wal.string_of_parse_error err))
+
+let prop_mutation_never_silent =
+  (* Flip any single byte of a valid image to any character: decoding must
+     either reject the image or surface a strict structural prefix of the
+     original entries — never different data. *)
+  QCheck.Test.make ~count:500 ~name:"one-byte mutation: decode rejects or yields a prefix"
+    (QCheck.triple
+       (QCheck.make (QCheck.Gen.list_size (QCheck.Gen.int_range 1 8) entry_gen))
+       QCheck.small_nat QCheck.small_nat)
+    (fun (entries, pos, repl) ->
+      let raw = image_of_entries entries in
+      let b = Bytes.of_string raw in
+      let pos = pos mod Bytes.length b in
+      Bytes.set b pos (Char.chr (32 + (repl mod 95)));
+      match Wal.decode (Bytes.to_string b) with
+      | Error _ -> true
+      | Ok d -> entries_prefix d.Wal.d_entries entries)
+
+let prop_durable_image_decodes_clean =
+  (* Whatever the engine forces through a faithful device always reads
+     back Clean and surfaces exactly the durable entries. *)
+  QCheck.Test.make ~count:100 ~name:"forced image decodes clean to the durable entries"
+    (QCheck.pair (QCheck.make G.state_gen) (QCheck.make (G.history_gen ~length:5)))
+    (fun (s0, h) ->
+      let dev = Block.create Block.faithful in
+      let e = Engine.create ~device:dev s0 in
+      List.iter (fun p -> ignore (Engine.execute e p)) (History.programs h);
+      match Wal.decode (Block.contents dev) with
+      | Error _ -> false
+      | Ok d ->
+        d.Wal.d_verdict = Wal.Clean
+        && List.length d.Wal.d_entries = List.length (Wal.durable_entries (Engine.log e))
+        && entries_prefix d.Wal.d_entries (Wal.durable_entries (Engine.log e)))
+
 (* persistence *)
 
 let with_temp_file f =
@@ -207,7 +615,7 @@ let test_wal_line_roundtrip () =
     (fun e ->
       match Wal.entry_of_line (Wal.entry_to_line e) with
       | Ok e' -> checkb "roundtrip" true (e = e')
-      | Error msg -> Alcotest.fail msg)
+      | Error err -> Alcotest.fail (Wal.string_of_parse_error err))
     entries;
   (match Wal.entry_of_line "write nope" with
   | Error _ -> ()
@@ -226,7 +634,8 @@ let test_persist_restart_roundtrip () =
       Engine.persist e ~path;
       match Engine.restart ~path with
       | Error msg -> Alcotest.fail msg
-      | Ok e' ->
+      | Ok (e', verdict) ->
+        checkb "undamaged file restarts clean" true (verdict = Wal.Clean);
         check_state "restart = recover" (Engine.recover e) (Engine.state e');
         check_state "durable effects present"
           (State.of_list [ ("a", 15); ("b", 27); ("c", 30) ])
@@ -242,6 +651,30 @@ let test_restart_rejects_garbage () =
       | Error _ -> ()
       | Ok _ -> Alcotest.fail "expected an error")
 
+let test_restart_empty_file () =
+  with_temp_file (fun path ->
+      Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc "");
+      match Wal.load ~path with
+      | Error msg -> Alcotest.fail msg
+      | Ok (entries, verdict) ->
+        checkb "an empty file is an empty log" true
+          (entries = [] && verdict = Wal.Torn_tail 0))
+
+let test_load_reports_torn_file () =
+  with_temp_file (fun path ->
+      let e = Engine.create s0 in
+      ignore (Engine.execute e (inc "T1" "a" 5));
+      Engine.persist e ~path;
+      let raw = In_channel.with_open_text path In_channel.input_all in
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc (String.sub raw 0 (String.length raw - 4)));
+      match Wal.load ~path with
+      | Error msg -> Alcotest.fail msg
+      | Ok (entries, verdict) ->
+        checkb "tear reported" true (match verdict with Wal.Torn_tail _ -> true | _ -> false);
+        checkb "only barrier-covered entries load" true
+          (List.length entries < Wal.length (Engine.log e)))
+
 let prop_persist_restart_equals_live_state =
   QCheck.Test.make ~count:100 ~name:"persist + restart = live state (all commits forced)"
     (QCheck.pair (QCheck.make G.state_gen) (QCheck.make (G.history_gen ~length:5)))
@@ -252,7 +685,7 @@ let prop_persist_restart_equals_live_state =
           Engine.persist e ~path;
           match Engine.restart ~path with
           | Error _ -> false
-          | Ok e' -> State.equal (Engine.state e) (Engine.state e')))
+          | Ok (e', verdict) -> verdict = Wal.Clean && State.equal (Engine.state e) (Engine.state e')))
 
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
@@ -280,11 +713,53 @@ let () =
         @ qsuite [ prop_recovery_equals_state_when_forced ] );
       ( "wal",
         [ Alcotest.test_case "durability bookkeeping" `Quick test_wal_durability_bookkeeping ] );
+      ( "block",
+        [
+          Alcotest.test_case "faithful roundtrip" `Quick test_block_faithful_roundtrip;
+          Alcotest.test_case "scripted fsync lie" `Quick test_block_scripted_fsync_lie;
+          Alcotest.test_case "short write" `Quick test_block_short_write;
+          Alcotest.test_case "torn crash" `Quick test_block_torn_crash;
+          Alcotest.test_case "read faults leave the medium" `Quick
+            test_block_read_faults_leave_medium;
+          Alcotest.test_case "deterministic" `Quick test_block_deterministic;
+          Alcotest.test_case "truncate" `Quick test_block_truncate;
+        ] );
+      ( "format",
+        [
+          Alcotest.test_case "empty image" `Quick test_decode_empty_image;
+          Alcotest.test_case "clean image" `Quick test_decode_clean_image;
+          Alcotest.test_case "barrier coverage" `Quick test_decode_respects_barrier_coverage;
+          Alcotest.test_case "duplicate sequence" `Quick test_decode_duplicate_sequence;
+          Alcotest.test_case "interior flip is corrupt" `Quick test_decode_interior_flip_is_corrupt;
+          Alcotest.test_case "mid-record tear" `Quick test_decode_mid_record_tear;
+          Alcotest.test_case "torn header" `Quick test_decode_torn_header;
+          Alcotest.test_case "bad barrier coverage" `Quick test_decode_bad_barrier_coverage;
+          Alcotest.test_case "typed parse errors" `Quick test_entry_of_line_typed_errors;
+        ]
+        @ qsuite
+            [ prop_entry_line_roundtrip; prop_mutation_never_silent; prop_durable_image_decodes_clean ]
+      );
+      ( "device recovery",
+        [
+          Alcotest.test_case "clean recovery" `Quick test_engine_device_clean_recovery;
+          Alcotest.test_case "fsync lie detected" `Quick test_engine_device_fsync_lie_detected;
+          Alcotest.test_case "torn force recovers prefix" `Quick
+            test_engine_device_torn_force_recovers_prefix;
+        ] );
+      ( "scrub/salvage",
+        [
+          Alcotest.test_case "scrub reports" `Quick test_scrub_reports;
+          Alcotest.test_case "salvage identity on clean" `Quick test_salvage_identity_on_clean;
+          Alcotest.test_case "salvage recovers longest valid prefix" `Quick
+            test_salvage_recovers_longest_valid_prefix;
+        ] );
       ( "persistence",
         [
           Alcotest.test_case "line roundtrip" `Quick test_wal_line_roundtrip;
           Alcotest.test_case "persist/restart" `Quick test_persist_restart_roundtrip;
           Alcotest.test_case "garbage rejected" `Quick test_restart_rejects_garbage;
+          Alcotest.test_case "empty file" `Quick test_restart_empty_file;
+          Alcotest.test_case "torn file reported" `Quick test_load_reports_torn_file;
         ]
         @ qsuite [ prop_persist_restart_equals_live_state ] );
     ]

@@ -7,10 +7,12 @@
 open Repro_txn
 open Repro_history
 module Engine = Repro_db.Engine
+module Block = Repro_db.Block
 module Rng = Repro_workload.Rng
 module Banking = Repro_workload.Banking
 module P = Repro_replication.Protocol
 module Cost = Repro_replication.Cost
+module Sync = Repro_replication.Sync
 module Net = Repro_fault.Net
 module Session = Repro_fault.Session
 module Nemesis = Repro_fault.Nemesis
@@ -209,6 +211,107 @@ let test_session_drop_everything_aborts () =
   in
   checkb "reprocessing fallback proceeds" true (List.length rr.P.txns > 0)
 
+let test_session_storage_loss_aborts_untouched () =
+  (* The commit group's force (device sync #4: attach, initial checkpoint,
+     base-history batch, then the commit) lies, and the base crashes right
+     after committing. Reload loses the whole group — journal marker
+     included — and detects the believed-durable gap: the session must
+     abort with the base rolled back to its pre-session state, never
+     resolve the in-doubt commit as applied. *)
+  let rng = Rng.create 21 in
+  let bank = Banking.make ~n_accounts:8 in
+  let s0 = Banking.initial_state bank in
+  let base_h = Banking.random_history bank rng ~prefix:"B" ~length:5 ~commuting_bias:0.5 in
+  let tentative = Banking.random_history bank rng ~prefix:"M" ~length:7 ~commuting_bias:0.5 in
+  let device = Block.create { Block.faithful with Block.fsync_lies = [ 4 ] } in
+  let engine = Engine.create ~device s0 in
+  let records = Engine.execute_batch engine (History.entries base_h) in
+  let base_history =
+    List.map2 (fun p record -> { P.program = p; record }) (History.programs base_h) records
+  in
+  let pre = Engine.state engine in
+  let net = Net.create ~seed:3 { Net.ideal with Net.crashes = [ Net.Base_after_commit ] } in
+  let res =
+    Session.run_merge ~net ~session:Session.default_config ~config:P.default_merge_config
+      ~params:Cost.default_params ~base:engine ~base_history ~origin:s0 ~tentative ()
+  in
+  (match res.Session.outcome with
+  | Session.Aborted _ -> ()
+  | Session.Completed _ -> Alcotest.fail "phantom commit: completed on lost storage");
+  checkb "flagged as a storage failure" true res.Session.storage_failure;
+  checki "no applied marker" 0 (markers engine);
+  check_state "base rolled back to the pre-session state" pre (Engine.state engine);
+  checkb "a crash was injected" true (res.Session.crashes > 0)
+
+let test_dead_link_aborts_counted_in_sync () =
+  (* Regression for the retransmission cap: on a dead link every session
+     must exhaust its bounded retries and abort cleanly, the simulator
+     must count each abort in [aborted_merges], and the reprocessing
+     fallback must keep the system serializable. *)
+  let bank = Banking.make ~n_accounts:8 in
+  let workload =
+    {
+      Sync.initial = Banking.initial_state bank;
+      Sync.make_mobile_txn =
+        (fun rng ~name -> Banking.random_transaction bank rng ~name ~commuting_bias:0.8);
+      Sync.make_base_txn =
+        (fun rng ~name -> Banking.random_transaction bank rng ~name ~commuting_bias:0.8);
+    }
+  in
+  let session =
+    { Session.default_config with Session.retry_timeout = 0.05; max_retries = 3; commit_retries = 3 }
+  in
+  let runner, totals =
+    Session.sync_runner ~schedule:(Net.lossy ~drop_rate:1.0) ~session ~net_seed:77 ()
+  in
+  let stats =
+    Sync.run
+      {
+        Sync.default_config with
+        Sync.duration = 120.0;
+        Sync.window = 30.0;
+        Sync.seed = 5;
+        Sync.protocol = Sync.Merging P.default_merge_config;
+        Sync.merge_runner = Some runner;
+      }
+      workload
+  in
+  checkb "sessions were attempted" true (totals.Session.sessions > 0);
+  checki "every session hit the retry cap and aborted" totals.Session.sessions
+    totals.Session.aborted;
+  checki "each abort counted by the simulator" totals.Session.aborted stats.Sync.aborted_merges;
+  checki "nothing saved over a dead link" 0 stats.Sync.saved;
+  checki "fallback kept the system serializable" 0 stats.Sync.serializability_violations
+
+let test_session_backoff_jitter_deterministic () =
+  let fx = fixture 16 in
+  let session = { Session.default_config with Session.jitter = 0.3 } in
+  let lossy = Net.lossy ~drop_rate:0.4 in
+  let run retry_seed =
+    let s0, tentative, mk = fx in
+    let engine, base_history = mk () in
+    let net = Net.create ~seed:4 lossy in
+    let res =
+      Session.run_merge ~retry_seed ~net ~session ~config:P.default_merge_config
+        ~params:Cost.default_params ~base:engine ~base_history ~origin:s0 ~tentative ()
+    in
+    (res, engine)
+  in
+  let r1, e1 = run 9 in
+  let r2, e2 = run 9 in
+  ignore (expect_completed r1);
+  checkb "retries happened" true (r1.Session.retries > 0);
+  checkb "same retry seed, same timing trace" true
+    (r1.Session.retries = r2.Session.retries && r1.Session.elapsed = r2.Session.elapsed);
+  check_state "same final state" (Engine.state e1) (Engine.state e2);
+  (* jitter perturbs the retransmission timing but not correctness *)
+  let r0, _ =
+    run_session ~session:{ session with Session.jitter = 0.0 } ~schedule:lossy ~net_seed:4 fx
+  in
+  ignore (expect_completed r0);
+  checkb "jittered timing differs from the bare exponential" true
+    (r1.Session.elapsed <> r0.Session.elapsed)
+
 (* ------------------------------------------------------------------ *)
 (* Nemesis                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -218,16 +321,34 @@ let prop_nemesis_exactly_once =
     QCheck.(pair small_nat small_nat)
     (fun (a, b) ->
       let schedule = Nemesis.random_schedule (Rng.create (1 + (131 * a) + b)) in
-      match Nemesis.check_case ~seed:(100 + b) ~schedule with
+      match Nemesis.check_case ~seed:(100 + b) ~schedule () with
+      | Ok _ -> true
+      | Error msg -> QCheck.Test.fail_report msg)
+
+let prop_nemesis_disk_corruption_safe =
+  QCheck.Test.make ~count:40 ~name:"nemesis: corruption-safe under combined disk+net faults"
+    QCheck.(pair small_nat small_nat)
+    (fun (a, b) ->
+      let rng = Rng.create (7 + (131 * a) + b) in
+      let schedule = Nemesis.random_schedule rng in
+      let disk = Nemesis.random_disk_schedule rng in
+      match Nemesis.check_case ~disk ~seed:(500 + b) ~schedule () with
       | Ok _ -> true
       | Error msg -> QCheck.Test.fail_report msg)
 
 let test_nemesis_sweep_clean () =
-  let sweep = Nemesis.run_sweep ~seed:2026 ~count:30 in
+  let sweep = Nemesis.run_sweep ~seed:2026 ~count:30 () in
   checki "no violations" 0 (List.length sweep.Nemesis.failures);
   checki "all cases accounted" sweep.Nemesis.cases
     (sweep.Nemesis.completed + sweep.Nemesis.aborted);
   checkb "faults actually fired" true (sweep.Nemesis.retries > 0 || sweep.Nemesis.crashes > 0)
+
+let test_nemesis_disk_sweep_clean () =
+  let sweep = Nemesis.run_sweep ~disk:true ~seed:2026 ~count:40 () in
+  checki "no violations" 0 (List.length sweep.Nemesis.failures);
+  checki "all cases accounted" sweep.Nemesis.cases
+    (sweep.Nemesis.completed + sweep.Nemesis.aborted);
+  checkb "storage failures were actually provoked and detected" true (sweep.Nemesis.damaged > 0)
 
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
@@ -261,8 +382,17 @@ let () =
             { Net.ideal with Net.crashes = [ Net.Mobile_after_handling 2 ] }
             ~net_seed:9;
           Alcotest.test_case "dead link aborts cleanly" `Quick test_session_drop_everything_aborts;
+          Alcotest.test_case "storage loss aborts with base untouched" `Quick
+            test_session_storage_loss_aborts_untouched;
+          Alcotest.test_case "dead-link aborts counted by the simulator" `Quick
+            test_dead_link_aborts_counted_in_sync;
+          Alcotest.test_case "backoff jitter deterministic" `Quick
+            test_session_backoff_jitter_deterministic;
         ] );
       ( "nemesis",
-        [ Alcotest.test_case "fixed-seed sweep" `Quick test_nemesis_sweep_clean ]
-        @ qsuite [ prop_nemesis_exactly_once ] );
+        [
+          Alcotest.test_case "fixed-seed sweep" `Quick test_nemesis_sweep_clean;
+          Alcotest.test_case "fixed-seed disk sweep" `Quick test_nemesis_disk_sweep_clean;
+        ]
+        @ qsuite [ prop_nemesis_exactly_once; prop_nemesis_disk_corruption_safe ] );
     ]
