@@ -2,7 +2,7 @@
 # build, tests, docs (skipped when odoc is not installed — the build
 # container does not ship it), and the changelog check.
 
-.PHONY: all build test bench bench-snapshot smoke nemesis nemesis-disk doc changelog ci
+.PHONY: all build test bench bench-snapshot bench-check smoke nemesis nemesis-disk doc changelog ci
 
 all: build
 
@@ -21,6 +21,19 @@ bench:
 bench-snapshot:
 	@n=1; while [ -e BENCH_$$n.json ]; do n=$$((n+1)); done; \
 	dune exec bench/main.exe -- --snapshot BENCH_$$n.json
+
+# Gate the two newest committed snapshots against each other: fail when
+# any experiment regressed by more than 25% after median-ratio
+# machine-speed normalization (see tools/bench_diff.ml). No-op with
+# fewer than two snapshots.
+bench-check:
+	@snaps=$$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -2); \
+	set -- $$snaps; \
+	if [ $$# -lt 2 ]; then \
+		echo "bench-check: fewer than two BENCH_<n>.json snapshots, skipping"; \
+	else \
+		dune exec tools/bench_diff.exe -- $$1 $$2; \
+	fi
 
 # End-to-end smoke of the tracing/forensics surface: a traced merge must
 # produce a loadable Chrome trace, and explain must produce valid JSON.
@@ -54,5 +67,5 @@ doc:
 changelog:
 	sh tools/check_changes.sh
 
-ci: build test nemesis nemesis-disk smoke doc changelog
+ci: build test nemesis nemesis-disk smoke bench-check doc changelog
 	@echo "ci: ok"

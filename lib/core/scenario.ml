@@ -121,7 +121,7 @@ let connect session id ~reprocess =
     else begin
       let report =
         Protocol.merge ~config:session.config ~params:Cost.default_params ~base:session.base
-          ~base_history:session.logical ~origin:session.origin ~tentative
+          ~base_history:session.logical ~origin:session.origin ~tentative ()
       in
       session.logical <- report.Protocol.new_history;
       emit session

@@ -4,16 +4,19 @@
     Summary-level workloads (blind writes permitted, as in Davidson's
     model) with increasing hot-spot skew. For each strategy: mean |B|,
     mean |B ∪ AG| (the real damage once affected transactions are
-    counted), and how often the strategy matched the exhaustive optimum.
-    Davidson's observation — breaking two-cycles first performs close to
-    optimal — is the claim under test. *)
+    counted), how often the strategy matched the branch-and-bound
+    optimum, and the solver-agreement column — |B| equality with the
+    exhaustive enumerator, which must read 100% for [Branch_and_bound]
+    itself. Davidson's observation — breaking two-cycles first performs
+    close to optimal — is the claim under test. *)
 
 type row = {
   skew : float;
   runs : int;
   cyclic_fraction : float;  (** cases with at least one cycle *)
-  per_strategy : (string * float * float * float) list;
-      (** strategy, mean |B|, mean |B ∪ AG|, optimal-match rate *)
+  per_strategy : (string * float * float * float * float) list;
+      (** strategy, mean |B|, mean |B ∪ AG|, optimal-match rate,
+          exhaustive-oracle agreement rate *)
 }
 
 val run :

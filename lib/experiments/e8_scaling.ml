@@ -47,7 +47,7 @@ let one_fleet ~seed ~per_mobile ~base_len mobiles =
     in
     let report =
       Protocol.merge ~config:Protocol.default_merge_config ~params:Cost.default_params
-        ~base ~base_history:!logical ~origin ~tentative
+        ~base ~base_history:!logical ~origin ~tentative ()
     in
     logical := report.Protocol.new_history;
     incr merges;

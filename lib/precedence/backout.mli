@@ -8,9 +8,10 @@
     serial order.
 
     Minimizing |B| is NP-complete ([Dav84]; the paper retains the result),
-    so the practical strategies are heuristics; [Exhaustive] provides the
-    optimum for small instances as ground truth in tests and experiment
-    E6. *)
+    so the practical strategies are heuristics; [Branch_and_bound] computes
+    the optimum exactly at merge scale, with [Exhaustive] kept as the
+    brute-force oracle it is tested against (see docs/PERFORMANCE.md for
+    the algorithm and its bounds). *)
 
 type strategy =
   | All_in_cycles
@@ -31,9 +32,18 @@ type strategy =
           |B ∪ reads-from closure of B| rather than |B| — what actually
           determines how much work the closure-based back-out discards
           (the rewriting algorithms later rescue part of it) *)
+  | Branch_and_bound
+      (** smallest B, exactly, by branch and bound over the cyclic core:
+          each strongly connected component is solved independently (their
+          optima sum), the incumbent is seeded from [Greedy_degree],
+          branches pick a tentative member of a discovered cycle, and
+          subtrees are cut by a vertex-disjoint cycle-packing lower bound
+          plus memoization of visited removal sets. Fast at merge scale;
+          prunes are counted in the [backout.bnb_nodes_pruned] counter *)
   | Exhaustive
       (** smallest B, by enumerating candidate subsets in increasing size;
-          exponential — intended for ≲ 20 cyclic tentative nodes *)
+          exponential — the brute-force oracle for [Branch_and_bound],
+          intended for ≲ 20 cyclic tentative nodes *)
 
 val all_strategies : strategy list
 val strategy_name : strategy -> string

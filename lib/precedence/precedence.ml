@@ -71,6 +71,22 @@ let build ~tentative ~base =
       "precedence.built";
   { graph; summaries; index; acyclic = None }
 
+(* Trusted constructor for the incremental [Builder]: the caller vouches
+   that [graph] holds exactly the edges [build] would have produced for
+   [summaries] (tentative block first, then base, each in history order).
+   The already-known acyclicity verdict is carried over so the first
+   [is_acyclic] query costs nothing; the cyclic-graph counter is bumped
+   here to keep its meaning — one tick per graph found cyclic — identical
+   across both construction paths. *)
+let of_parts ~summaries ~graph ~acyclic =
+  let n = Array.length summaries in
+  let index = Hashtbl.create n in
+  Array.iteri (fun i (s : Summary.t) -> Hashtbl.replace index s.Summary.name i) summaries;
+  Obs.Dist.observe_int obs_nodes n;
+  Obs.Dist.observe_int obs_edges (Digraph.edge_count graph);
+  if acyclic = Some false then Obs.Counter.incr obs_cyclic;
+  { graph; summaries; index; acyclic }
+
 let of_executions ~tentative ~base =
   build
     ~tentative:(Summary.of_execution ~kind:Summary.Tentative tentative)

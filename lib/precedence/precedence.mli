@@ -26,6 +26,16 @@ type t
     order. All names must be distinct across both lists. *)
 val build : tentative:Summary.t list -> base:Summary.t list -> t
 
+(** [of_parts ~summaries ~graph ~acyclic] wraps an already-built graph —
+    the trusted constructor behind {!Builder.to_precedence}. [summaries]
+    must be ordered tentative block first then base block (each in history
+    order, matching {!build}'s node numbering) and [graph] must hold
+    exactly the edges {!build} would produce for them; [acyclic] carries
+    the builder's incrementally-maintained verdict so the first
+    {!is_acyclic} query is free. Not intended for direct use. *)
+val of_parts :
+  summaries:Summary.t array -> graph:Repro_graph.Digraph.t -> acyclic:bool option -> t
+
 (** [of_executions ~tentative ~base] builds from the dynamic read/write
     sets of two executions. *)
 val of_executions :
@@ -33,14 +43,22 @@ val of_executions :
   base:Repro_history.History.execution ->
   t
 
+(** The underlying digraph; node [i] is [(summaries t).(i)]. *)
 val graph : t -> Repro_graph.Digraph.t
+
+(** All transaction summaries, tentative block first then base block,
+    each in history order — the node numbering of {!graph}. *)
 val summaries : t -> Summary.t array
 
 (** Node identifier of a transaction name.
     @raise Not_found for unknown names. *)
 val node_of : t -> Repro_history.Names.t -> int
 
+(** Summary of a node identifier (inverse of {!node_of}). *)
 val summary_of_node : t -> int -> Summary.t
+
+(** Theorem 1's mergeability test; the SCC run is cached on the value,
+    so repeated queries are free. *)
 val is_acyclic : t -> bool
 
 (** Names of tentative transactions lying on at least one cycle. *)
@@ -56,4 +74,5 @@ val reduced : t -> removed:Repro_history.Names.Set.t -> Repro_graph.Digraph.t
     relative order. *)
 val merge_order : t -> removed:Repro_history.Names.Set.t -> Repro_history.Names.t list option
 
+(** Debug printer: nodes with their kinds, then edges by name. *)
 val pp : Format.formatter -> t -> unit

@@ -16,6 +16,8 @@ type t = {
   writeset : Repro_txn.Item.Set.t;
 }
 
+(** Declare a summary directly from item-name lists (duplicates are
+    collapsed by the set construction). *)
 val make :
   name:string -> kind:kind -> reads:string list -> writes:string list -> t
 
@@ -26,10 +28,12 @@ val of_record : kind:kind -> Repro_txn.Interp.record -> t
 (** Summaries of a whole execution, in history order. *)
 val of_execution : kind:kind -> Repro_history.History.execution -> t list
 
+(** [is_tentative t] — [t.kind = Tentative]. *)
 val is_tentative : t -> bool
 
 (** [conflicts a b] — some item is written by one and read or written by
     the other. *)
 val conflicts : t -> t -> bool
 
+(** Debug printer: name, kind and both item sets. *)
 val pp : Format.formatter -> t -> unit

@@ -2,6 +2,8 @@ open Repro_txn
 open Repro_history
 module Engine = Repro_db.Engine
 module Rng = Repro_workload.Rng
+module Builder = Repro_precedence.Builder
+module Summary = Repro_precedence.Summary
 
 module Obs = Repro_obs.Obs
 
@@ -101,6 +103,28 @@ let run config workload =
   let rng = Rng.create config.seed in
   let base = Engine.create workload.initial in
   let logical : Protocol.base_txn list ref = ref [] in
+  (* Strategy 2 only: an incremental precedence builder mirroring
+     [logical], so a reconnect's graph costs the session delta instead of
+     a from-scratch pairwise scan of the whole window. Base commits and
+     reprocessed appends extend it in place; a successful merge reorders
+     the history, so it is rebuilt from the new one; the window boundary
+     resets it along with [logical]. Strategy 1 origins are per-mobile
+     suffixes that share no common graph, so it keeps the direct path. *)
+  let base_builder = ref (Builder.create ()) in
+  let summary_of_base (bt : Protocol.base_txn) =
+    Summary.of_record ~kind:Summary.Base bt.Protocol.record
+  in
+  let builder_append txns =
+    if config.isolation = Strategy2 then
+      List.iter (fun bt -> Builder.add !base_builder (summary_of_base bt)) txns
+  in
+  let builder_rebuild () =
+    if config.isolation = Strategy2 then begin
+      let b = Builder.create () in
+      List.iter (fun bt -> Builder.add b (summary_of_base bt)) !logical;
+      base_builder := b
+    end
+  in
   let window_origin = ref workload.initial in
   let window_index = ref 0 in
   let cost = Cost.zero () in
@@ -159,6 +183,7 @@ let run config workload =
         ~params:config.params ~base ~origin:m.origin ~tentative:history
     in
     logical := !logical @ report.Protocol.appended;
+    builder_append report.Protocol.appended;
     count_txn_reports report.Protocol.txns;
     Cost.add cost report.Protocol.cost
   in
@@ -171,7 +196,12 @@ let run config workload =
   let attempt_merge mc ~base_history ~origin ~tentative =
     match config.merge_runner with
     | None ->
-      Some (Protocol.merge ~config:mc ~params:config.params ~base ~base_history ~origin ~tentative)
+      let base_builder =
+        match config.isolation with Strategy2 -> Some !base_builder | Strategy1 -> None
+      in
+      Some
+        (Protocol.merge ?base_builder ~config:mc ~params:config.params ~base ~base_history
+           ~origin ~tentative ())
     | Some runner -> (
       match runner ~config:mc ~params:config.params ~base ~base_history ~origin ~tentative with
       | Merge_completed report -> Some report
@@ -215,6 +245,7 @@ let run config workload =
           match attempt_merge mc ~base_history:!logical ~origin:!window_origin ~tentative:history with
           | Some report ->
             logical := report.Protocol.new_history;
+            builder_rebuild ();
             incr merges;
             count_txn_reports report.Protocol.txns;
             Cost.add cost report.Protocol.cost
@@ -255,6 +286,7 @@ let run config workload =
     | Strategy2 ->
       window_origin := Engine.state base;
       logical := [];
+      base_builder := Builder.create ();
       incr window_index
     | Strategy1 -> ()
   in
@@ -280,7 +312,9 @@ let run config workload =
         let name = Printf.sprintf "B%d" !base_txns in
         let p = workload.make_base_txn rng ~name in
         let record = Engine.execute base p in
-        logical := !logical @ [ { Protocol.program = p; Protocol.record = record } ];
+        let bt = { Protocol.program = p; Protocol.record = record } in
+        logical := !logical @ [ bt ];
+        builder_append [ bt ];
         schedule (t +. exponential rng config.mean_base_txn_gap) Base_txn
       | Connect i ->
         handle_connect mobiles.(i);

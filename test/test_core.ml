@@ -116,11 +116,16 @@ let test_e6 () =
   match rows with
   | [ r ] ->
     let find name =
-      let _, b, _, _ = List.find (fun (n, _, _, _) -> n = name) r.E6_backout.per_strategy in
+      let _, b, _, _, _ = List.find (fun (n, _, _, _, _) -> n = name) r.E6_backout.per_strategy in
       b
     in
+    let agree name =
+      let _, _, _, _, a = List.find (fun (n, _, _, _, _) -> n = name) r.E6_backout.per_strategy in
+      a
+    in
     checkb "exhaustive <= two-cycle" true (find "exhaustive-minimal" <= find "two-cycle-optimal" +. 1e-9);
-    checkb "two-cycle <= all-in-cycles" true (find "two-cycle-optimal" <= find "all-in-cycles" +. 1e-9)
+    checkb "two-cycle <= all-in-cycles" true (find "two-cycle-optimal" <= find "all-in-cycles" +. 1e-9);
+    checkb "branch-and-bound agrees with the oracle" true (agree "branch-and-bound" = 1.0)
   | _ -> Alcotest.fail "expected one row"
 
 let test_e7 () =

@@ -308,6 +308,127 @@ let prop_acyclic_empty_backout =
         (fun strategy -> Names.Set.is_empty (Backout.compute ~strategy pg))
         Backout.all_strategies)
 
+(* Branch-and-bound against the exhaustive oracle, on graphs wide enough
+   to exercise the solver (up to 14 cyclic tentative nodes — inside the
+   oracle's enumeration comfort zone, past what hand inspection covers). *)
+
+let wide_case_gen =
+  QCheck.Gen.(
+    let* seed = int_bound 1_000_000 in
+    let* tentative = int_range 4 14 in
+    let rng = Repro_workload.Rng.create seed in
+    let tentative, base =
+      Repro_workload.Gen.summaries rng ~n_items:15 ~tentative ~base:8 ~reads:(1, 3)
+        ~writes:(1, 2) ~skew:0.7 ~blind:0.3
+    in
+    return (Precedence.build ~tentative ~base))
+
+let arbitrary_wide_case =
+  QCheck.make ~print:(fun pg -> Format.asprintf "%a" Precedence.pp pg) wide_case_gen
+
+let prop_bnb_matches_oracle =
+  QCheck.Test.make ~count:200
+    ~name:"branch-and-bound: feasible and |B| equals the exhaustive oracle" arbitrary_wide_case
+    (fun pg ->
+      let bnb = Backout.compute ~strategy:Backout.Branch_and_bound pg in
+      let oracle = Backout.compute ~strategy:Backout.Exhaustive pg in
+      Backout.breaks_all_cycles pg bnb
+      && Names.Set.cardinal bnb = Names.Set.cardinal oracle)
+
+(* ------------------------------------------------------------------ *)
+(* Incremental builder vs from-scratch build. *)
+
+let edge_names pg =
+  List.sort compare
+    (List.map
+       (fun (u, v) ->
+         ( (Precedence.summary_of_node pg u).Summary.name,
+           (Precedence.summary_of_node pg v).Summary.name ))
+       (Digraph.edges (Precedence.graph pg)))
+
+let builder_case_gen =
+  QCheck.Gen.(
+    let* seed = int_bound 1_000_000 in
+    let* split = int_bound 8 in
+    let rng = Repro_workload.Rng.create seed in
+    let tentative, base =
+      Repro_workload.Gen.summaries rng ~n_items:12 ~tentative:8 ~base:8 ~reads:(1, 3)
+        ~writes:(1, 2) ~skew:0.9 ~blind:0.3
+    in
+    return (tentative, base, split))
+
+let arbitrary_builder_case =
+  QCheck.make
+    ~print:(fun (tentative, base, split) ->
+      Format.asprintf "@[<v>split=%d@ %a@ %a@]" split
+        (Format.pp_print_list ~pp_sep:Format.pp_print_cut Summary.pp)
+        tentative
+        (Format.pp_print_list ~pp_sep:Format.pp_print_cut Summary.pp)
+        base)
+    builder_case_gen
+
+let rec take n = function
+  | x :: tl when n > 0 ->
+    let a, b = take (n - 1) tl in
+    (x :: a, b)
+  | l -> ([], l)
+
+let prop_builder_equals_build =
+  (* The Sync reconnect shape: a long-lived builder holds a base-history
+     prefix, a merge forks it and the remaining base and tentative
+     summaries arrive interleaved — the result must be graph-identical
+     (same edges, same verdict) to a from-scratch build, and the fork
+     must not leak into the original. *)
+  QCheck.Test.make ~count:200 ~name:"incremental builder = from-scratch build"
+    arbitrary_builder_case
+    (fun (tentative, base, split) ->
+      let scratch = Precedence.build ~tentative ~base in
+      let long_lived = Builder.create () in
+      let base_pre, base_rest = take split base in
+      Builder.add_all long_lived base_pre;
+      let fork = Builder.clone long_lived in
+      let tent_pre, tent_rest = take (split / 2) tentative in
+      Builder.add_all fork tent_pre;
+      Builder.add_all fork base_rest;
+      Builder.add_all fork tent_rest;
+      let pg = Builder.to_precedence fork in
+      edge_names pg = edge_names scratch
+      && Builder.is_acyclic fork = Precedence.is_acyclic scratch
+      && Builder.length long_lived = List.length base_pre)
+
+let test_builder_example1 () =
+  (* Example 1 through the builder, with base and tentative interleaved
+     the way a live window sees them. *)
+  let b = Builder.create () in
+  List.iter (Builder.add b)
+    (List.concat
+       [ Ex.example1_base; Ex.example1_tentative ]);
+  let pg = Builder.to_precedence b in
+  checkb "builder graph equals from-scratch graph" true
+    (edge_names pg = edge_names (example1 ()));
+  checkb "cyclic" false (Builder.is_acyclic b);
+  let bnb = Backout.compute ~strategy:Backout.Branch_and_bound pg in
+  checki "branch-and-bound finds the paper's minimum" 1 (Names.Set.cardinal bnb);
+  checkb "and it is feasible" true (Backout.breaks_all_cycles pg bnb)
+
+let test_builder_clone_isolation () =
+  let b = Builder.create () in
+  Builder.add_all b Ex.example1_base;
+  let fork = Builder.clone b in
+  Builder.add_all fork Ex.example1_tentative;
+  checki "fork grew" (List.length Ex.example1_base + List.length Ex.example1_tentative)
+    (Builder.length fork);
+  checki "original untouched" (List.length Ex.example1_base) (Builder.length b);
+  checkb "original still acyclic" true (Builder.is_acyclic b);
+  checkb "fork found the cycle" false (Builder.is_acyclic fork)
+
+let test_builder_duplicate_rejected () =
+  let b = Builder.create () in
+  Builder.add_all b Ex.example1_tentative;
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Builder.add: duplicate transaction name Tm1") (fun () ->
+      Builder.add b (List.hd Ex.example1_tentative))
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -335,4 +456,10 @@ let () =
       ( "backout",
         qsuite [ prop_strategies_feasible; prop_exhaustive_minimal; prop_acyclic_empty_backout ]
       );
+      ("branch-and-bound", qsuite [ prop_bnb_matches_oracle ]);
+      ( "builder",
+        Alcotest.test_case "Example 1 incrementally" `Quick test_builder_example1
+        :: Alcotest.test_case "clone isolation" `Quick test_builder_clone_isolation
+        :: Alcotest.test_case "duplicate names rejected" `Quick test_builder_duplicate_rejected
+        :: qsuite [ prop_builder_equals_build ] );
     ]

@@ -65,7 +65,7 @@ let run_merge ?(config = Protocol.default_merge_config) ~tentative ~base () =
   in
   let report =
     Protocol.merge ~config ~params:Cost.default_params ~base:engine ~base_history ~origin:s0
-      ~tentative:(History.of_programs tentative)
+      ~tentative:(History.of_programs tentative) ()
   in
   (engine, report)
 
@@ -177,7 +177,7 @@ let prop_merge_state_replay =
           let config = { Protocol.default_merge_config with Protocol.algorithm; Protocol.strategy } in
           let report =
             Protocol.merge ~config ~params:Cost.default_params ~base:engine ~base_history
-              ~origin ~tentative
+              ~origin ~tentative ()
           in
           let replayed =
             List.fold_left
@@ -204,7 +204,7 @@ let test_merge_example1_programs () =
   let report =
     Protocol.merge ~config:Protocol.default_merge_config ~params:Cost.default_params
       ~base:engine ~base_history ~origin:Paper.example1_s0
-      ~tentative:(History.of_programs Paper.example1_programs_tentative)
+      ~tentative:(History.of_programs Paper.example1_programs_tentative) ()
   in
   checkb "conflict detected: some tentative work backed out" true
     (not (Names.Set.is_empty report.Protocol.backed_out));
@@ -247,7 +247,7 @@ let prop_merge_replay_with_blind_writes =
       let report =
         Protocol.merge ~config:Protocol.default_merge_config ~params:Cost.default_params
           ~base:engine ~base_history ~origin:s0
-          ~tentative:(History.of_programs tentative_programs)
+          ~tentative:(History.of_programs tentative_programs) ()
       in
       let replayed =
         List.fold_left

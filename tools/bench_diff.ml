@@ -1,0 +1,128 @@
+(* bench_diff OLD.json NEW.json [--threshold PCT] [--absolute]
+
+   Compare two `bench --snapshot` files (BENCH_<n>.json) and fail — exit
+   code 1 — when any experiment regressed by more than the threshold
+   (default 25%).
+
+   Committed snapshots come from different machines, so raw seconds are
+   not directly comparable: a uniformly slower box would flag every
+   experiment. The gate therefore estimates the machine-speed factor as
+   the MEDIAN of the per-experiment new/old time ratios — robust both to
+   a uniform slowdown (all ratios shift together) and to a single
+   experiment collapsing or exploding (its ratio is an outlier the median
+   ignores; share-of-total normalization fails exactly there, since
+   killing a dominant experiment inflates every other share). An
+   experiment regresses when its new time exceeds the
+   speed-adjusted old time by more than the threshold AND by more than a
+   100ms absolute slack, which keeps sub-second experiments from
+   tripping on run-to-run noise. `--absolute` skips the speed adjustment
+   for same-machine comparisons. *)
+
+module Json = Repro_obs.Report.Json
+
+let die fmt = Printf.ksprintf (fun s -> prerr_endline ("bench_diff: " ^ s); exit 2) fmt
+
+let member name = function
+  | Json.Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let load file =
+  let contents =
+    try In_channel.with_open_text file In_channel.input_all
+    with Sys_error e -> die "%s" e
+  in
+  let json = try Json.parse contents with Failure e -> die "%s: %s" file e in
+  (match member "schema" json with
+  | Some (Json.Str "repro-bench-snapshot/1") -> ()
+  | _ -> die "%s: not a repro-bench-snapshot/1 file" file);
+  match member "experiments" json with
+  | Some (Json.Arr experiments) ->
+    List.filter_map
+      (fun e ->
+        match (member "name" e, member "seconds" e) with
+        | Some (Json.Str name), Some (Json.Num seconds) -> Some (name, seconds)
+        | _ -> None)
+      experiments
+  | _ -> die "%s: no experiments array" file
+
+(* Median of the new/old ratios over experiments big enough (>= 10ms on
+   both sides) for the ratio to mean anything. 1.0 when none qualify. *)
+let speed_factor old_xs new_xs =
+  let ratios =
+    List.filter_map
+      (fun (name, new_s) ->
+        match List.assoc_opt name old_xs with
+        | Some old_s when old_s >= 0.01 && new_s >= 0.01 -> Some (new_s /. old_s)
+        | _ -> None)
+      new_xs
+  in
+  match List.sort compare ratios with
+  | [] -> 1.0
+  | sorted ->
+    let n = List.length sorted in
+    if n mod 2 = 1 then List.nth sorted (n / 2)
+    else (List.nth sorted ((n / 2) - 1) +. List.nth sorted (n / 2)) /. 2.0
+
+let () =
+  let threshold = ref 25.0 in
+  let absolute = ref false in
+  let files = ref [] in
+  let rec parse_args = function
+    | [] -> ()
+    | "--threshold" :: v :: rest ->
+      (match float_of_string_opt v with
+      | Some t when t > 0.0 -> threshold := t
+      | _ -> die "--threshold expects a positive number, got %s" v);
+      parse_args rest
+    | "--absolute" :: rest ->
+      absolute := true;
+      parse_args rest
+    | f :: rest ->
+      files := f :: !files;
+      parse_args rest
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let old_file, new_file =
+    match List.rev !files with
+    | [ a; b ] -> (a, b)
+    | _ -> die "usage: bench_diff OLD.json NEW.json [--threshold PCT] [--absolute]"
+  in
+  let old_xs = load old_file and new_xs = load new_file in
+  let scale = if !absolute then 1.0 else speed_factor old_xs new_xs in
+  Printf.printf "bench_diff: %s -> %s (threshold %g%%, machine-speed factor %.2f%s)\n" old_file
+    new_file !threshold scale
+    (if !absolute then ", absolute mode" else "");
+  Printf.printf "  %-14s %10s %10s %10s %9s\n" "experiment" "old (s)" "adjusted" "new (s)" "change";
+  let failures = ref [] in
+  List.iter
+    (fun (name, new_s) ->
+      match List.assoc_opt name old_xs with
+      | None -> Printf.printf "  %-14s %10s %10s %10.3f   (new experiment, not gated)\n" name "-" "-" new_s
+      | Some old_s ->
+        let expected = old_s *. scale in
+        let regressed =
+          new_s > expected *. (1.0 +. (!threshold /. 100.0)) && new_s -. expected > 0.1
+        in
+        if regressed then failures := name :: !failures;
+        let change =
+          if expected > 0.0 then
+            Printf.sprintf "%+8.1f%%" ((new_s -. expected) /. expected *. 100.0)
+          else "        -"
+        in
+        Printf.printf "  %-14s %10.3f %10.3f %10.3f %s%s\n" name old_s expected new_s change
+          (if regressed then "  << REGRESSION" else ""))
+    new_xs;
+  List.iter
+    (fun (name, _) ->
+      if not (List.mem_assoc name new_xs) then
+        Printf.printf "  %-14s   (dropped from new snapshot)\n" name)
+    old_xs;
+  let total xs = List.fold_left (fun acc (_, s) -> acc +. s) 0.0 xs in
+  Printf.printf "  %-14s %10.3f %10s %10.3f\n" "total" (total old_xs) "" (total new_xs);
+  match !failures with
+  | [] ->
+    print_endline "bench_diff: ok";
+    exit 0
+  | fs ->
+    Printf.printf "bench_diff: FAILED — regression in: %s\n" (String.concat ", " (List.rev fs));
+    exit 1
