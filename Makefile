@@ -2,7 +2,7 @@
 # build, tests, docs (skipped when odoc is not installed — the build
 # container does not ship it), and the changelog check.
 
-.PHONY: all build test bench bench-snapshot bench-check smoke nemesis nemesis-disk doc changelog ci
+.PHONY: all build test bench bench-snapshot bench-check smoke service-sim nemesis nemesis-disk doc changelog ci
 
 all: build
 
@@ -43,6 +43,14 @@ smoke: build
 	dune exec bin/repro_cli.exe -- explain --seed 1 --format=json > /tmp/repro_explain.json
 	dune exec bin/repro_cli.exe -- validate-json /tmp/repro_explain.json
 
+# Concurrent merge-service smoke: a 2k-mobile fleet served on 2 domains
+# must finish with zero ground-truth violations, dispatch at least one
+# window in parallel, match the single-domain baseline bit for bit, and
+# reach a 1.5x cost-model speedup (exits 1 otherwise).
+service-sim: build
+	dune exec bin/repro_cli.exe -- service-sim --mobiles 2000 --shards 8 --domains 2 \
+		--min-speedup 1.5 --expect-parallel --seed 7
+
 # Fixed-seed fault sweep: merge sessions over random fault schedules must
 # complete exactly-once or abort with the base untouched (exits 1 on any
 # violation).
@@ -67,5 +75,5 @@ doc:
 changelog:
 	sh tools/check_changes.sh
 
-ci: build test nemesis nemesis-disk smoke bench-check doc changelog
+ci: build test nemesis nemesis-disk smoke service-sim bench-check doc changelog
 	@echo "ci: ok"

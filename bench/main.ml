@@ -324,6 +324,15 @@ let snapshot_experiments =
     ("a1", fun () -> ignore (A1_fixmode.run ~skews:[ 0.5; 1.0 ] ()));
     ("a2", fun () -> ignore (A2_setmode.run ~skews:[ 0.5; 1.0 ] ()));
     ("a3", fun () -> ignore (A3_strategy.run ~skews:[ 0.9 ] ()));
+    (* The concurrent merge service on a 5k-mobile fleet. Inline (one
+       domain): worker-domain counter increments are best-effort under
+       parallelism, and a snapshot wants exact counters. *)
+    ( "service",
+      fun () ->
+        let module Sim = Repro_service.Sim in
+        ignore
+          (Sim.run ~baseline:false
+             { Sim.default_config with Sim.mobiles = 5000; Sim.domains = 1 }) );
   ]
 
 let snapshot file =

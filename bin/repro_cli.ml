@@ -748,6 +748,11 @@ let sim_cmd =
               Repro_workload.Banking.random_transaction bank rng ~name ~commuting_bias:bias);
         }
     in
+    if mobiles > 64 then
+      Format.eprintf
+        "note: sim is the serial pipeline; for %d mobiles the sharded service scales better — try \
+         `repro_cli service-sim --mobiles %d`.@."
+        mobiles mobiles;
     let faults = faults || drop_rate > 0.0 || crash_at <> None in
     let fault_runner =
       if not faults then None
@@ -800,6 +805,147 @@ let sim_cmd =
       const run $ metrics_arg $ trace_arg $ trace_out_arg $ mobiles $ duration $ window $ seed
       $ strategy1 $ reprocess $ bias $ profiles $ faults $ drop_rate $ crash_at $ net_seed)
 
+(* service-sim: large-scale run against the concurrent merge service *)
+let service_sim_cmd =
+  let open Repro_service in
+  let mobiles =
+    Arg.(value & opt int 10_000 & info [ "mobiles" ] ~docv:"N" ~doc:"Number of mobile nodes.")
+  in
+  let duration =
+    Arg.(value & opt float 15.0 & info [ "duration" ] ~docv:"T" ~doc:"Simulated time.")
+  in
+  let window =
+    Arg.(value & opt float 5.0 & info [ "window" ] ~docv:"W" ~doc:"Resync window length.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"PRNG seed.") in
+  let shards =
+    Arg.(value & opt int 16 & info [ "shards" ] ~docv:"K" ~doc:"Item-space shard count.")
+  in
+  let domains =
+    Arg.(value & opt int 1 & info [ "domains" ] ~docv:"D" ~doc:"Worker domains (1 = inline).")
+  in
+  let scheme =
+    Arg.(
+      value
+      & opt (enum [ ("range", `Range); ("hash", `Hash) ]) `Range
+      & info [ "scheme" ] ~docv:"SCHEME"
+          ~doc:"Shard map: $(b,range) (contiguous item blocks) or $(b,hash).")
+  in
+  let locality =
+    Arg.(
+      value & opt float 0.99
+      & info [ "locality" ] ~docv:"P"
+          ~doc:"Probability an item pick stays in the mobile's home region.")
+  in
+  let disconnect_alpha =
+    Arg.(
+      value
+      & opt (some float) (Some 1.6)
+      & info [ "disconnect-alpha" ] ~docv:"A"
+          ~doc:
+            "Pareto tail index for power-law disconnection lengths; omit via \
+             $(b,--exp-disconnects) for exponential.")
+  in
+  let exp_disconnects =
+    Arg.(
+      value & flag
+      & info [ "exp-disconnects" ] ~doc:"Exponential disconnection lengths (paper's base model).")
+  in
+  let connect_gap =
+    Arg.(
+      value & opt float 2.0
+      & info [ "connect-gap" ] ~docv:"T" ~doc:"Mean disconnection length.")
+  in
+  let shared_items =
+    Arg.(value & opt int 128 & info [ "shared-items" ] ~docv:"N" ~doc:"Global hot-pool size.")
+  in
+  let zipf_skew =
+    Arg.(value & opt float 0.9 & info [ "zipf-skew" ] ~docv:"Z" ~doc:"Shared-pool Zipf skew.")
+  in
+  let no_baseline =
+    Arg.(
+      value & flag
+      & info [ "no-baseline" ]
+          ~doc:"Skip the single-domain baseline run (faster; loses the wall-speedup figure).")
+  in
+  let min_speedup =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "min-speedup" ] ~docv:"X"
+          ~doc:"Fail unless the cost-model speedup reaches $(docv).")
+  in
+  let expect_parallel =
+    Arg.(
+      value & flag
+      & info [ "expect-parallel" ] ~doc:"Fail unless at least one window dispatched in parallel.")
+  in
+  let run metrics trace trace_out mobiles duration window seed shards domains scheme locality
+      disconnect_alpha exp_disconnects connect_gap shared_items zipf_skew no_baseline min_speedup
+      expect_parallel =
+    let cfg =
+      {
+        Sim.default_config with
+        Sim.mobiles;
+        Sim.duration;
+        Sim.window;
+        Sim.seed;
+        Sim.shards;
+        Sim.domains;
+        Sim.range_shards = (scheme = `Range);
+        Sim.locality;
+        Sim.disconnect_alpha = (if exp_disconnects then None else disconnect_alpha);
+        Sim.mean_connect_gap = connect_gap;
+        Sim.shared_items;
+        Sim.zipf_skew;
+      }
+    in
+    let result =
+      with_observability ~metrics ~trace ~trace_out @@ fun () ->
+      Sim.run ~baseline:(not no_baseline) cfg
+    in
+    let ppf =
+      match metrics with
+      | Some `Json | Some `Csv -> Format.err_formatter
+      | Some `Text | None -> Format.std_formatter
+    in
+    Format.fprintf ppf "%a@." Sim.pp_result result;
+    let det = result.Sim.report.Service.det in
+    let failures =
+      List.filter_map Fun.id
+        [
+          (if det.Service.violations > 0 then
+             Some (Printf.sprintf "%d windows failed the ground-truth check" det.Service.violations)
+           else None);
+          (if not result.Sim.baseline_matches then
+             Some "parallel run diverged from the single-domain baseline"
+           else None);
+          (if expect_parallel && det.Service.parallel_windows = 0 then
+             Some "no window dispatched more than one component"
+           else None);
+          (match min_speedup with
+          | Some x when result.Sim.report.Service.speedup < x ->
+            Some
+              (Printf.sprintf "cost-model speedup %.2fx below required %.2fx"
+                 result.Sim.report.Service.speedup x)
+          | _ -> None);
+        ]
+    in
+    if failures <> [] then begin
+      List.iter (Format.eprintf "service-sim: %s@.") failures;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "service-sim"
+       ~doc:
+         "Run a large-scale (10k-100k mobile) simulation against the sharded concurrent merge \
+          service and report sessions/sec, merge-latency quantiles and parallel speedup.")
+    Term.(
+      const run $ metrics_arg $ trace_arg $ trace_out_arg $ mobiles $ duration $ window $ seed
+      $ shards $ domains $ scheme $ locality $ disconnect_alpha $ exp_disconnects $ connect_gap
+      $ shared_items $ zipf_skew $ no_baseline $ min_speedup $ expect_parallel)
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let info =
@@ -814,6 +960,6 @@ let () =
           [
             e1_cmd; e2_cmd; e3_cmd; e4_cmd; e5_cmd; e6_cmd; e7_cmd; e8_cmd; e9_cmd; a1_cmd;
             a2_cmd; a3_cmd;
-            all_cmd; sim_cmd; merge_cmd; explain_cmd; validate_json_cmd; scrub_cmd;
+            all_cmd; sim_cmd; service_sim_cmd; merge_cmd; explain_cmd; validate_json_cmd; scrub_cmd;
             salvage_cmd; analyze_cmd; scenario_cmd; nemesis_cmd;
           ]))

@@ -44,5 +44,13 @@ val induced : t -> (int -> bool) -> t
 (** [transpose g] reverses every edge. *)
 val transpose : t -> t
 
+(** Weakly connected components of the live nodes: edge direction is
+    ignored, so [u] and [v] share a component iff an undirected path
+    joins them. Each component lists its members in increasing order;
+    components are ordered by their smallest member, so the output is a
+    deterministic partition of {!nodes}. Isolated live nodes appear as
+    singleton components. Union-find, O((V + E) α(V)). *)
+val weakly_connected_components : t -> int list list
+
 (** Debug printer: one [u -> successors] line per non-isolated node. *)
 val pp : Format.formatter -> t -> unit

@@ -30,7 +30,7 @@ type merge_runner =
   tentative:History.t ->
   merge_attempt
 
-type workload = {
+type workload = Trace.workload = {
   initial : State.t;
   make_mobile_txn : Rng.t -> name:string -> Program.t;
   make_base_txn : Rng.t -> name:string -> Program.t;
@@ -41,6 +41,7 @@ type config = {
   duration : float;
   window : float;
   mean_connect_gap : float;
+  connect_alpha : float option;
   mean_mobile_txn_gap : float;
   mean_base_txn_gap : float;
   protocol : protocol;
@@ -56,6 +57,7 @@ let default_config =
     duration = 100.0;
     window = 25.0;
     mean_connect_gap = 10.0;
+    connect_alpha = None;
     mean_mobile_txn_gap = 2.0;
     mean_base_txn_gap = 1.0;
     protocol = Merging Protocol.default_merge_config;
@@ -63,6 +65,20 @@ let default_config =
     params = Cost.default_params;
     seed = 7;
     merge_runner = None;
+  }
+
+let trace_params config =
+  {
+    Trace.n_mobiles = config.n_mobiles;
+    duration = config.duration;
+    window = config.window;
+    connect_gap =
+      (match config.connect_alpha with
+      | None -> Trace.Exponential config.mean_connect_gap
+      | Some alpha -> Trace.Pareto { mean = config.mean_connect_gap; alpha });
+    mean_mobile_txn_gap = config.mean_mobile_txn_gap;
+    mean_base_txn_gap = config.mean_base_txn_gap;
+    seed = config.seed;
   }
 
 type stats = {
@@ -89,18 +105,12 @@ type mobile = {
   mutable origin : State.t;
   mutable origin_pos : int;  (* Strategy 1: logical-history position of the snapshot *)
   mutable window_started : int;  (* Strategy 2: window of the history's origin *)
-  mutable txn_counter : int;
 }
-
-type event = Mobile_txn of int | Base_txn | Connect of int | Window_boundary
-
-let exponential rng mean = -.mean *. log (1.0 -. Rng.float rng)
 
 let replay_programs s0 (txns : Protocol.base_txn list) =
   List.fold_left (fun s (bt : Protocol.base_txn) -> Interp.apply s bt.Protocol.program) s0 txns
 
-let run config workload =
-  let rng = Rng.create config.seed in
+let run_trace config workload trace =
   let base = Engine.create workload.initial in
   let logical : Protocol.base_txn list ref = ref [] in
   (* Strategy 2 only: an incremental precedence builder mirroring
@@ -149,18 +159,8 @@ let run config workload =
           origin = workload.initial;
           origin_pos = 0;
           window_started = 0;
-          txn_counter = 0;
         })
   in
-  let queue = Pqueue.create () in
-  let schedule time ev = Pqueue.push queue time ev in
-  for i = 0 to config.n_mobiles - 1 do
-    schedule (exponential rng config.mean_mobile_txn_gap) (Mobile_txn i);
-    schedule (exponential rng config.mean_connect_gap) (Connect i)
-  done;
-  schedule (exponential rng config.mean_base_txn_gap) Base_txn;
-  schedule config.window Window_boundary;
-
   let count_txn_reports txns =
     List.iter
       (fun (r : Protocol.txn_report) ->
@@ -291,40 +291,24 @@ let run config workload =
     | Strategy1 -> ()
   in
 
-  let rec loop () =
-    match Pqueue.pop queue with
-    | None -> ()
-    | Some (t, _) when t > config.duration -> ()
-    | Some (t, ev) ->
-      Obs.Counter.incr obs_events;
-      (match ev with
-      | Mobile_txn i ->
-        let m = mobiles.(i) in
-        m.txn_counter <- m.txn_counter + 1;
-        let name = Printf.sprintf "M%dT%d" i m.txn_counter in
-        let p = workload.make_mobile_txn rng ~name in
-        ignore (Engine.execute m.engine p);
-        m.tentative_rev <- p :: m.tentative_rev;
-        incr tentative_txns;
-        schedule (t +. exponential rng config.mean_mobile_txn_gap) (Mobile_txn i)
-      | Base_txn ->
-        incr base_txns;
-        let name = Printf.sprintf "B%d" !base_txns in
-        let p = workload.make_base_txn rng ~name in
-        let record = Engine.execute base p in
-        let bt = { Protocol.program = p; Protocol.record = record } in
-        logical := !logical @ [ bt ];
-        builder_append [ bt ];
-        schedule (t +. exponential rng config.mean_base_txn_gap) Base_txn
-      | Connect i ->
-        handle_connect mobiles.(i);
-        schedule (t +. exponential rng config.mean_connect_gap) (Connect i)
-      | Window_boundary ->
-        check_window ();
-        schedule (t +. config.window) Window_boundary);
-      loop ()
+  let handle_event (_t, ev) =
+    Obs.Counter.incr obs_events;
+    match ev with
+    | Trace.Mobile_txn { mobile = i; program = p } ->
+      let m = mobiles.(i) in
+      ignore (Engine.execute m.engine p);
+      m.tentative_rev <- p :: m.tentative_rev;
+      incr tentative_txns
+    | Trace.Base_txn { program = p } ->
+      incr base_txns;
+      let record = Engine.execute base p in
+      let bt = { Protocol.program = p; Protocol.record = record } in
+      logical := !logical @ [ bt ];
+      builder_append [ bt ]
+    | Trace.Connect { mobile = i } -> handle_connect mobiles.(i)
+    | Trace.Window_boundary -> check_window ()
   in
-  Obs.Span.with_ ~name:"sync.run" loop;
+  Obs.Span.with_ ~name:"sync.run" (fun () -> List.iter handle_event (Trace.events trace));
   check_window ();
   {
     base_txns = !base_txns;
@@ -342,6 +326,8 @@ let run config workload =
     cost;
     final_base = Engine.state base;
   }
+
+let run config workload = run_trace config workload (Trace.generate (trace_params config) workload)
 
 let pp_stats ppf s =
   Format.fprintf ppf

@@ -53,7 +53,7 @@ type merge_runner =
   tentative:Repro_history.History.t ->
   merge_attempt
 
-type workload = {
+type workload = Trace.workload = {
   initial : State.t;
   make_mobile_txn : Repro_workload.Rng.t -> name:string -> Program.t;
   make_base_txn : Repro_workload.Rng.t -> name:string -> Program.t;
@@ -64,6 +64,11 @@ type config = {
   duration : float;
   window : float;  (** resynchronization window length *)
   mean_connect_gap : float;  (** mean time between a mobile's connections *)
+  connect_alpha : float option;
+      (** [None]: exponential connect gaps (the historical default);
+          [Some alpha]: Pareto-tailed disconnection lengths with the same
+          mean and tail index [alpha]
+          ({!Repro_workload.Gen.power_law_disconnect}) *)
   mean_mobile_txn_gap : float;
   mean_base_txn_gap : float;
   protocol : protocol;
@@ -74,6 +79,11 @@ type config = {
 }
 
 val default_config : config
+
+(** The {!Trace.params} that {!run} derives from a config — exposed so
+    other consumers (the concurrent merge service, tests) can generate
+    the identical event stream. *)
+val trace_params : config -> Trace.params
 
 type stats = {
   base_txns : int;
@@ -96,4 +106,12 @@ type stats = {
 }
 
 val run : config -> workload -> stats
+
+(** [run_trace config workload trace] — the simulator proper, over a
+    pre-generated event stream. [run config workload] is exactly
+    [run_trace config workload (Trace.generate (trace_params config)
+    workload)]. Scheduling fields of [config] ([duration], gap means,
+    [seed], …) are ignored here — the trace already fixes the events. *)
+val run_trace : config -> workload -> Trace.t -> stats
+
 val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,98 @@
+open Repro_txn
+module Rng = Repro_workload.Rng
+module Gen = Repro_workload.Gen
+
+type workload = {
+  initial : State.t;
+  make_mobile_txn : Rng.t -> name:string -> Program.t;
+  make_base_txn : Rng.t -> name:string -> Program.t;
+}
+
+type gap = Exponential of float | Pareto of { mean : float; alpha : float }
+
+type params = {
+  n_mobiles : int;
+  duration : float;
+  window : float;
+  connect_gap : gap;
+  mean_mobile_txn_gap : float;
+  mean_base_txn_gap : float;
+  seed : int;
+}
+
+type event =
+  | Mobile_txn of { mobile : int; program : Program.t }
+  | Base_txn of { program : Program.t }
+  | Connect of { mobile : int }
+  | Window_boundary
+
+type t = { params : params; events : (float * event) list }
+
+let exponential rng mean = -.mean *. log (1.0 -. Rng.float rng)
+
+let draw_gap rng = function
+  | Exponential mean -> exponential rng mean
+  | Pareto { mean; alpha } -> Gen.power_law_disconnect ~mean ~alpha rng
+
+(* Internal scheduling tokens; the public events carry the generated
+   programs instead of counters. *)
+type sched = S_mobile of int | S_base | S_connect of int | S_window
+
+let generate params workload =
+  let rng = Rng.create params.seed in
+  let queue = Pqueue.create () in
+  let schedule time ev = Pqueue.push queue time ev in
+  (* The draw order below replicates the original Sync.run event loop
+     exactly: scheduling gaps and program generation pull from one rng
+     stream, so for the default exponential connect gap a trace-driven
+     run is byte-identical to the historical inlined loop. *)
+  for i = 0 to params.n_mobiles - 1 do
+    schedule (exponential rng params.mean_mobile_txn_gap) (S_mobile i);
+    schedule (draw_gap rng params.connect_gap) (S_connect i)
+  done;
+  schedule (exponential rng params.mean_base_txn_gap) S_base;
+  schedule params.window S_window;
+  let txn_counter = Array.make params.n_mobiles 0 in
+  let base_counter = ref 0 in
+  let events_rev = ref [] in
+  let emit t ev = events_rev := (t, ev) :: !events_rev in
+  let rec loop () =
+    match Pqueue.pop queue with
+    | None -> ()
+    | Some (t, _) when t > params.duration -> ()
+    | Some (t, ev) ->
+      (match ev with
+      | S_mobile i ->
+        txn_counter.(i) <- txn_counter.(i) + 1;
+        let name = Printf.sprintf "M%dT%d" i txn_counter.(i) in
+        let program = workload.make_mobile_txn rng ~name in
+        emit t (Mobile_txn { mobile = i; program });
+        schedule (t +. exponential rng params.mean_mobile_txn_gap) (S_mobile i)
+      | S_base ->
+        incr base_counter;
+        let name = Printf.sprintf "B%d" !base_counter in
+        let program = workload.make_base_txn rng ~name in
+        emit t (Base_txn { program });
+        schedule (t +. exponential rng params.mean_base_txn_gap) S_base
+      | S_connect i ->
+        emit t (Connect { mobile = i });
+        schedule (t +. draw_gap rng params.connect_gap) (S_connect i)
+      | S_window ->
+        emit t Window_boundary;
+        schedule (t +. params.window) S_window);
+      loop ()
+  in
+  loop ();
+  { params; events = List.rev !events_rev }
+
+let events t = t.events
+let params t = t.params
+
+let length t = List.length t.events
+
+let pp_event ppf = function
+  | Mobile_txn { mobile; program } ->
+      Format.fprintf ppf "mobile %d txn %s" mobile program.Program.name
+  | Base_txn { program } -> Format.fprintf ppf "base txn %s" program.Program.name
+  | Connect { mobile } -> Format.fprintf ppf "connect %d" mobile
+  | Window_boundary -> Format.fprintf ppf "window"

@@ -1,0 +1,64 @@
+(** Seeded event traces for the synchronization simulator.
+
+    [Sync.run] historically interleaved event scheduling with event
+    handling in one loop over a single rng stream. The scheduling draws
+    (exponential/Pareto gaps) and program generation never depend on
+    merge outcomes, so the whole event sequence can be generated up
+    front. That factoring is what lets the concurrent merge service
+    ({!Repro_service}) consume the very same event stream as the serial
+    simulator and be tested for byte-for-byte equivalence against it.
+
+    [generate] replicates the historical draw order exactly: with the
+    default exponential connect gap, [Sync.run] over a generated trace
+    produces the same statistics as the original inlined loop did. *)
+
+open Repro_txn
+module Rng = Repro_workload.Rng
+
+(** What drives the simulated system. [initial] is the replicated
+    database's starting state; the makers draw one transaction program
+    per call (names are assigned by the generator: [M<i>T<n>] for
+    mobile [i], [B<n>] at the base). *)
+type workload = {
+  initial : State.t;
+  make_mobile_txn : Rng.t -> name:string -> Program.t;
+  make_base_txn : Rng.t -> name:string -> Program.t;
+}
+
+(** Distribution of the gap between a mobile's reconnections.
+    [Pareto] is the power-law tail of {!Repro_workload.Gen.power_law_disconnect};
+    both draw exactly one rng float, so switching distribution does not
+    shift the rest of the seeded sequence. *)
+type gap = Exponential of float | Pareto of { mean : float; alpha : float }
+
+type params = {
+  n_mobiles : int;
+  duration : float;  (** simulated time horizon *)
+  window : float;  (** resynchronization window length *)
+  connect_gap : gap;
+  mean_mobile_txn_gap : float;
+  mean_base_txn_gap : float;
+  seed : int;
+}
+
+type event =
+  | Mobile_txn of { mobile : int; program : Program.t }
+      (** mobile [mobile] commits [program] tentatively while disconnected *)
+  | Base_txn of { program : Program.t }  (** committed directly at the base *)
+  | Connect of { mobile : int }  (** reconnection: the pending session merges *)
+  | Window_boundary  (** resync window boundary (Strategy 2) *)
+
+type t
+
+(** [generate params workload] draws the full event sequence for one
+    simulation run: events in nondecreasing time order, cut at the first
+    event past [params.duration]. Deterministic in [params.seed]. *)
+val generate : params -> workload -> t
+
+(** Events in processing order (nondecreasing time; simultaneous events
+    in scheduling order). *)
+val events : t -> (float * event) list
+
+val params : t -> params
+val length : t -> int
+val pp_event : Format.formatter -> event -> unit

@@ -1,0 +1,36 @@
+(** Window dispatcher: connected-component decomposition of one window's
+    admission queue.
+
+    Two events belong to the same component iff a chain of conflicting
+    events joins them — where "conflicting" means sharing an item that
+    someone in the window statically writes. Components are therefore
+    pairwise independent: no precedence edge, no data flow, and no
+    back-out decision can cross them, so the service merges each
+    component serially but different components concurrently and the
+    result is identical to the fully serial order (argument in
+    docs/SERVICE.md).
+
+    A shard-granular grouping (footprints coarsened to shard sets via
+    {!Smap}) is computed first: it is the cheap dispatch filter, and the
+    gap between shard-level and item-level conflict counts is the
+    shard-conflict-rate metric — what shard-granular false sharing would
+    cost if dispatch stopped at level 1. *)
+
+type component = {
+  members : int list;  (** event indices into the window, ascending *)
+  sessions : int;  (** how many members are sessions *)
+}
+
+type stats = {
+  components : int;
+  shard_conflicted_sessions : int;
+      (** sessions sharing a shard-level component with another session *)
+  item_conflicted_sessions : int;
+      (** sessions sharing an item-level (= dispatched) component with
+          another session *)
+}
+
+(** [components ~smap events] — the item-level components of a window's
+    admission queue, ordered by smallest member; each component's
+    members are ascending (admission order). Deterministic. *)
+val components : smap:Smap.t -> Admission.wevent array -> component list * stats

@@ -1,0 +1,36 @@
+(* Domain worker pool with dynamic task claiming.
+
+   Tasks are claimed through an [Atomic] fetch-and-add counter, so the
+   assignment of tasks to domains is scheduling-dependent — but each
+   result lands in the slot of its task index, so the returned array is
+   deterministic regardless of which domain ran what. [Domain.join]
+   publishes every worker's writes before results are read.
+
+   [domains = 1] runs every task inline on the calling domain: no spawn,
+   no atomics contended, and process-global but non-thread-safe
+   facilities (the Obs registry) remain safe to use from tasks. *)
+
+let map ~domains f n =
+  if n = 0 then [||]
+  else if domains <= 1 || n = 1 then Array.init n f
+  else begin
+    let workers = min (domains - 1) (n - 1) in
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let work () =
+      let rec go () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <- Some (f i);
+          go ()
+        end
+      in
+      go ()
+    in
+    let spawned = List.init workers (fun _ -> Domain.spawn work) in
+    work ();
+    List.iter Domain.join spawned;
+    Array.map
+      (function Some r -> r | None -> invalid_arg "Pool.map: missing result")
+      results
+  end

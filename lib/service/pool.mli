@@ -1,0 +1,15 @@
+(** Minimal OCaml 5 Domain worker pool.
+
+    [map ~domains f n] evaluates [f 0 .. f (n-1)] on up to [domains]
+    domains (the caller's included) and returns the results indexed by
+    task — a deterministic array even though task-to-domain assignment
+    is dynamic (idle domains claim the next task via an [Atomic]
+    counter). Exceptions raised by a task on a spawned domain are
+    re-raised by [Domain.join].
+
+    With [domains <= 1] (or a single task) everything runs inline on the
+    calling domain — no spawning — which also keeps process-global
+    non-thread-safe facilities (e.g. the Obs registry) safe to touch
+    from tasks. *)
+
+val map : domains:int -> (int -> 'a) -> int -> 'a array

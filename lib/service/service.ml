@@ -1,0 +1,447 @@
+open Repro_txn
+open Repro_history
+module Engine = Repro_db.Engine
+module Builder = Repro_precedence.Builder
+module Summary = Repro_precedence.Summary
+module Protocol = Repro_replication.Protocol
+module Sync = Repro_replication.Sync
+module Cost = Repro_replication.Cost
+module Trace = Repro_replication.Trace
+module Obs = Repro_obs.Obs
+
+(* Coordinator-side metrics. Everything below is observed on the main
+   domain (after each window's barrier), so the process-global Obs
+   registry is never touched concurrently by the service itself. Library
+   counters fired from inside worker domains (engine/protocol internals)
+   are only live when metrics collection is enabled; under
+   [domains > 1] those counts are best-effort (memory-safe, but
+   increments may be lost) — see docs/SERVICE.md. *)
+let obs_sessions = Obs.Counter.make "service.sessions"
+let obs_merges = Obs.Counter.make "service.merges"
+let obs_late = Obs.Counter.make "service.late_sessions"
+let obs_windows = Obs.Counter.make "service.windows"
+let obs_components = Obs.Counter.make "service.components"
+let obs_parallel_windows = Obs.Counter.make "service.parallel_windows"
+let obs_violations = Obs.Counter.make "service.violations"
+let obs_latency = Obs.Dist.make "service.session_latency_us"
+let obs_comp_sessions = Obs.Dist.make "service.component_sessions"
+
+type config = {
+  shards : int;
+  domains : int;
+  scheme : Smap.scheme;
+  seed : int;  (* admission tie-break seed *)
+}
+
+let default_config = { shards = 16; domains = 1; scheme = Smap.Hash; seed = 11 }
+
+(* Deterministic part of the report: a pure function of (trace, sync
+   config, shards, scheme, seed) — identical across runs and across
+   domain counts. This is what the determinism and serial-equivalence
+   properties compare. *)
+type det = {
+  sessions : int;
+  merges : int;
+  saved : int;
+  reexecuted : int;
+  rejected : int;
+  late_sessions : int;
+  late_txns : int;
+  base_txns : int;
+  tentative_txns : int;
+  windows : int;
+  violations : int;
+  components : int;
+  parallel_windows : int;
+  shard_conflicted_sessions : int;
+  item_conflicted_sessions : int;
+  cost_total : float;
+  final_base : State.t;
+}
+
+(* Wall-clock measurements: machine- and scheduling-dependent. *)
+type timing = {
+  wall_s : float;
+  work_s : float;  (* sum of per-component busy times *)
+  sessions_per_sec : float;
+  p50_us : float;
+  p99_us : float;
+  p999_us : float;
+}
+
+type report = {
+  det : det;
+  speedup : float;
+      (* cost-model speedup of the dispatched schedule on [domains]
+         domains: total component work / LPT critical path, aggregated
+         over windows. Hardware-independent; depends on [domains]. *)
+  timing : timing;
+  cost : Cost.tally;
+}
+
+(* Per-component worker result. [deltas] are the canonical-base write
+   sets in admission order, keyed by window event index. *)
+type comp_result = {
+  r_merges : int;
+  r_saved : int;
+  r_reexecuted : int;
+  r_rejected : int;
+  r_late_sessions : int;
+  r_late_txns : int;
+  r_violation : bool;
+  r_deltas : (int * (Item.t * int) list) list;
+  r_latencies : float list;
+  r_weight : float;
+  r_busy : float;
+  r_cost : Cost.tally;
+}
+
+let quantile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0 else sorted.(min (n - 1) (int_of_float (q *. float_of_int n)))
+
+(* Longest-processing-time-first schedule of [weights] onto [bins]:
+   returns the makespan. Deterministic. *)
+let lpt_makespan ~bins weights =
+  let total = List.fold_left ( +. ) 0.0 weights in
+  if bins <= 1 then total
+  else begin
+    let loads = Array.make bins 0.0 in
+    let sorted = List.sort (fun a b -> compare (b : float) a) weights in
+    List.iter
+      (fun w ->
+        let mi = ref 0 in
+        Array.iteri (fun i l -> if l < loads.(!mi) then mi := i) loads;
+        loads.(!mi) <- loads.(!mi) +. w)
+      sorted;
+    Array.fold_left max 0.0 loads
+  end
+
+(* One component of one window: an independent serial sub-simulation of
+   exactly the handlers Sync.run applies, against a scratch engine seeded
+   with the full window-origin state. Anything outside the component's
+   items is read-only background to these events (reads of items nobody
+   writes this window see origin values, the same values the serial run
+   shows them), so the scratch outcomes equal the serial ones — the
+   correctness argument is spelled out in docs/SERVICE.md. *)
+let run_component ~(sync : Sync.config) ~(origins : State.t array) ~window_index
+    ~(events : Admission.wevent array) ~members ~inline =
+  let t_start = Unix.gettimeofday () in
+  let origin = origins.(window_index) in
+  let engine = Engine.create origin in
+  let logical : Protocol.base_txn list ref = ref [] in
+  let builder = ref (Builder.create ()) in
+  let summary_of_base (bt : Protocol.base_txn) =
+    Summary.of_record ~kind:Summary.Base bt.Protocol.record
+  in
+  let builder_append txns =
+    List.iter (fun bt -> Builder.add !builder (summary_of_base bt)) txns
+  in
+  let builder_rebuild () =
+    let b = Builder.create () in
+    List.iter (fun bt -> Builder.add b (summary_of_base bt)) !logical;
+    builder := b
+  in
+  let cost = Cost.zero () in
+  let merges = ref 0
+  and saved = ref 0
+  and reexecuted = ref 0
+  and rejected = ref 0
+  and late_sessions = ref 0
+  and late_txns = ref 0 in
+  let deltas = ref [] in
+  let latencies = ref [] in
+  let count_txn_reports txns =
+    List.iter
+      (fun (r : Protocol.txn_report) ->
+        match r.Protocol.outcome with
+        | Protocol.Merged -> incr saved
+        | Protocol.Reexecuted -> incr reexecuted
+        | Protocol.Rejected -> incr rejected)
+      txns
+  in
+  let acceptance =
+    match sync.Sync.protocol with
+    | Sync.Merging mc -> mc.Protocol.acceptance
+    | Sync.Reprocessing -> Protocol.accept_always
+  in
+  let reprocess ~origin history =
+    let report =
+      Protocol.reprocess ~acceptance ~params:sync.Sync.params ~base:engine ~origin
+        ~tentative:history
+    in
+    logical := !logical @ report.Protocol.appended;
+    builder_append report.Protocol.appended;
+    count_txn_reports report.Protocol.txns;
+    Cost.add cost report.Protocol.cost
+  in
+  let handle_session (s : Admission.session) =
+    let history = History.of_programs s.programs in
+    match sync.Sync.protocol with
+    | Sync.Reprocessing -> reprocess ~origin:origins.(s.window_started) history
+    | Sync.Merging mc ->
+        if s.window_started < window_index then begin
+          incr late_sessions;
+          late_txns := !late_txns + History.length history;
+          reprocess ~origin:origins.(s.window_started) history
+        end
+        else begin
+          let report =
+            Protocol.merge ~base_builder:!builder ~config:mc ~params:sync.Sync.params
+              ~base:engine ~base_history:!logical ~origin ~tentative:history ()
+          in
+          logical := report.Protocol.new_history;
+          builder_rebuild ();
+          incr merges;
+          count_txn_reports report.Protocol.txns;
+          Cost.add cost report.Protocol.cost
+        end
+  in
+  List.iter
+    (fun idx ->
+      match events.(idx) with
+      | Admission.Base { program; _ } ->
+          let record = Engine.execute engine program in
+          let bt = { Protocol.program; Protocol.record } in
+          logical := !logical @ [ bt ];
+          builder_append [ bt ];
+          let writes =
+            List.filter_map
+              (fun (x, before, v) -> if before <> v then Some (x, v) else None)
+              record.Interp.writes
+          in
+          if writes <> [] then deltas := (idx, writes) :: !deltas
+      | Admission.Session s ->
+          let t0 = Unix.gettimeofday () in
+          let before = Engine.state engine in
+          (* The per-session span is only live on an inline (single
+             domain) run: the Obs span stack is not thread-safe. *)
+          if inline then Obs.Span.with_ ~name:"service.session" (fun () -> handle_session s)
+          else handle_session s;
+          let after = Engine.state engine in
+          let writes =
+            Item.Set.fold
+              (fun x acc ->
+                let v = State.get after x in
+                if State.get before x <> v then (x, v) :: acc else acc)
+              s.Admission.writes []
+          in
+          if writes <> [] then deltas := (idx, writes) :: !deltas;
+          latencies := (Unix.gettimeofday () -. t0) :: !latencies)
+    members;
+  (* Per-component ground-truth serializability check, the component
+     slice of Sync's window check: the component's logical history must
+     replay from the window origin to the scratch engine's state. Both
+     sides start at [origin] and only write inside the component's static
+     write footprint, so comparing on that footprint is the full
+     equality — and keeps the check O(footprint), not O(state). *)
+  let replayed =
+    List.fold_left (fun s (bt : Protocol.base_txn) -> Interp.apply s bt.Protocol.program) origin
+      !logical
+  in
+  let written =
+    List.fold_left
+      (fun acc idx ->
+        match events.(idx) with
+        | Admission.Base { program; _ } -> Item.Set.union acc (Program.writeset program)
+        | Admission.Session s -> Item.Set.union acc s.Admission.writes)
+      Item.Set.empty members
+  in
+  let violation = not (State.equal_on written replayed (Engine.state engine)) in
+  let busy = Unix.gettimeofday () -. t_start in
+  {
+    r_merges = !merges;
+    r_saved = !saved;
+    r_reexecuted = !reexecuted;
+    r_rejected = !rejected;
+    r_late_sessions = !late_sessions;
+    r_late_txns = !late_txns;
+    r_violation = violation;
+    r_deltas = List.rev !deltas;
+    r_latencies = List.rev !latencies;
+    r_weight = Cost.total cost +. float_of_int (List.length members);
+    r_busy = busy;
+    r_cost = cost;
+  }
+
+let run config (sync : Sync.config) (workload : Sync.workload) trace =
+  if config.shards < 1 then invalid_arg "Service.run: shards must be >= 1";
+  if config.domains < 1 then invalid_arg "Service.run: domains must be >= 1";
+  (match sync.Sync.isolation with
+  | Sync.Strategy2 -> ()
+  | Sync.Strategy1 ->
+      invalid_arg
+        "Service.run: only Strategy 2 isolation is supported (per-mobile Strategy-1 snapshots \
+         have no common origin to dispatch a window against)");
+  (match sync.Sync.merge_runner with
+  | None -> ()
+  | Some _ -> invalid_arg "Service.run: custom merge runners are not supported");
+  let t_start = Unix.gettimeofday () in
+  let canonical = Engine.create workload.Trace.initial in
+  let smap = Smap.make ~shards:config.shards config.scheme in
+  let windows, base_txns, tentative_txns = Admission.windows ~seed:config.seed trace in
+  let n_windows = List.length windows in
+  let origins = Array.make (n_windows + 1) workload.Trace.initial in
+  let cost = Cost.zero () in
+  let sessions = ref 0
+  and merges = ref 0
+  and saved = ref 0
+  and reexecuted = ref 0
+  and rejected = ref 0
+  and late_sessions = ref 0
+  and late_txns = ref 0
+  and violations = ref 0
+  and components = ref 0
+  and parallel_windows = ref 0
+  and shard_conflicted = ref 0
+  and item_conflicted = ref 0 in
+  let total_weight = ref 0.0
+  and critical_path = ref 0.0
+  and work_s = ref 0.0 in
+  let latencies = ref [] in
+  let inline = config.domains <= 1 in
+  let run_window (w : Admission.window) =
+    let comps, dstats = Dispatch.components ~smap w.Admission.events in
+    let comp_arr = Array.of_list comps in
+    let results =
+      Pool.map ~domains:config.domains
+        (fun i ->
+          run_component ~sync ~origins ~window_index:w.Admission.index ~events:w.Admission.events
+            ~members:comp_arr.(i).Dispatch.members ~inline)
+        (Array.length comp_arr)
+    in
+    (* Fold results back into the canonical WAL-backed base in admission
+       order: merge the per-component delta streams (each ascending in
+       event index) and apply one update group per event. *)
+    let all_deltas =
+      List.sort
+        (fun (a, _) (b, _) -> compare (a : int) b)
+        (List.concat_map (fun r -> r.r_deltas) (Array.to_list results))
+    in
+    List.iter
+      (fun (_idx, writes) ->
+        Engine.apply_updates canonical
+          (State.of_list writes)
+          (Item.Set.of_list (List.map fst writes)))
+      all_deltas;
+    (* Aggregate in task order — deterministic regardless of which
+       domain ran what. *)
+    let weights = ref [] in
+    Array.iter
+      (fun r ->
+        merges := !merges + r.r_merges;
+        saved := !saved + r.r_saved;
+        reexecuted := !reexecuted + r.r_reexecuted;
+        rejected := !rejected + r.r_rejected;
+        late_sessions := !late_sessions + r.r_late_sessions;
+        late_txns := !late_txns + r.r_late_txns;
+        Cost.add cost r.r_cost;
+        work_s := !work_s +. r.r_busy;
+        latencies := List.rev_append r.r_latencies !latencies;
+        weights := r.r_weight :: !weights)
+      results;
+    if Array.exists (fun r -> r.r_violation) results then incr violations;
+    let weights = List.rev !weights in
+    total_weight := !total_weight +. List.fold_left ( +. ) 0.0 weights;
+    critical_path := !critical_path +. lpt_makespan ~bins:config.domains weights;
+    let w_sessions = Array.fold_left (fun n c -> n + c.Dispatch.sessions) 0 comp_arr in
+    sessions := !sessions + w_sessions;
+    components := !components + dstats.Dispatch.components;
+    if dstats.Dispatch.components >= 2 then incr parallel_windows;
+    shard_conflicted := !shard_conflicted + dstats.Dispatch.shard_conflicted_sessions;
+    item_conflicted := !item_conflicted + dstats.Dispatch.item_conflicted_sessions;
+    (* Coordinator-side metrics, after the barrier. *)
+    Obs.Counter.incr obs_windows;
+    Obs.Counter.incr ~by:w_sessions obs_sessions;
+    Obs.Counter.incr ~by:dstats.Dispatch.components obs_components;
+    if dstats.Dispatch.components >= 2 then Obs.Counter.incr obs_parallel_windows;
+    Array.iter (fun c -> Obs.Dist.observe_int obs_comp_sessions c.Dispatch.sessions) comp_arr;
+    Array.iter
+      (fun r ->
+        Obs.Counter.incr ~by:r.r_merges obs_merges;
+        Obs.Counter.incr ~by:r.r_late_sessions obs_late;
+        if r.r_violation then Obs.Counter.incr obs_violations;
+        List.iter (fun l -> Obs.Dist.observe obs_latency (l *. 1e6)) r.r_latencies)
+      results;
+    (* The next window's common origin is the folded canonical state. *)
+    origins.(w.Admission.index + 1) <- Engine.state canonical
+  in
+  Obs.Span.with_ ~name:"service.run" (fun () ->
+      List.iter
+        (fun w -> Obs.Span.with_ ~name:"service.window" (fun () -> run_window w))
+        windows);
+  let wall_s = Unix.gettimeofday () -. t_start in
+  let sorted = Array.of_list !latencies in
+  Array.sort compare sorted;
+  let sorted_us = Array.map (fun s -> s *. 1e6) sorted in
+  {
+    det =
+      {
+        sessions = !sessions;
+        merges = !merges;
+        saved = !saved;
+        reexecuted = !reexecuted;
+        rejected = !rejected;
+        late_sessions = !late_sessions;
+        late_txns = !late_txns;
+        base_txns;
+        tentative_txns;
+        windows = n_windows;
+        violations = !violations;
+        components = !components;
+        parallel_windows = !parallel_windows;
+        shard_conflicted_sessions = !shard_conflicted;
+        item_conflicted_sessions = !item_conflicted;
+        cost_total = Cost.total cost;
+        final_base = Engine.state canonical;
+      };
+    speedup = (if !critical_path > 0.0 then !total_weight /. !critical_path else 1.0);
+    timing =
+      {
+        wall_s;
+        work_s = !work_s;
+        sessions_per_sec = (if wall_s > 0.0 then float_of_int !sessions /. wall_s else 0.0);
+        p50_us = quantile sorted_us 0.50;
+        p99_us = quantile sorted_us 0.99;
+        p999_us = quantile sorted_us 0.999;
+      };
+    cost;
+  }
+
+(* Does the service's deterministic outcome match a serial Sync run over
+   the same trace? The per-session verdict counters, the ground-truth
+   checks, and the final base state must all agree; costs intentionally
+   differ (component slices build smaller precedence graphs). *)
+let agrees_with_sync (d : det) (s : Sync.stats) =
+  d.merges = s.Sync.merges && d.saved = s.Sync.saved && d.reexecuted = s.Sync.reexecuted
+  && d.rejected = s.Sync.rejected
+  && d.late_sessions = s.Sync.late_sessions
+  && d.late_txns = s.Sync.late_txns
+  && d.base_txns = s.Sync.base_txns
+  && d.tentative_txns = s.Sync.tentative_txns
+  && d.windows = s.Sync.windows_checked
+  && d.violations = s.Sync.serializability_violations
+  && State.equal d.final_base s.Sync.final_base
+
+let det_equal (a : det) (b : det) =
+  a.sessions = b.sessions && a.merges = b.merges && a.saved = b.saved
+  && a.reexecuted = b.reexecuted && a.rejected = b.rejected
+  && a.late_sessions = b.late_sessions && a.late_txns = b.late_txns
+  && a.base_txns = b.base_txns && a.tentative_txns = b.tentative_txns
+  && a.windows = b.windows && a.violations = b.violations && a.components = b.components
+  && a.parallel_windows = b.parallel_windows
+  && a.shard_conflicted_sessions = b.shard_conflicted_sessions
+  && a.item_conflicted_sessions = b.item_conflicted_sessions
+  && a.cost_total = b.cost_total
+  && State.equal a.final_base b.final_base
+
+let pp_report ppf r =
+  let d = r.det and t = r.timing in
+  Format.fprintf ppf
+    "@[<v>sessions=%d merges=%d saved=%d reexec=%d rejected=%d late=%d violations=%d@ \
+     windows=%d components=%d parallel_windows=%d shard_conflicted=%d item_conflicted=%d@ \
+     speedup=%.2fx (cost-model) wall=%.3fs work=%.3fs sessions/sec=%.0f@ \
+     latency us: p50=%.0f p99=%.0f p999=%.0f@]"
+    d.sessions d.merges d.saved d.reexecuted d.rejected d.late_sessions d.violations d.windows
+    d.components d.parallel_windows d.shard_conflicted_sessions d.item_conflicted_sessions
+    r.speedup t.wall_s t.work_s t.sessions_per_sec t.p50_us t.p99_us t.p999_us

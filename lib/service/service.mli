@@ -1,0 +1,98 @@
+(** The concurrent base-side merge service.
+
+    Turns the serial [Sync] pipeline into a sharded, multi-domain merge
+    service over the same seeded event {!Repro_replication.Trace}:
+
+    + {!Admission.windows} materializes per-window admission queues
+      (sessions + base transactions, deterministic seeded order);
+    + {!Dispatch.components} splits each window into independent
+      connected components of the conflict graph (shard-level filter,
+      item-level refinement);
+    + a {!Pool} of OCaml 5 domains executes each component as a serial
+      sub-simulation against a scratch engine seeded with the window
+      origin ({!run_component} mirrors Sync's handlers exactly);
+    + the coordinator folds every component's write sets back into the
+      canonical WAL-backed base in admission order, runs the
+      per-component ground-truth serializability checks, and opens the
+      next window at the folded state.
+
+    The deterministic part of the report is a pure function of the trace
+    and the service configuration — identical across runs and across
+    domain counts — and provably equal to serial [Sync.run] on the same
+    trace (correctness argument in docs/SERVICE.md, property-tested in
+    test/test_service.ml). *)
+
+open Repro_txn
+module Sync = Repro_replication.Sync
+module Cost = Repro_replication.Cost
+
+type config = {
+  shards : int;
+  domains : int;  (** worker domains, >= 1; [1] runs inline *)
+  scheme : Smap.scheme;
+  seed : int;  (** admission tie-break seed *)
+}
+
+(** 16 hash shards, 1 domain, seed 11. *)
+val default_config : config
+
+(** Deterministic outcome: identical across runs, domain counts and
+    scheduling. [cost_total] differs from serial Sync's (component
+    slices build smaller precedence graphs — that is the point). *)
+type det = {
+  sessions : int;  (** non-empty reconnection sessions admitted *)
+  merges : int;
+  saved : int;
+  reexecuted : int;
+  rejected : int;
+  late_sessions : int;
+  late_txns : int;
+  base_txns : int;
+  tentative_txns : int;
+  windows : int;
+  violations : int;  (** windows failing the ground-truth replay check *)
+  components : int;  (** dispatched component tasks *)
+  parallel_windows : int;  (** windows dispatching >= 2 components *)
+  shard_conflicted_sessions : int;
+      (** sessions sharing a shard-level component with another session *)
+  item_conflicted_sessions : int;
+      (** same at item level — the shard/item gap is false sharing *)
+  cost_total : float;
+  final_base : State.t;
+}
+
+type timing = {
+  wall_s : float;
+  work_s : float;  (** sum of per-component busy times *)
+  sessions_per_sec : float;
+  p50_us : float;  (** session merge latency quantiles, microseconds *)
+  p99_us : float;
+  p999_us : float;
+}
+
+type report = {
+  det : det;
+  speedup : float;
+      (** cost-model speedup of the dispatched schedule on
+          [config.domains] domains: total component work divided by the
+          LPT-scheduled critical path, aggregated over windows.
+          Hardware-independent (single-core boxes included); [1.0] when
+          [domains = 1]. *)
+  timing : timing;  (** machine-dependent wall-clock measurements *)
+  cost : Cost.tally;
+}
+
+(** [run config sync workload trace] — serve every window of [trace].
+    Requires [sync.isolation = Strategy2] and [sync.merge_runner = None]
+    (invalid_arg otherwise). The scheduling fields of [sync] are ignored
+    — the trace fixes the events; [sync.protocol] and [sync.params]
+    drive the merges. *)
+val run : config -> Sync.config -> Sync.workload -> Repro_replication.Trace.t -> report
+
+(** Does the deterministic outcome agree with a serial [Sync.run] over
+    the same trace? Compares verdict counters, ground-truth check
+    results and the final base state (not costs). *)
+val agrees_with_sync : det -> Sync.stats -> bool
+
+val det_equal : det -> det -> bool
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,188 @@
+open Repro_txn
+module Rng = Repro_workload.Rng
+module Gen = Repro_workload.Gen
+module Zipf = Repro_workload.Zipf
+module Sync = Repro_replication.Sync
+module Protocol = Repro_replication.Protocol
+module Trace = Repro_replication.Trace
+
+type config = {
+  mobiles : int;
+  duration : float;
+  window : float;
+  mean_connect_gap : float;
+  disconnect_alpha : float option;
+  mean_mobile_txn_gap : float;
+  mean_base_txn_gap : float;
+  items_per_mobile : int;
+  shared_items : int;
+  locality : float;
+  zipf_skew : float;
+  commuting_fraction : float;
+  seed : int;
+  shards : int;
+  domains : int;
+  range_shards : bool;
+}
+
+let default_config =
+  {
+    mobiles = 10_000;
+    duration = 15.0;
+    window = 5.0;
+    mean_connect_gap = 2.0;
+    disconnect_alpha = Some 1.6;
+    mean_mobile_txn_gap = 10.0;
+    mean_base_txn_gap = 1.0;
+    items_per_mobile = 8;
+    shared_items = 128;
+    locality = 0.99;
+    zipf_skew = 0.9;
+    commuting_fraction = 0.6;
+    seed = 42;
+    shards = 16;
+    domains = 1;
+    range_shards = true;
+  }
+
+let home_item mobile j = Printf.sprintf "m%d.d%d" mobile j
+let shared_item j = Printf.sprintf "g%d" j
+
+let universe cfg =
+  Array.init
+    ((cfg.mobiles * cfg.items_per_mobile) + cfg.shared_items)
+    (fun i ->
+      if i < cfg.shared_items then shared_item i
+      else
+        let i = i - cfg.shared_items in
+        home_item (i / cfg.items_per_mobile) (i mod cfg.items_per_mobile))
+
+(* The salesperson's data model: each mobile works almost exclusively in
+   its private home region (its accounts, its orders) and occasionally
+   touches a small shared pool of hot global items, Zipf-skewed. The
+   locality knob is what the service's throughput lives and dies by:
+   every shared touch risks chaining the session into the window's big
+   shared component. *)
+let workload cfg : Sync.workload =
+  let home_zipf = Zipf.make ~n:cfg.items_per_mobile ~skew:cfg.zipf_skew in
+  let shared_zipf = Zipf.make ~n:cfg.shared_items ~skew:cfg.zipf_skew in
+  let profile = { Gen.default_profile with commuting_fraction = cfg.commuting_fraction } in
+  (* [k] distinct items for one transaction of mobile [mobile]
+     ([mobile < 0]: base — shared pool only). Best effort: gives up on
+     distinctness after a bounded number of draws, so a transaction can
+     come out smaller under extreme skew. *)
+  let pick rng ~mobile k =
+    let seen = Hashtbl.create 8 in
+    let out = ref [] and n = ref 0 and attempts = ref 0 in
+    while !n < k && !attempts < (k * 8) + 8 do
+      incr attempts;
+      let x =
+        if mobile >= 0 && Rng.bool rng cfg.locality then
+          home_item mobile (Zipf.sample home_zipf rng)
+        else shared_item (Zipf.sample shared_zipf rng)
+      in
+      if not (Hashtbl.mem seen x) then begin
+        Hashtbl.add seen x ();
+        out := x :: !out;
+        incr n
+      end
+    done;
+    List.rev !out
+  in
+  let make rng ~name ~mobile =
+    let n_writes = max 1 (Rng.in_range rng 1 2) in
+    let n_reads = Rng.in_range rng 0 1 in
+    let chosen = pick rng ~mobile (n_writes + n_reads) in
+    let rec split k l =
+      if k = 0 then ([], l)
+      else
+        match l with
+        | [] -> ([], [])
+        | x :: rest ->
+            let a, b = split (k - 1) rest in
+            (x :: a, b)
+    in
+    let writes, reads = split n_writes chosen in
+    let writes = if writes = [] then [ home_item (max 0 mobile) 0 ] else writes in
+    Gen.transaction_over profile rng ~name ~writes ~reads
+  in
+  let initial =
+    let vrng = Rng.create (cfg.seed lxor 0x5eed) in
+    State.of_list (Array.to_list (Array.map (fun x -> (x, Rng.in_range vrng 50 150)) (universe cfg)))
+  in
+  {
+    initial;
+    make_mobile_txn =
+      (fun rng ~name ->
+        (* Trace names mobile transactions M<mobile>T<n>. *)
+        let mobile = try Scanf.sscanf name "M%dT%d" (fun m _ -> m) with _ -> 0 in
+        make rng ~name ~mobile);
+    make_base_txn = (fun rng ~name -> make rng ~name ~mobile:(-1));
+  }
+
+let sync_config cfg =
+  {
+    Sync.default_config with
+    Sync.n_mobiles = cfg.mobiles;
+    Sync.duration = cfg.duration;
+    Sync.window = cfg.window;
+    Sync.mean_connect_gap = cfg.mean_connect_gap;
+    Sync.connect_alpha = cfg.disconnect_alpha;
+    Sync.mean_mobile_txn_gap = cfg.mean_mobile_txn_gap;
+    Sync.mean_base_txn_gap = cfg.mean_base_txn_gap;
+    Sync.protocol = Sync.Merging Protocol.default_merge_config;
+    Sync.isolation = Sync.Strategy2;
+    Sync.seed = cfg.seed;
+  }
+
+let service_config cfg =
+  {
+    Service.shards = cfg.shards;
+    Service.domains = cfg.domains;
+    Service.scheme = (if cfg.range_shards then Smap.Range (universe cfg) else Smap.Hash);
+    Service.seed = cfg.seed;
+  }
+
+type result = {
+  report : Service.report;
+  baseline : Service.report option;  (* same trace, domains = 1 *)
+  baseline_matches : bool;  (* det_equal report baseline — true when no baseline ran *)
+  wall_speedup : float option;
+  events : int;
+}
+
+(* [run ?baseline cfg] — generate one trace, serve it. With [baseline]
+   (default: on whenever [domains > 1]) the same trace is also served on
+   a single domain: its deterministic outcome must match the parallel
+   one bit for bit (the cross-domain determinism check), and the wall
+   ratio is the measured end-to-end speedup. *)
+let run ?baseline cfg =
+  let baseline = Option.value baseline ~default:(cfg.domains > 1) in
+  let sync = sync_config cfg in
+  let wl = workload cfg in
+  let trace = Trace.generate (Sync.trace_params sync) wl in
+  let svc = service_config cfg in
+  let report = Service.run svc sync wl trace in
+  let base =
+    if baseline && cfg.domains > 1 then
+      Some (Service.run { svc with Service.domains = 1 } sync wl trace)
+    else None
+  in
+  let matches =
+    match base with None -> true | Some b -> Service.det_equal report.Service.det b.Service.det
+  in
+  let wall_speedup =
+    match base with
+    | Some b when report.Service.timing.Service.wall_s > 0.0 ->
+        Some (b.Service.timing.Service.wall_s /. report.Service.timing.Service.wall_s)
+    | _ -> None
+  in
+  { report; baseline = base; baseline_matches = matches; wall_speedup; events = Trace.length trace }
+
+let pp_result ppf r =
+  Format.fprintf ppf "@[<v>%a@]" Service.pp_report r.report;
+  (match r.wall_speedup with
+  | Some s -> Format.fprintf ppf "@ wall speedup vs 1 domain: %.2fx" s
+  | None -> ());
+  if not r.baseline_matches then
+    Format.fprintf ppf "@ WARNING: parallel run diverged from single-domain baseline"

@@ -1,0 +1,65 @@
+(** Large-scale service simulation: 10k–100k mobiles against the
+    concurrent merge service.
+
+    The workload is the paper's disconnected-salesperson model scaled
+    up: each mobile owns a small private home region of items and
+    occasionally touches a Zipf-skewed shared pool ([locality] is the
+    probability an item pick stays home). Disconnection lengths are
+    Pareto power-law tailed by default
+    ({!Repro_workload.Gen.power_law_disconnect}); transaction type mix
+    comes from {!Repro_workload.Gen.transaction_over}. *)
+
+type config = {
+  mobiles : int;
+  duration : float;
+  window : float;
+  mean_connect_gap : float;
+  disconnect_alpha : float option;
+      (** [Some a]: Pareto tail index for disconnection lengths;
+          [None]: exponential *)
+  mean_mobile_txn_gap : float;
+  mean_base_txn_gap : float;
+  items_per_mobile : int;  (** home region size *)
+  shared_items : int;  (** global hot pool size *)
+  locality : float;  (** probability an item pick is home-local *)
+  zipf_skew : float;
+  commuting_fraction : float;
+  seed : int;
+  shards : int;
+  domains : int;
+  range_shards : bool;
+      (** [true]: range shard map over the item universe (home regions
+          stay contiguous); [false]: hash shards *)
+}
+
+(** 10k mobiles, 5-unit windows over 15 units, Pareto(1.6) disconnects
+    of mean 2, 8-item home regions + 128 shared items at locality 0.99,
+    16 range shards, 1 domain, seed 42. *)
+val default_config : config
+
+(** The full sorted item universe (shared pool then home regions) — the
+    range shard map's key space. *)
+val universe : config -> Repro_txn.Item.t array
+
+val workload : config -> Repro_replication.Sync.workload
+val sync_config : config -> Repro_replication.Sync.config
+val service_config : config -> Service.config
+
+type result = {
+  report : Service.report;
+  baseline : Service.report option;
+      (** same trace served on a single domain, when requested *)
+  baseline_matches : bool;
+      (** parallel and single-domain deterministic outcomes are
+          identical (vacuously true with no baseline) *)
+  wall_speedup : float option;  (** baseline wall / parallel wall *)
+  events : int;  (** trace length *)
+}
+
+(** [run ?baseline cfg] — generate one seeded trace and serve it.
+    [baseline] defaults to [domains > 1]; when on, the same trace is
+    also served with [domains = 1] for the cross-domain determinism
+    check and the measured wall speedup. *)
+val run : ?baseline:bool -> config -> result
+
+val pp_result : Format.formatter -> result -> unit

@@ -10,9 +10,12 @@ let equal_on items s1 s2 = Item.Set.for_all (fun x -> get s1 x = get s2 x) items
 
 let items state = Item.Map.keys state
 
+(* One simultaneous traversal; a binding present on one side only is
+   equal iff it holds the default 0. *)
 let equal s1 s2 =
-  let universe = Item.Set.union (items s1) (items s2) in
-  equal_on universe s1 s2
+  Item.Map.equal ( = )
+    (Item.Map.filter (fun _ v -> v <> 0) s1)
+    (Item.Map.filter (fun _ v -> v <> 0) s2)
 
 let pp = Item.Map.pp Format.pp_print_int
 

@@ -95,6 +95,16 @@ let guarded_additive_body rng writes reads =
   in
   (params, updates)
 
+let transaction_over profile rng ~name ~writes ~reads =
+  let ttype, (params, body) =
+    if Rng.bool rng profile.commuting_fraction then ("additive", additive_body rng writes reads)
+    else if Rng.bool rng profile.guard_fraction then
+      if Rng.bool rng 0.5 then ("guarded", guarded_body rng writes reads)
+      else ("guarded-additive", guarded_additive_body rng writes reads)
+    else ("assignment", assignment_body rng writes reads)
+  in
+  Program.make ~name ~ttype ~params body
+
 let transaction p rng ~name =
   let lo_w, hi_w = p.profile.writes_per_txn in
   let lo_r, hi_r = p.profile.extra_reads in
@@ -106,14 +116,18 @@ let transaction p rng ~name =
     | x :: rest -> let a, b = split (k - 1) rest in (x :: a, b)
   in
   let writes, reads = split n_writes chosen in
-  let ttype, (params, body) =
-    if Rng.bool rng p.profile.commuting_fraction then ("additive", additive_body rng writes reads)
-    else if Rng.bool rng p.profile.guard_fraction then
-      if Rng.bool rng 0.5 then ("guarded", guarded_body rng writes reads)
-      else ("guarded-additive", guarded_additive_body rng writes reads)
-    else ("assignment", assignment_body rng writes reads)
-  in
-  Program.make ~name ~ttype ~params body
+  transaction_over p.profile rng ~name ~writes ~reads
+
+(* Pareto with tail index [alpha] and the given mean: scale
+   x_m = mean (alpha-1)/alpha, survival P(X > x) = (x_m/x)^alpha for
+   x >= x_m. Consumes exactly one rng float, like the exponential
+   sampler in Sync, so swapping distributions never shifts the rest of
+   a seeded draw sequence. *)
+let power_law_disconnect ~mean ~alpha rng =
+  if not (alpha > 1.0) then invalid_arg "Gen.power_law_disconnect: alpha must be > 1";
+  if not (mean > 0.0) then invalid_arg "Gen.power_law_disconnect: mean must be > 0";
+  let x_m = mean *. (alpha -. 1.0) /. alpha in
+  x_m *. ((1.0 -. Rng.float rng) ** (-1.0 /. alpha))
 
 let history p rng ~prefix ~length =
   History.of_programs

@@ -46,6 +46,22 @@ val initial_state : pool -> Rng.t -> State.t
 (** [transaction pool rng ~name] — one random transaction instance. *)
 val transaction : pool -> Rng.t -> name:string -> Program.t
 
+(** [transaction_over profile rng ~name ~writes ~reads] — one random
+    transaction instance over caller-chosen items: [writes] are updated,
+    [reads] only read. Item selection is the caller's (e.g. a locality
+    mixture in the service simulator); only the type mix and parameter
+    draws come from [profile]/[rng]. *)
+val transaction_over :
+  profile -> Rng.t -> name:string -> writes:Item.t list -> reads:Item.t list -> Program.t
+
+(** [power_law_disconnect ~mean ~alpha rng] — a Pareto-tailed duration
+    with the given mean and tail index [alpha > 1] (heavier tail as
+    [alpha] approaches 1). Scale is [mean*(alpha-1)/alpha], so
+    [P(X > x) = (scale/x)^alpha] for [x >= scale]. Models mobile
+    disconnection lengths, which empirically are power-law rather than
+    exponential. Consumes exactly one rng float per draw. *)
+val power_law_disconnect : mean:float -> alpha:float -> Rng.t -> float
+
 (** [history pool rng ~prefix ~length] — a history of [length] instances
     named [prefix1 .. prefixN]. *)
 val history : pool -> Rng.t -> prefix:string -> length:int -> History.t

@@ -117,6 +117,22 @@ let test_topo_respects_masks () =
   let g' = Digraph.induced g (fun i -> i <> 0) in
   check_il "order of remaining" [ 1; 2; 3 ] (Topo.sort_exn g')
 
+let test_weak_components () =
+  let g = Digraph.create 6 in
+  (* 0->1, 2->1 (direction ignored: one component), 3<->4 cycle, 5 isolated *)
+  Digraph.add_edge g 0 1;
+  Digraph.add_edge g 2 1;
+  Digraph.add_edge g 3 4;
+  Digraph.add_edge g 4 3;
+  Alcotest.(check (list (list int)))
+    "components by smallest member" [ [ 0; 1; 2 ]; [ 3; 4 ]; [ 5 ] ]
+    (Digraph.weakly_connected_components g);
+  (* masked nodes drop out *)
+  let g' = Digraph.induced g (fun i -> i <> 1) in
+  Alcotest.(check (list (list int)))
+    "induced" [ [ 0 ]; [ 2 ]; [ 3; 4 ]; [ 5 ] ]
+    (Digraph.weakly_connected_components g')
+
 (* Random-graph properties *)
 
 let gen_graph =
@@ -135,6 +151,50 @@ let prop_scc_partition =
       let comps = Scc.components g in
       let all = List.concat comps in
       List.length all = 10 && List.sort compare all = List.init 10 Fun.id)
+
+let prop_wcc_partition =
+  QCheck.Test.make ~count:300 ~name:"weak components partition nodes; no edge crosses" gen_graph
+    (fun edges ->
+      let g = graph_of_edges edges in
+      let comps = Digraph.weakly_connected_components g in
+      let all = List.concat comps in
+      (* A partition of the node set, each component ascending,
+         components ordered by smallest member. *)
+      List.sort compare all = List.init 10 Fun.id
+      && List.for_all (fun c -> List.sort compare c = c) comps
+      && (List.map List.hd comps |> fun heads -> List.sort compare heads = heads)
+      && (* no edge crosses components *)
+      let comp_of = Array.make 10 (-1) in
+      List.iteri (fun ci c -> List.iter (fun v -> comp_of.(v) <- ci) c) comps;
+      List.for_all (fun (u, v) -> comp_of.(u) = comp_of.(v)) (Digraph.edges g))
+
+let prop_wcc_connected =
+  QCheck.Test.make ~count:300 ~name:"weak components are undirected-connected" gen_graph
+    (fun edges ->
+      let g = graph_of_edges edges in
+      (* Undirected BFS within each claimed component reaches all of it. *)
+      let neighbors u =
+        List.sort_uniq compare (Digraph.successors g u @ Digraph.predecessors g u)
+      in
+      List.for_all
+        (fun comp ->
+          match comp with
+          | [] -> false
+          | root :: _ ->
+            let in_comp = List.sort compare comp in
+            let visited = Hashtbl.create 16 in
+            let rec bfs = function
+              | [] -> ()
+              | u :: rest ->
+                if Hashtbl.mem visited u then bfs rest
+                else begin
+                  Hashtbl.add visited u ();
+                  bfs (List.filter (fun v -> List.mem v in_comp) (neighbors u) @ rest)
+                end
+            in
+            bfs [ root ];
+            List.for_all (Hashtbl.mem visited) comp)
+        (Digraph.weakly_connected_components g))
 
 let prop_topo_respects_edges =
   QCheck.Test.make ~count:300 ~name:"topological order respects every edge" gen_graph
@@ -187,7 +247,9 @@ let () =
           Alcotest.test_case "range check" `Quick test_out_of_range_rejected;
           Alcotest.test_case "induced subgraph" `Quick test_induced;
           Alcotest.test_case "transpose" `Quick test_transpose;
-        ] );
+          Alcotest.test_case "weak components" `Quick test_weak_components;
+        ]
+        @ qsuite [ prop_wcc_partition; prop_wcc_connected ] );
       ( "scc",
         [
           Alcotest.test_case "ring" `Quick test_scc_ring;

@@ -1,0 +1,266 @@
+(* Tests for the concurrent merge service: shard map, admission,
+   dispatch, and the two core properties — serial equivalence (the
+   sharded/parallel service computes exactly what serial Sync.run does on
+   the same trace) and determinism (same seed + same shard count give the
+   same deterministic report across runs and domain counts). *)
+
+open Repro_txn
+open Repro_service
+module Sync = Repro_replication.Sync
+module Trace = Repro_replication.Trace
+module Banking = Repro_workload.Banking
+module Gen = Repro_workload.Gen
+module Rng = Repro_workload.Rng
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+(* -------------------------------------------------------------------- *)
+(* Shard map *)
+
+let test_smap_hash_stable () =
+  let m = Smap.make ~shards:16 Smap.Hash in
+  let m' = Smap.make ~shards:16 Smap.Hash in
+  List.iter
+    (fun x ->
+      let s = Smap.shard_of_item m x in
+      checkb "in range" true (s >= 0 && s < 16);
+      checki "stable across maps" s (Smap.shard_of_item m' x))
+    [ "a"; "d17"; "m42.d3"; "g0"; "" ]
+
+let test_smap_range_blocks () =
+  let universe = Array.init 100 (fun i -> Printf.sprintf "x%03d" i) in
+  let m = Smap.make ~shards:4 (Smap.Range universe) in
+  (* Contiguous rank blocks: shard is monotone in rank, all 4 used. *)
+  let shards = Array.map (Smap.shard_of_item m) universe in
+  Array.iteri (fun i s -> if i > 0 then checkb "monotone" true (s >= shards.(i - 1))) shards;
+  checki "first block" 0 shards.(0);
+  checki "last block" 3 shards.(99);
+  (* Off-universe items still land in range. *)
+  let s = Smap.shard_of_item m "unknown" in
+  checkb "fallback in range" true (s >= 0 && s < 4)
+
+let test_smap_footprint () =
+  let universe = Array.init 8 (fun i -> Printf.sprintf "x%d" i) in
+  let m = Smap.make ~shards:4 (Smap.Range universe) in
+  let fp = Smap.footprint m (Item.Set.of_names [ "x0"; "x1"; "x7" ]) in
+  Alcotest.(check (list int)) "distinct ascending" [ 0; 3 ] fp
+
+(* -------------------------------------------------------------------- *)
+(* Admission + dispatch on a hand-built scenario *)
+
+let prog name items =
+  Program.make ~name
+    (List.map (fun x -> Repro_txn.Stmt.Update (x, Repro_txn.Expr.Add (Repro_txn.Expr.Item x, Repro_txn.Expr.Const 1))) items)
+
+let wevent_session mobile at items =
+  let p = prog (Printf.sprintf "M%dT1" mobile) items in
+  Admission.Session
+    {
+      Admission.mobile;
+      at;
+      window_started = 0;
+      programs = [ p ];
+      reads = Program.readset p;
+      writes = Program.writeset p;
+    }
+
+let test_dispatch_disjoint_parallel () =
+  let universe = Array.init 4 (fun i -> Printf.sprintf "x%d" i) in
+  let smap = Smap.make ~shards:4 (Smap.Range universe) in
+  let events =
+    [| wevent_session 0 1.0 [ "x0" ]; wevent_session 1 2.0 [ "x1" ]; wevent_session 2 3.0 [ "x2" ] |]
+  in
+  let comps, stats = Dispatch.components ~smap events in
+  checki "three components" 3 (List.length comps);
+  checki "no conflicts" 0 stats.Dispatch.item_conflicted_sessions
+
+let test_dispatch_overlap_grouped () =
+  let universe = Array.init 4 (fun i -> Printf.sprintf "x%d" i) in
+  let smap = Smap.make ~shards:4 (Smap.Range universe) in
+  let events =
+    [|
+      wevent_session 0 1.0 [ "x0"; "x1" ];
+      wevent_session 1 2.0 [ "x1"; "x2" ];
+      wevent_session 2 3.0 [ "x3" ];
+    |]
+  in
+  let comps, stats = Dispatch.components ~smap events in
+  checki "two components" 2 (List.length comps);
+  (match comps with
+  | [ a; b ] ->
+      Alcotest.(check (list int)) "chained sessions" [ 0; 1 ] a.Dispatch.members;
+      Alcotest.(check (list int)) "independent session" [ 2 ] b.Dispatch.members
+  | _ -> Alcotest.fail "expected two components");
+  checki "conflicted sessions" 2 stats.Dispatch.item_conflicted_sessions
+
+(* Read-read sharing of an item nobody writes must not chain sessions. *)
+let test_dispatch_read_only_sharing () =
+  let universe = Array.init 4 (fun i -> Printf.sprintf "x%d" i) in
+  let smap = Smap.make ~shards:4 (Smap.Range universe) in
+  let read_write name w r =
+    Program.make ~name
+      [ Repro_txn.Stmt.Read r; Repro_txn.Stmt.Update (w, Repro_txn.Expr.Add (Repro_txn.Expr.Item w, Repro_txn.Expr.Const 1)) ]
+  in
+  let session mobile at w r =
+    let p = read_write (Printf.sprintf "M%dT1" mobile) w r in
+    Admission.Session
+      {
+        Admission.mobile;
+        at;
+        window_started = 0;
+        programs = [ p ];
+        reads = Program.readset p;
+        writes = Program.writeset p;
+      }
+  in
+  (* Both read x3 (never written); write disjoint items. *)
+  let events = [| session 0 1.0 "x0" "x3"; session 1 2.0 "x1" "x3" |] in
+  let comps, stats = Dispatch.components ~smap events in
+  checki "read-read does not chain" 2 (List.length comps);
+  checki "no item conflicts" 0 stats.Dispatch.item_conflicted_sessions;
+  (* At shard granularity they do collide on x3's shard. *)
+  checki "shard-level false sharing" 2 stats.Dispatch.shard_conflicted_sessions
+
+(* -------------------------------------------------------------------- *)
+(* Serial equivalence + determinism properties *)
+
+let bank = Banking.make ~n_accounts:8
+
+let banking_workload =
+  {
+    Sync.initial = Banking.initial_state bank;
+    Sync.make_mobile_txn =
+      (fun rng ~name -> Banking.random_transaction bank rng ~name ~commuting_bias:0.6);
+    Sync.make_base_txn =
+      (fun rng ~name -> Banking.random_transaction bank rng ~name ~commuting_bias:0.6);
+  }
+
+let profile_workload seed =
+  let pool = Gen.pool { Gen.default_profile with Gen.n_items = 24; Gen.zipf_skew = 0.9 } in
+  {
+    Sync.initial = Gen.initial_state pool (Rng.create (seed + 1));
+    Sync.make_mobile_txn = (fun rng ~name -> Gen.transaction pool rng ~name);
+    Sync.make_base_txn = (fun rng ~name -> Gen.transaction pool rng ~name);
+  }
+
+let case_of_seed seed =
+  let wl = if seed mod 2 = 0 then banking_workload else profile_workload seed in
+  let sync =
+    {
+      Sync.default_config with
+      Sync.n_mobiles = 2 + (seed mod 5);
+      Sync.duration = 60.0 +. float_of_int (seed mod 40);
+      Sync.window = 12.0 +. float_of_int (seed mod 10);
+      Sync.mean_connect_gap = 8.0;
+      Sync.connect_alpha = (if seed mod 3 = 0 then Some 1.7 else None);
+      Sync.mean_mobile_txn_gap = 2.0;
+      Sync.isolation = Sync.Strategy2;
+      Sync.seed;
+    }
+  in
+  let svc =
+    {
+      Service.default_config with
+      Service.shards = 1 + (seed mod 8);
+      Service.scheme = (if seed mod 4 = 0 then Smap.Range (Array.of_list (List.init 24 (Printf.sprintf "d%d"))) else Smap.Hash);
+      Service.seed;
+    }
+  in
+  (wl, sync, svc)
+
+let prop_service_equals_serial =
+  QCheck.Test.make ~count:60 ~name:"service (sharded, parallel) == serial Sync.run"
+    (QCheck.make (QCheck.Gen.int_bound 1_000_000))
+    (fun seed ->
+      let wl, sync, svc = case_of_seed seed in
+      let trace = Trace.generate (Sync.trace_params sync) wl in
+      let serial = Sync.run_trace sync wl trace in
+      let r1 = Service.run { svc with Service.domains = 1 } sync wl trace in
+      let r3 = Service.run { svc with Service.domains = 3 } sync wl trace in
+      Service.agrees_with_sync r1.Service.det serial
+      && Service.det_equal r1.Service.det r3.Service.det)
+
+let prop_service_deterministic =
+  QCheck.Test.make ~count:20 ~name:"service report deterministic across runs"
+    (QCheck.make (QCheck.Gen.int_bound 1_000_000))
+    (fun seed ->
+      let wl, sync, svc = case_of_seed seed in
+      let trace = Trace.generate (Sync.trace_params sync) wl in
+      let a = Service.run svc sync wl trace in
+      let b = Service.run svc sync wl trace in
+      Service.det_equal a.Service.det b.Service.det)
+
+(* The serial simulator itself must be unchanged by the trace refactor:
+   run = run_trace over the generated trace. *)
+let test_sync_run_is_trace_run () =
+  let sync = { Sync.default_config with Sync.n_mobiles = 5; Sync.seed = 123 } in
+  let a = Sync.run sync banking_workload in
+  let trace = Trace.generate (Sync.trace_params sync) banking_workload in
+  let b = Sync.run_trace sync banking_workload trace in
+  checkb "identical stats" true
+    (a.Sync.merges = b.Sync.merges && a.Sync.saved = b.Sync.saved
+    && a.Sync.base_txns = b.Sync.base_txns
+    && a.Sync.tentative_txns = b.Sync.tentative_txns
+    && State.equal a.Sync.final_base b.Sync.final_base)
+
+(* -------------------------------------------------------------------- *)
+(* Strategy-1 and custom runners are rejected *)
+
+let test_requires_strategy2 () =
+  let sync = { Sync.default_config with Sync.isolation = Sync.Strategy1 } in
+  let trace = Trace.generate (Sync.trace_params sync) banking_workload in
+  Alcotest.check_raises "strategy 1 rejected"
+    (Invalid_argument
+       "Service.run: only Strategy 2 isolation is supported (per-mobile Strategy-1 snapshots \
+        have no common origin to dispatch a window against)") (fun () ->
+      ignore (Service.run Service.default_config sync banking_workload trace))
+
+(* -------------------------------------------------------------------- *)
+(* Small-fleet service-sim smoke: zero violations, some parallelism *)
+
+let test_sim_smoke () =
+  let cfg =
+    {
+      Sim.default_config with
+      Sim.mobiles = 200;
+      Sim.duration = 12.0;
+      Sim.window = 3.0;
+      Sim.shards = 8;
+      Sim.domains = 2;
+      Sim.seed = 7;
+    }
+  in
+  let r = Sim.run cfg in
+  let d = r.Sim.report.Service.det in
+  checki "zero violations" 0 d.Service.violations;
+  checkb "sessions admitted" true (d.Service.sessions > 0);
+  checkb "parallel dispatches" true (d.Service.parallel_windows > 0);
+  checkb "baseline matches" true r.Sim.baseline_matches;
+  checkb "speedup sane" true (r.Sim.report.Service.speedup >= 1.0)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "repro_service"
+    [
+      ( "smap",
+        [
+          Alcotest.test_case "hash stable" `Quick test_smap_hash_stable;
+          Alcotest.test_case "range blocks" `Quick test_smap_range_blocks;
+          Alcotest.test_case "footprint" `Quick test_smap_footprint;
+        ] );
+      ( "dispatch",
+        [
+          Alcotest.test_case "disjoint parallel" `Quick test_dispatch_disjoint_parallel;
+          Alcotest.test_case "overlap grouped" `Quick test_dispatch_overlap_grouped;
+          Alcotest.test_case "read-only sharing" `Quick test_dispatch_read_only_sharing;
+        ] );
+      ( "equivalence",
+        [
+          Alcotest.test_case "run = run_trace" `Quick test_sync_run_is_trace_run;
+          Alcotest.test_case "strategy-2 only" `Quick test_requires_strategy2;
+        ]
+        @ qsuite [ prop_service_equals_serial; prop_service_deterministic ] );
+      ("sim", [ Alcotest.test_case "smoke" `Quick test_sim_smoke ]);
+    ]

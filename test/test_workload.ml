@@ -189,6 +189,54 @@ let prop_banking_histories_execute =
       let exec = History.execute (Banking.initial_state bank) h in
       List.length exec.History.records = 15)
 
+(* Power-law (Pareto) disconnection lengths *)
+
+let test_power_law_deterministic () =
+  let draw seed = Gen_wl.power_law_disconnect ~mean:8.0 ~alpha:1.6 (Rng.create seed) in
+  checkb "same seed, same draw" true (draw 7 = draw 7);
+  checkb "different seeds differ" true (draw 7 <> draw 8);
+  Alcotest.check_raises "alpha <= 1 rejected"
+    (Invalid_argument "Gen.power_law_disconnect: alpha must be > 1") (fun () ->
+      ignore (Gen_wl.power_law_disconnect ~mean:8.0 ~alpha:1.0 (Rng.create 1)));
+  Alcotest.check_raises "mean <= 0 rejected"
+    (Invalid_argument "Gen.power_law_disconnect: mean must be > 0") (fun () ->
+      ignore (Gen_wl.power_law_disconnect ~mean:0.0 ~alpha:1.6 (Rng.create 1)))
+
+(* The sampler is Pareto(x_m, alpha) with x_m = mean*(alpha-1)/alpha: every
+   draw is >= x_m, the empirical mean converges to [mean], and the
+   empirical survival function matches the analytic tail
+   P(X > x) = (x_m / x)^alpha. This is the satellite's tail-shape check:
+   an exponential with the same mean would be orders of magnitude off at
+   the deep quantiles. *)
+let test_power_law_tail_shape () =
+  let mean = 8.0 and alpha = 1.6 in
+  let x_m = mean *. (alpha -. 1.0) /. alpha in
+  let n = 200_000 in
+  let rng = Rng.create 99 in
+  let xs = Array.init n (fun _ -> Gen_wl.power_law_disconnect ~mean ~alpha rng) in
+  Array.iter (fun x -> if x < x_m then Alcotest.fail "draw below scale x_m") xs;
+  let total = Array.fold_left ( +. ) 0.0 xs in
+  let emp_mean = total /. float_of_int n in
+  (* alpha = 1.6 has infinite variance, so the sample mean converges
+     slowly; a loose band is the honest check. *)
+  checkb "empirical mean near analytic" true (emp_mean > 0.7 *. mean && emp_mean < 1.6 *. mean);
+  let survival x =
+    let c = Array.fold_left (fun acc v -> if v > x then acc + 1 else acc) 0 xs in
+    float_of_int c /. float_of_int n
+  in
+  List.iter
+    (fun mult ->
+      let x = x_m *. mult in
+      let analytic = (x_m /. x) ** alpha in
+      let emp = survival x in
+      let ok = emp > 0.8 *. analytic && emp < 1.25 *. analytic in
+      if not ok then
+        Alcotest.failf "tail at %gx: empirical %.5f vs analytic %.5f" mult emp analytic)
+    [ 2.0; 5.0; 10.0; 30.0 ];
+  (* And it is genuinely heavy-tailed: an exponential of the same mean
+     has survival e^{-x/mean} ~ 3e-5 at x = 10*mean; Pareto sits far above. *)
+  checkb "heavier than exponential at 10x mean" true (survival (10.0 *. mean) > 0.003)
+
 (* Reservation *)
 
 let airline = Reservation.make ~n_flights:3
@@ -250,6 +298,11 @@ let () =
             test_banking_accrue_interest_not_additive;
         ]
         @ qsuite [ prop_banking_histories_execute ] );
+      ( "power-law",
+        [
+          Alcotest.test_case "deterministic + guards" `Quick test_power_law_deterministic;
+          Alcotest.test_case "Pareto tail vs analytic CDF" `Quick test_power_law_tail_shape;
+        ] );
       ( "reservation",
         [
           Alcotest.test_case "capacity guard" `Quick test_reserve_guarded_by_capacity;
