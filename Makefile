@@ -2,7 +2,7 @@
 # build, tests, docs (skipped when odoc is not installed — the build
 # container does not ship it), and the changelog check.
 
-.PHONY: all build test bench bench-snapshot bench-check smoke service-sim nemesis nemesis-disk doc changelog ci
+.PHONY: all build test bench bench-snapshot bench-check smoke service-sim obs-parity nemesis nemesis-disk doc changelog ci
 
 all: build
 
@@ -51,6 +51,22 @@ service-sim: build
 	dune exec bin/repro_cli.exe -- service-sim --mobiles 2000 --shards 8 --domains 2 \
 		--min-speedup 1.5 --expect-parallel --seed 7
 
+# Telemetry parity gate: the same 2k-mobile fleet served on 1 and 4
+# domains must produce identical merged deterministic metrics
+# (metrics-diff on the --metrics=json snapshots) and byte-identical
+# logical-clock Chrome traces. This is the exactness contract of the
+# sharded Obs registries.
+obs-parity: build
+	dune exec bin/repro_cli.exe -- service-sim --mobiles 2000 --shards 8 --domains 1 \
+		--no-baseline --seed 7 --metrics=json --trace-out /tmp/repro_parity_d1.trace.json \
+		--trace-clock=logical > /tmp/repro_parity_d1.json 2> /dev/null
+	dune exec bin/repro_cli.exe -- service-sim --mobiles 2000 --shards 8 --domains 4 \
+		--no-baseline --seed 7 --metrics=json --trace-out /tmp/repro_parity_d4.trace.json \
+		--trace-clock=logical > /tmp/repro_parity_d4.json 2> /dev/null
+	dune exec bin/repro_cli.exe -- metrics-diff /tmp/repro_parity_d1.json /tmp/repro_parity_d4.json
+	cmp /tmp/repro_parity_d1.trace.json /tmp/repro_parity_d4.trace.json
+	@echo "obs-parity: logical-clock traces byte-identical across domain counts"
+
 # Fixed-seed fault sweep: merge sessions over random fault schedules must
 # complete exactly-once or abort with the base untouched (exits 1 on any
 # violation).
@@ -75,5 +91,5 @@ doc:
 changelog:
 	sh tools/check_changes.sh
 
-ci: build test nemesis nemesis-disk smoke service-sim bench-check doc changelog
+ci: build test nemesis nemesis-disk smoke service-sim obs-parity bench-check doc changelog
 	@echo "ci: ok"

@@ -265,32 +265,54 @@ let part2 () =
    instrumentation at < 3% with recording enabled. Best-of-N wall-clock
    keeps scheduler noise out of the comparison. *)
 
-(* Best-of-N wall clock of [f] with the registry reset per run; [wrap]
-   sets the switch configuration under test. *)
-let best_of n wrap f =
+(* Best-of-N over *interleaved* rounds: each round times every switch
+   configuration once (registry reset per run), so slow heap drift or a
+   background hiccup hits all configurations alike instead of biasing
+   whichever was measured last. Each configuration also gets one untimed
+   warm-up run (the first enabled run populates the shard registry pool;
+   timing it would charge one-time setup to the steady state). *)
+let best_of_each n (wraps : ((unit -> float) -> float) list) f =
   let module Obs = Repro_obs.Obs in
-  let best = ref infinity in
-  for _ = 1 to n do
+  let one wrap =
     Obs.reset ();
-    let dt =
-      wrap (fun () ->
-          let t0 = Unix.gettimeofday () in
-          f ();
-          Unix.gettimeofday () -. t0)
-    in
-    if dt < !best then best := dt
+    wrap (fun () ->
+        let t0 = Unix.gettimeofday () in
+        f ();
+        Unix.gettimeofday () -. t0)
+  in
+  List.iter (fun w -> ignore (one w)) wraps;
+  let best = Array.make (List.length wraps) infinity in
+  for _ = 1 to n do
+    List.iteri (fun i w -> best.(i) <- Float.min best.(i) (one w)) wraps
   done;
-  !best
+  Array.to_list best
 
 let overhead_trio () =
   let module Obs = Repro_obs.Obs in
   let run_e3 () = ignore (E3_savings.run ~seeds:8 ~skews:[ 0.9 ] ()) in
-  ignore (best_of 2 (fun f -> f ()) run_e3);
-  (* warm-up *)
-  let off = best_of 5 (fun f -> f ()) run_e3 in
-  let metrics = best_of 5 (fun f -> Obs.with_enabled true f) run_e3 in
-  let events = best_of 5 (fun f -> Obs.Event.with_capturing true f) run_e3 in
-  (off, metrics, events)
+  match
+    best_of_each 5
+      [
+        (fun f -> f ());
+        (fun f -> Obs.with_enabled true f);
+        (fun f -> Obs.Event.with_capturing true f);
+      ]
+      run_e3
+  with
+  | [ off; metrics; events ] -> (off, metrics, events)
+  | _ -> assert false
+
+(* The same budget under multicore: the 4-domain merge service with the
+   sharded registries recording (per-task Shard.collect + fold-back)
+   versus switched off. *)
+let service_overhead_pair () =
+  let module Obs = Repro_obs.Obs in
+  let module Sim = Repro_service.Sim in
+  let cfg = { Sim.default_config with Sim.mobiles = 2000; Sim.domains = 4 } in
+  let run_svc () = ignore (Sim.run ~baseline:false cfg) in
+  match best_of_each 5 [ (fun f -> f ()); (fun f -> Obs.with_enabled true f) ] run_svc with
+  | [ off; metrics ] -> (off, metrics)
+  | _ -> assert false
 
 let part3 () =
   Format.printf
@@ -301,7 +323,13 @@ let part3 () =
     "all switches off:   %8.2f ms   (the disabled path the <1%% budget is about)@." (off *. 1000.0);
   Format.printf "metric recording:   %8.2f ms   %+.2f%% (budget < 3%%)@."
     (metrics *. 1000.0) (pct metrics);
-  Format.printf "event capturing:    %8.2f ms   %+.2f%%@." (events *. 1000.0) (pct events)
+  Format.printf "event capturing:    %8.2f ms   %+.2f%%@." (events *. 1000.0) (pct events);
+  Format.printf
+    "@.=== Part 3b: sharded-registry overhead (2k-mobile service, 4 domains, best of 3) ===@.@.";
+  let s_off, s_on = service_overhead_pair () in
+  Format.printf "recording off:      %8.2f ms@." (s_off *. 1000.0);
+  Format.printf "metric recording:   %8.2f ms   %+.2f%% (budget < 3%%)@." (s_on *. 1000.0)
+    ((s_on -. s_off) /. s_off *. 100.0)
 
 (* ------------------------------------------------------------------ *)
 (* Snapshot mode (--snapshot FILE): per-experiment wall-clock timings
@@ -324,15 +352,17 @@ let snapshot_experiments =
     ("a1", fun () -> ignore (A1_fixmode.run ~skews:[ 0.5; 1.0 ] ()));
     ("a2", fun () -> ignore (A2_setmode.run ~skews:[ 0.5; 1.0 ] ()));
     ("a3", fun () -> ignore (A3_strategy.run ~skews:[ 0.9 ] ()));
-    (* The concurrent merge service on a 5k-mobile fleet. Inline (one
-       domain): worker-domain counter increments are best-effort under
-       parallelism, and a snapshot wants exact counters. *)
-    ( "service",
+    (* The concurrent merge service on a 5k-mobile fleet across 4
+       worker domains: the sharded Obs registries make the merged
+       counters exact at any domain count, so the snapshot no longer
+       needs to fall back to an inline run. Renamed from "service"
+       (which ran inline) — a different experiment, gated separately. *)
+    ( "service-d4",
       fun () ->
         let module Sim = Repro_service.Sim in
         ignore
           (Sim.run ~baseline:false
-             { Sim.default_config with Sim.mobiles = 5000; Sim.domains = 1 }) );
+             { Sim.default_config with Sim.mobiles = 5000; Sim.domains = 4 }) );
   ]
 
 let snapshot file =
@@ -363,11 +393,14 @@ let snapshot file =
     snapshot_experiments;
   Format.printf "snapshot: overhead trio...@.";
   let off, metrics, events = overhead_trio () in
+  Format.printf "snapshot: service overhead (4 domains)...@.";
+  let s_off, s_on = service_overhead_pair () in
   Buffer.add_string buf
     (Printf.sprintf
        "\n ],\n \"overhead\": {\"experiment\": \"e3\", \"off_s\": %.6f, \"metrics_on_s\": \
-        %.6f, \"events_on_s\": %.6f}\n}\n"
-       off metrics events);
+        %.6f, \"events_on_s\": %.6f,\n  \"service_domains\": 4, \"service_off_s\": %.6f, \
+        \"service_metrics_on_s\": %.6f}\n}\n"
+       off metrics events s_off s_on);
   Out_channel.with_open_text file (fun oc -> Out_channel.output_string oc (Buffer.contents buf));
   Format.printf "snapshot: wrote %s@." file
 

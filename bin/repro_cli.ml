@@ -46,7 +46,17 @@ let trace_out_arg =
            trace-event JSON — load it at ui.perfetto.dev (or chrome://tracing) to see the \
            pipeline, mobile, base and network lanes on one timeline.")
 
-let with_observability ~metrics ~trace ~trace_out f =
+let trace_clock_arg =
+  Arg.(
+    value
+    & opt (enum [ ("wall", `Wall); ("logical", `Logical) ]) `Wall
+    & info [ "trace-clock" ] ~docv:"CLOCK"
+        ~doc:
+          "Timestamp clock for $(b,--trace-out): $(b,wall) (default) or $(b,logical) — the \
+           deterministic per-trace logical clock, byte-stable for seeded runs at any \
+           $(b,--domains) count.")
+
+let with_observability ?(trace_clock = `Wall) ~metrics ~trace ~trace_out f =
   let module Obs = Repro_obs.Obs in
   if metrics = None && (not trace) && trace_out = None then f ()
   else begin
@@ -74,7 +84,7 @@ let with_observability ~metrics ~trace ~trace_out f =
       Obs.Event.set_capturing false;
       let events = Obs.Event.events () in
       Out_channel.with_open_text file (fun oc ->
-          Out_channel.output_string oc (Repro_obs.Chrome.to_json events));
+          Out_channel.output_string oc (Repro_obs.Chrome.to_json ~clock:trace_clock events));
       Printf.eprintf "trace: %d event(s) written to %s%s\n%!" (List.length events) file
         (match Obs.Event.dropped () with
         | 0 -> ""
@@ -880,9 +890,29 @@ let service_sim_cmd =
       value & flag
       & info [ "expect-parallel" ] ~doc:"Fail unless at least one window dispatched in parallel.")
   in
-  let run metrics trace trace_out mobiles duration window seed shards domains scheme locality
-      disconnect_alpha exp_disconnects connect_gap shared_items zipf_skew no_baseline min_speedup
-      expect_parallel =
+  let live =
+    Arg.(
+      value
+      & opt ~vopt:(Some 0.0) (some float) None
+      & info [ "live" ] ~docv:"SECS"
+          ~doc:
+            "Flight recorder: print a live dashboard block to stderr after each resync window \
+             (sessions/sec, per-shard queue depth and conflict rate, per-worker utilization, \
+             merge-latency histogram, WAL force rate). With $(docv), throttle to at most one \
+             block per $(docv) wall seconds (the final window always prints).")
+  in
+  let live_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "live-out" ] ~docv:"FILE"
+          ~doc:
+            "Stream every flight-recorder sample to $(docv) as NDJSON (one JSON object per \
+             window), independent of the $(b,--live) dashboard throttle.")
+  in
+  let run metrics trace trace_out trace_clock mobiles duration window seed shards domains scheme
+      locality disconnect_alpha exp_disconnects connect_gap shared_items zipf_skew no_baseline
+      min_speedup expect_parallel live live_out =
     let cfg =
       {
         Sim.default_config with
@@ -900,9 +930,35 @@ let service_sim_cmd =
         Sim.zipf_skew;
       }
     in
+    (* The flight recorder needs live counters even when no metrics
+       output format was requested. *)
+    if live <> None || live_out <> None then Repro_obs.Obs.set_enabled true;
+    let live_oc = Option.map Out_channel.open_text live_out in
+    let last_dash = ref neg_infinity in
+    let recorder =
+      if live = None && live_out = None then None
+      else
+        Some
+          (fun (s : Flight.sample) ->
+            (match live_oc with
+            | Some oc ->
+              Out_channel.output_string oc (Flight.to_ndjson s);
+              Out_channel.output_char oc '\n';
+              Out_channel.flush oc
+            | None -> ());
+            match live with
+            | Some interval when s.Flight.final || s.Flight.wall_s -. !last_dash >= interval ->
+              last_dash := s.Flight.wall_s;
+              prerr_string (Flight.to_text s);
+              flush stderr
+            | _ -> ())
+    in
     let result =
-      with_observability ~metrics ~trace ~trace_out @@ fun () ->
-      Sim.run ~baseline:(not no_baseline) cfg
+      Fun.protect
+        ~finally:(fun () -> Option.iter Out_channel.close live_oc)
+        (fun () ->
+          with_observability ~metrics ~trace ~trace_out ~trace_clock @@ fun () ->
+          Sim.run ~baseline:(not no_baseline) ?recorder cfg)
     in
     let ppf =
       match metrics with
@@ -919,6 +975,9 @@ let service_sim_cmd =
            else None);
           (if not result.Sim.baseline_matches then
              Some "parallel run diverged from the single-domain baseline"
+           else None);
+          (if result.Sim.obs_parity = Some false then
+             Some "merged metrics diverged from the single-domain run"
            else None);
           (if expect_parallel && det.Service.parallel_windows = 0 then
              Some "no window dispatched more than one component"
@@ -942,9 +1001,65 @@ let service_sim_cmd =
          "Run a large-scale (10k-100k mobile) simulation against the sharded concurrent merge \
           service and report sessions/sec, merge-latency quantiles and parallel speedup.")
     Term.(
-      const run $ metrics_arg $ trace_arg $ trace_out_arg $ mobiles $ duration $ window $ seed
-      $ shards $ domains $ scheme $ locality $ disconnect_alpha $ exp_disconnects $ connect_gap
-      $ shared_items $ zipf_skew $ no_baseline $ min_speedup $ expect_parallel)
+      const run $ metrics_arg $ trace_arg $ trace_out_arg $ trace_clock_arg $ mobiles $ duration
+      $ window $ seed $ shards $ domains $ scheme $ locality $ disconnect_alpha $ exp_disconnects
+      $ connect_gap $ shared_items $ zipf_skew $ no_baseline $ min_speedup $ expect_parallel
+      $ live $ live_out)
+
+(* metrics-diff: compare two metric snapshots on deterministic metrics *)
+let metrics_diff_cmd =
+  let module Report = Repro_obs.Report in
+  let file_a = Arg.(required & pos 0 (some file) None & info [] ~docv:"A") in
+  let file_b = Arg.(required & pos 1 (some file) None & info [] ~docv:"B") in
+  let parse path =
+    let src = In_channel.with_open_text path In_channel.input_all in
+    let parsed =
+      if Filename.check_suffix path ".csv" then Report.of_csv src else Report.of_json src
+    in
+    match parsed with
+    | Ok r -> Report.strip_timings r
+    | Error msg ->
+      Format.eprintf "metrics-diff: %s: %s@." path msg;
+      exit 2
+  in
+  (* Key every CSV row by its "kind,name" prefix so the diff is
+     per-metric, not positional. *)
+  let rows r =
+    Report.to_csv r |> String.split_on_char '\n'
+    |> List.filter_map (fun line ->
+           match String.split_on_char ',' line with
+           | kind :: name :: _ when line <> "" && kind <> "kind" -> Some (kind ^ "," ^ name, line)
+           | _ -> None)
+  in
+  let run a b =
+    let ra = parse a and rb = parse b in
+    if Report.deterministic_equal ra rb then
+      print_endline "metrics-diff: reports agree on all deterministic metrics"
+    else begin
+      let la = rows ra and lb = rows rb in
+      let tb = Hashtbl.create 64 in
+      List.iter (fun (k, line) -> Hashtbl.replace tb k line) lb;
+      List.iter
+        (fun (k, line) ->
+          match Hashtbl.find_opt tb k with
+          | Some other when other = line -> Hashtbl.remove tb k
+          | Some other ->
+            Hashtbl.remove tb k;
+            Printf.printf "- %s\n+ %s\n" line other
+          | None -> Printf.printf "- %s\n" line)
+        la;
+      List.iter (fun (k, line) -> if Hashtbl.mem tb k then Printf.printf "+ %s\n" line) lb;
+      Format.eprintf "metrics-diff: %s and %s disagree on deterministic metrics@." a b;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "metrics-diff"
+       ~doc:
+         "Compare two metric snapshots (JSON from $(b,--metrics=json), or CSV) on deterministic \
+          metrics only: timing-tagged distributions and span durations are stripped before the \
+          comparison. Exits 1 and prints a per-metric diff on mismatch.")
+    Term.(const run $ file_a $ file_b)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
@@ -960,6 +1075,6 @@ let () =
           [
             e1_cmd; e2_cmd; e3_cmd; e4_cmd; e5_cmd; e6_cmd; e7_cmd; e8_cmd; e9_cmd; a1_cmd;
             a2_cmd; a3_cmd;
-            all_cmd; sim_cmd; service_sim_cmd; merge_cmd; explain_cmd; validate_json_cmd; scrub_cmd;
-            salvage_cmd; analyze_cmd; scenario_cmd; nemesis_cmd;
+            all_cmd; sim_cmd; service_sim_cmd; metrics_diff_cmd; merge_cmd; explain_cmd;
+            validate_json_cmd; scrub_cmd; salvage_cmd; analyze_cmd; scenario_cmd; nemesis_cmd;
           ]))

@@ -1,7 +1,10 @@
 (* Chrome trace-event JSON ("catapult" format) for captured event rings;
    the output loads in Perfetto / chrome://tracing. One process, one
-   thread per lane; span begin/end pairs become "B"/"E" duration events,
-   instants become "i". *)
+   thread per (lane, worker) pair — coordinator events (worker -1) keep
+   the four classic lane rows, merged worker events get their own rows —
+   so multicore traces don't interleave unrelated workers on a single
+   row. Span begin/end pairs become "B"/"E" duration events, instants
+   become "i". *)
 
 module E = Obs.Event
 
@@ -11,7 +14,13 @@ let lane_tid = function
   | E.Base -> 2
   | E.Network -> 3
 
-let all_lanes = [ E.Pipeline; E.Mobile; E.Base; E.Network ]
+(* Coordinator rows are tids 0-3; worker [w]'s rows start at 4*(w+1),
+   keeping every (lane, worker) pair on a distinct, stable tid. *)
+let event_tid e = if e.E.worker < 0 then lane_tid e.E.lane else (4 * (e.E.worker + 1)) + lane_tid e.E.lane
+
+let track_name e =
+  if e.E.worker < 0 then E.lane_name e.E.lane
+  else Printf.sprintf "%s/domain-%d" (E.lane_name e.E.lane) e.E.worker
 
 let esc = Report.escape_json
 
@@ -40,17 +49,17 @@ let to_json ?(clock = `Wall) events =
   in
   Buffer.add_string b "{\"displayTimeUnit\": \"ms\",\n \"traceEvents\": [\n";
   item "{\"ph\": \"M\", \"name\": \"process_name\", \"pid\": 0, \"tid\": 0, \"args\": {\"name\": \"repro\"}}";
-  let used_lanes =
-    List.filter (fun l -> List.exists (fun e -> e.E.lane = l) events) all_lanes
+  let used_tracks =
+    List.sort_uniq compare (List.map (fun e -> (event_tid e, track_name e)) events)
   in
   List.iter
-    (fun l ->
+    (fun (tid, name) ->
       item
         (Printf.sprintf
            "{\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": 0, \"tid\": %d, \"args\": \
             {\"name\": \"%s\"}}"
-           (lane_tid l) (E.lane_name l)))
-    used_lanes;
+           tid name))
+    used_tracks;
   let t0 =
     match clock with
     | `Logical -> 0.0
@@ -82,7 +91,7 @@ let to_json ?(clock = `Wall) events =
         (Printf.sprintf
            "{\"ph\": \"%s\", \"name\": \"%s\", \"pid\": 0, \"tid\": %d, \"ts\": %s%s, \
             \"args\": %s}"
-           ph (esc e.E.name) (lane_tid e.E.lane) (fl (ts e)) extra_fields args))
+           ph (esc e.E.name) (event_tid e) (fl (ts e)) extra_fields args))
     events;
   Buffer.add_string b "\n]}\n";
   Buffer.contents b

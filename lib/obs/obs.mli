@@ -1,14 +1,14 @@
 (** Merge-pipeline observability: counters, distributions, timed spans
-    and structured trace events behind a process-global registry.
+    and structured trace events recorded into per-domain registries.
 
     The pipeline stages (precedence build, back-out, rewrite, prune,
     forward, the storage engine, the protocols and the simulator)
     register their metrics once at module initialization and touch them
     on every run. Instrumentation is {e near-zero-cost when disabled}:
     with the global switches off (the default) every hot-path operation
-    is one or two mutable-bool tests, and [Span.with_ ~name f] is
-    exactly [f ()] — the qcheck suites verify that toggling either
-    switch never changes a merge result.
+    is one or two atomic-bool loads, and [Span.with_ ~name f] is exactly
+    [f ()] — the qcheck suites verify that toggling either switch never
+    changes a merge result.
 
     Two independent switches:
     - {!set_enabled} turns {e metric recording} on (counters, dists,
@@ -17,16 +17,35 @@
       ring of structured events behind [--trace-out] and the Chrome
       exporter, {!Chrome}).
 
+    {2 Domain safety}
+
+    The registry is {e domain-safe and sharded}. Metric names are
+    interned once into process-global id tables (registration takes a
+    mutex; it happens at module-initialization time), but every record
+    lands in the {e current registry} — a per-domain structure reached
+    through domain-local storage, so the hot path takes no locks. The
+    main domain owns the {e root} registry, which behaves exactly like
+    the old process-global one for serial code.
+
+    Parallel sections wrap each task in {!Shard.collect}, which installs
+    a fresh detached registry for the current domain, and the
+    coordinator folds the results back with {!Shard.merge} in a
+    deterministic order of its choosing: counters sum, distributions
+    merge (count/total/min/max plus their bounded first-K sample
+    reservoirs, concatenated in merge order), span statistics sum with
+    [max_depth] maximized, and trace events append in shard order with
+    span ids remapped into the target registry and top-level spans
+    re-parented under the merge {e anchor}. Merged seeded runs are
+    therefore bit-identical at any domain count, provided shards are
+    merged in a deterministic order.
+
     Typical use:
 
     {[
       Obs.set_enabled true;
       let result = Session.merge_once ~s0 ~tentative ~base () in
       print_string (Repro_obs.Report.to_text (Obs.snapshot ()))
-    ]}
-
-    The registry is process-global and not thread-safe, matching the
-    single-threaded engines and simulator it instruments. *)
+    ]} *)
 
 (** [enabled ()] — is metric recording on? Off by default. *)
 val enabled : unit -> bool
@@ -37,14 +56,14 @@ val set_enabled : bool -> unit
     restoring the previous switch afterwards (also on exceptions). *)
 val with_enabled : bool -> (unit -> 'a) -> 'a
 
-(** [reset ()] zeroes every registered metric and clears the event ring,
-    keeping registrations. *)
+(** [reset ()] zeroes every registered metric and clears the event ring
+    of the {e current} registry, keeping registrations. *)
 val reset : unit -> unit
 
 (** Span tracing: when on (and recording is enabled), every completed
-    span additionally emits one structured {!Logs} line on {!src} at
-    debug level — the live view of the pipeline behind the CLI's
-    [--trace] flag. Off by default. *)
+    span on the main domain additionally emits one structured {!Logs}
+    line on {!src} at debug level — the live view of the pipeline behind
+    the CLI's [--trace] flag. Off by default. *)
 val set_tracing : bool -> unit
 
 val tracing : unit -> bool
@@ -52,15 +71,17 @@ val tracing : unit -> bool
 (** The [Logs] source every obs message is tagged with ("repro.obs"). *)
 val src : Logs.src
 
-(** Structured trace events in a bounded ring buffer.
+(** Structured trace events in a bounded ring buffer (one per registry).
 
-    Each event carries a process-global monotonic [id], a per-trace
-    [logical] timestamp (deterministic for a seeded run), a wall-clock
-    timestamp, the emitting {e lane} (pipeline / mobile / base /
-    network), span instance and parent ids, and key=value attributes.
-    When the ring is full the {e oldest} event is dropped; {!dropped}
-    counts the losses. {!Chrome.to_json} renders a captured trace as
-    Chrome trace-event JSON loadable in Perfetto. *)
+    Each event carries a monotonic [id] (per registry, surviving
+    {!clear}), a per-trace [logical] timestamp (deterministic for a
+    seeded run), a wall-clock timestamp, the emitting {e lane}
+    (pipeline / mobile / base / network), a {e worker} index ([-1] on
+    the recording coordinator; set by {!Shard.merge} for folded-in
+    shard events), span instance and parent ids, and key=value
+    attributes. When the ring is full the {e oldest} event is dropped;
+    {!dropped} counts the losses. {!Chrome.to_json} renders a captured
+    trace as Chrome trace-event JSON loadable in Perfetto. *)
 module Event : sig
   type value = Str of string | Int of int | Float of float | Bool of bool
 
@@ -75,7 +96,7 @@ module Event : sig
   type lane = Pipeline | Mobile | Base | Network
 
   type t = {
-    id : int;  (** process-global monotonic id (survives {!clear}) *)
+    id : int;  (** monotonic per registry (survives {!clear}) *)
     logical : int;  (** 1-based position in the current trace *)
     wall_us : float;  (** wall clock at emission, microseconds *)
     kind : kind;
@@ -83,6 +104,7 @@ module Event : sig
     name : string;
     span : int;  (** span instance id for begin/end events; [0] otherwise *)
     parent : int;  (** enclosing span instance id; [0] at top level *)
+    worker : int;  (** merge-assigned worker index; [-1] = coordinator *)
     attrs : (string * value) list;
   }
 
@@ -97,16 +119,19 @@ module Event : sig
       [flag], restoring the previous switch afterwards. *)
   val with_capturing : bool -> (unit -> 'a) -> 'a
 
-  (** Ring capacity (default 65536 events). [set_capacity] reallocates
-      and discards any buffered events.
+  (** Ring capacity of the current registry (default 65536 events).
+      [set_capacity] discards any buffered events, and sets the default
+      capacity that registries created later (including {!Shard.collect}
+      shards) inherit.
       @raise Invalid_argument on a non-positive capacity. *)
   val capacity : unit -> int
 
   val set_capacity : int -> unit
 
-  (** [clear ()] empties the ring and restarts the logical clock, the
-      span-instance ids and the drop counter (the global id keeps
-      counting), so identical seeded runs capture identical traces. *)
+  (** [clear ()] empties the current registry's ring and restarts its
+      logical clock, span-instance ids and drop counter (the monotonic
+      id keeps counting), so identical seeded runs capture identical
+      traces. *)
   val clear : unit -> unit
 
   (** [emit ?lane ?attrs name] records one instant event when capturing;
@@ -114,7 +139,7 @@ module Event : sig
       guard on {!capturing} to keep the disabled path allocation-free. *)
   val emit : ?lane:lane -> ?attrs:(string * value) list -> string -> unit
 
-  (** Buffered events, oldest first. *)
+  (** Buffered events of the current registry, oldest first. *)
   val events : unit -> t list
 
   (** Events recorded in the current trace, including any the ring has
@@ -132,31 +157,44 @@ module Counter : sig
   type t
 
   (** [make name] registers (or retrieves — [make] is idempotent per
-      name) the counter. Call it once at module initialization and keep
-      the handle; per-event lookups would dominate the cost of [incr]. *)
+      name and returns the same handle) the counter. Call it once at
+      module initialization and keep the handle; per-event lookups would
+      dominate the cost of [incr]. Safe from any domain. *)
   val make : string -> t
 
-  (** [incr ?by t] adds [by] (default 1, must be non-negative) when
-      enabled; no-op otherwise.
+  (** [incr ?by t] adds [by] (default 1, must be non-negative) to the
+      current registry's cell when enabled; no-op otherwise.
       @raise Invalid_argument on a negative [by]. *)
   val incr : ?by:int -> t -> unit
 
+  (** Value in the current registry. *)
   val value : t -> int
+
   val name : t -> string
 end
 
-(** Distributions: count / total / min / max of observed values. *)
+(** Distributions: count / total / min / max of observed values, plus a
+    bounded first-K sample reservoir (K = 512) for histogramming. *)
 module Dist : sig
   type t
 
-  (** [make name] registers (or retrieves) the distribution. *)
-  val make : string -> t
+  (** [make ?timing name] registers (or retrieves) the distribution.
+      [timing] marks it as wall-clock-derived: {!Report.strip_timings}
+      zeroes timing distributions entirely, so deterministic comparisons
+      across domain counts ignore them. The flag is fixed by the first
+      registration of a name. *)
+  val make : ?timing:bool -> string -> t
 
-  (** [observe t x] records [x] when enabled; no-op otherwise. *)
+  (** [observe t x] records [x] into the current registry when enabled;
+      no-op otherwise. *)
   val observe : t -> float -> unit
 
   val observe_int : t -> int -> unit
   val count : t -> int
+
+  (** The first-K sample reservoir accumulated in the current registry
+      (merge order across shards), oldest first. *)
+  val reservoir : t -> float array
 end
 
 (** Nestable wall-clock spans. *)
@@ -170,11 +208,67 @@ module Span : sig
       the deepest level each span ran at. *)
   val with_ : ?lane:Event.lane -> name:string -> (unit -> 'a) -> 'a
 
-  (** Current nesting depth (0 outside any span). *)
+  (** Current nesting depth (0 outside any span), including the
+      [depth_base] of a collected shard. *)
   val depth : unit -> int
+
+  (** Span instance id of the innermost open traced span in the current
+      registry (0 outside any span, or when capturing is off). Pass it
+      as the [anchor] of {!Shard.collect} to re-parent a shard's
+      top-level spans under the dispatching span at merge. *)
+  val instance : unit -> int
 end
 
-(** [snapshot ()] — every registered metric, each section sorted by
-    name. Deterministic for a seeded run except span timings
-    ({!Report.strip_timings}). *)
+(** Per-domain metric shards: how parallel sections record exactly.
+
+    A worker task runs inside {!collect}, which swaps a fresh detached
+    registry into the current domain for the duration of [f]; the
+    coordinator then folds each returned shard into its own registry
+    with {!merge}, in a deterministic order of its choosing (e.g. task
+    submission order), which makes the merged registry — metrics {e
+    and} trace events — bit-identical across runs and domain counts. *)
+module Shard : sig
+  type t
+
+  (** [collect ?anchor ?depth_base f] runs [f] with a fresh registry
+      installed as the current domain's registry (restored afterwards,
+      also on exceptions) and returns [f]'s result together with the
+      shard. [anchor] is the {e target-registry} span instance id under
+      which the shard's top-level spans and events are re-parented at
+      {!merge} (see {!Span.instance}); [depth_base] offsets the shard's
+      span-depth accounting (see {!Span.depth}). *)
+  val collect : ?anchor:int -> ?depth_base:int -> (unit -> 'a) -> 'a * t
+
+  (** [merge ?worker sh] folds [sh] into the current registry: counters
+      sum, distributions merge (reservoirs concatenate in merge order,
+      truncated at capacity), span stats sum with [max_depth] maximized,
+      and events append in shard order — restamped with the target's id
+      and logical clock, span ids shifted into the target's id space,
+      top-level parents re-anchored, and [worker] (default [-1])
+      assigned to events that do not already carry a worker index.
+      Merging a shard twice double-counts; merging into the shard itself
+      raises [Invalid_argument]. *)
+  val merge : ?worker:int -> t -> unit
+
+  (** [release sh] recycles the shard's registry through an internal
+      cross-domain pool, so steady-state parallel sections allocate no
+      registries at all (fresh per-task registries otherwise survive to
+      the fold-back barrier, get promoted, and the extra major-GC work
+      dominates the recording cost). Call it once you are done with a
+      shard — after {!merge}, or after discarding an unmerged one. The
+      shard must not be used afterwards ({!merge} and a second [release]
+      raise [Invalid_argument]). Releasing is optional: an unreleased
+      shard is ordinary garbage. *)
+  val release : t -> unit
+
+  (** Snapshot of the shard alone (same shape as {!snapshot}). *)
+  val snapshot : t -> Report.t
+
+  (** The shard's buffered events, oldest first, with shard-local ids. *)
+  val events : t -> Event.t list
+end
+
+(** [snapshot ()] — every registered metric, read from the current
+    registry, each section sorted by name. Deterministic for a seeded
+    run except wall-clock timings ({!Report.strip_timings}). *)
 val snapshot : unit -> Report.t

@@ -1,5 +1,14 @@
 type counter = { c_name : string; value : int }
-type dist = { d_name : string; count : int; total : float; min : float; max : float }
+
+type dist = {
+  d_name : string;
+  count : int;
+  total : float;
+  min : float;
+  max : float;
+  timing : bool;
+}
+
 type span = { s_name : string; entered : int; total_s : float; max_depth : int; errors : int }
 type t = { counters : counter list; dists : dist list; spans : span list }
 
@@ -9,7 +18,17 @@ let entry_count r =
   List.length r.counters + List.length r.dists + List.length r.spans
 
 let strip_timings r =
-  { r with spans = List.map (fun s -> { s with total_s = 0.0 }) r.spans }
+  {
+    r with
+    dists =
+      List.map
+        (fun d ->
+          if d.timing then { d with count = 0; total = 0.0; min = 0.0; max = 0.0 } else d)
+        r.dists;
+    spans = List.map (fun s -> { s with total_s = 0.0 }) r.spans;
+  }
+
+let deterministic_equal a b = strip_timings a = strip_timings b
 
 (* Fixed-width float rendering keeps render -> parse -> render stable:
    re-printing a parsed value reproduces the original text. *)
@@ -38,9 +57,10 @@ let to_text r =
     List.iter
       (fun d ->
         Buffer.add_string b
-          (Printf.sprintf "  %s n=%d total=%g min=%g max=%g mean=%g\n" (pad d.d_name) d.count
+          (Printf.sprintf "  %s n=%d total=%g min=%g max=%g mean=%g%s\n" (pad d.d_name) d.count
              d.total d.min d.max
-             (if d.count = 0 then 0.0 else d.total /. float_of_int d.count)))
+             (if d.count = 0 then 0.0 else d.total /. float_of_int d.count)
+             (if d.timing then " [timing]" else "")))
       r.dists
   end;
   if r.spans <> [] then begin
@@ -69,8 +89,9 @@ let to_csv r =
   List.iter
     (fun d ->
       Buffer.add_string b
-        (Printf.sprintf "\ndist,%s,,%d,%s,%s,%s,," d.d_name d.count (fl d.total) (fl d.min)
-           (fl d.max)))
+        (Printf.sprintf "\n%s,%s,,%d,%s,%s,%s,,"
+           (if d.timing then "timing-dist" else "dist")
+           d.d_name d.count (fl d.total) (fl d.min) (fl d.max)))
     r.dists;
   List.iter
     (fun s ->
@@ -105,7 +126,7 @@ let of_csv source =
             match String.split_on_char ',' row with
             | [ "counter"; name; v; ""; ""; ""; ""; ""; "" ] ->
               counters := { c_name = name; value = int_field line "value" v } :: !counters
-            | [ "dist"; name; ""; n; total; mn; mx; ""; "" ] ->
+            | [ (("dist" | "timing-dist") as kind); name; ""; n; total; mn; mx; ""; "" ] ->
               dists :=
                 {
                   d_name = name;
@@ -113,6 +134,7 @@ let of_csv source =
                   total = float_field line "total" total;
                   min = float_field line "min" mn;
                   max = float_field line "max" mx;
+                  timing = kind = "timing-dist";
                 }
                 :: !dists
             | [ "span"; name; ""; n; total; ""; ""; depth; errors ] ->
@@ -167,8 +189,9 @@ let to_json r =
     (fun d ->
       item
         (Printf.sprintf
-           "    {\"name\": \"%s\", \"count\": %d, \"total\": %s, \"min\": %s, \"max\": %s}"
-           (escape_json d.d_name) d.count (fl d.total) (fl d.min) (fl d.max)))
+           "    {\"name\": \"%s\", \"count\": %d, \"total\": %s, \"min\": %s, \"max\": %s, \
+            \"timing\": %b}"
+           (escape_json d.d_name) d.count (fl d.total) (fl d.min) (fl d.max) d.timing))
     r.dists;
   Buffer.add_string b "\n  ],\n  \"spans\": [\n";
   sep := false;
@@ -360,6 +383,11 @@ let of_json source =
               total = num "dist total" (field "dist" f "total");
               min = num "dist min" (field "dist" f "min");
               max = num "dist max" (field "dist" f "max");
+              timing =
+                (match List.assoc_opt "timing" f with
+                | Some (Bool b) -> b
+                | Some _ -> failwith "dist timing: expected a boolean"
+                | None -> false);
             })
       in
       let spans =

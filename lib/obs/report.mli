@@ -17,8 +17,18 @@
 type counter = { c_name : string; value : int }
 
 (** A distribution: how many observations, their sum, and the extremes.
-    When [count] is [0] the other fields are all zero. *)
-type dist = { d_name : string; count : int; total : float; min : float; max : float }
+    When [count] is [0] the other fields are all zero. [timing] marks
+    wall-clock-derived distributions, which {!strip_timings} zeroes
+    entirely (their counts can legitimately differ across domain
+    counts). *)
+type dist = {
+  d_name : string;
+  count : int;
+  total : float;
+  min : float;
+  max : float;
+  timing : bool;
+}
 
 (** A timed span: completions, cumulative wall-clock seconds, the
     deepest nesting level at which the span ran (1 = top level), and how
@@ -33,9 +43,15 @@ val empty : t
 (** Total number of entries across the three sections. *)
 val entry_count : t -> int
 
-(** [strip_timings r] zeroes every span's [total_s], keeping counts and
-    depths — the deterministic residue of a seeded run. *)
+(** [strip_timings r] zeroes every span's [total_s] and every [timing]
+    distribution, keeping counts and depths — the deterministic residue
+    of a seeded run, identical at any [--domains] count. *)
 val strip_timings : t -> t
+
+(** [deterministic_equal a b] — do the two reports agree after
+    {!strip_timings}? The obs-parity contract between a multi-domain
+    run and its [--domains 1] twin. *)
+val deterministic_equal : t -> t -> bool
 
 (** {2 Renderers} *)
 

@@ -12,6 +12,11 @@ type stats = {
       (* sessions sharing a shard-level component with another session *)
   item_conflicted_sessions : int;
       (* sessions sharing an item-level component with another session *)
+  shard_sessions : int array;
+      (* per-shard session load: how many sessions touch each shard *)
+  shard_conflicted : int array;
+      (* per-shard slice of [item_conflicted_sessions]: conflicted
+         sessions touching each shard *)
 }
 
 let count_sessions events members =
@@ -45,7 +50,16 @@ let conflicted events groups =
    dispatched. Correctness argument: docs/SERVICE.md. *)
 let components ~smap (events : Admission.wevent array) =
   let n = Array.length events in
-  if n = 0 then ([], { components = 0; shard_conflicted_sessions = 0; item_conflicted_sessions = 0 })
+  let n_shards = Smap.shards smap in
+  if n = 0 then
+    ( [],
+      {
+        components = 0;
+        shard_conflicted_sessions = 0;
+        item_conflicted_sessions = 0;
+        shard_sessions = Array.make n_shards 0;
+        shard_conflicted = Array.make n_shards 0;
+      } )
   else begin
     (* Level 1: shard-granular grouping. *)
     let shard_graph = Digraph.create n in
@@ -82,10 +96,35 @@ let components ~smap (events : Admission.wevent array) =
     let comps =
       List.map (fun members -> { members; sessions = count_sessions events members }) item_groups
     in
+    (* Per-shard load and conflict attribution: a session counts toward
+       every shard its footprint touches; it counts as conflicted there
+       when it shares its (dispatched, item-level) component with another
+       session. *)
+    let in_conflicted_group = Array.make n false in
+    List.iter
+      (fun members ->
+        if count_sessions events members >= 2 then
+          List.iter (fun i -> in_conflicted_group.(i) <- true) members)
+      item_groups;
+    let shard_sessions = Array.make n_shards 0 in
+    let shard_conflicted = Array.make n_shards 0 in
+    Array.iteri
+      (fun i ev ->
+        match ev with
+        | Admission.Session _ ->
+            List.iter
+              (fun s ->
+                shard_sessions.(s) <- shard_sessions.(s) + 1;
+                if in_conflicted_group.(i) then shard_conflicted.(s) <- shard_conflicted.(s) + 1)
+              (Smap.footprint smap (Admission.footprint ev))
+        | Admission.Base _ -> ())
+      events;
     ( comps,
       {
         components = List.length comps;
         shard_conflicted_sessions = conflicted events shard_groups;
         item_conflicted_sessions = conflicted events item_groups;
+        shard_sessions;
+        shard_conflicted;
       } )
   end

@@ -28,6 +28,12 @@ type stats = {
   item_conflicted_sessions : int;
       (** sessions sharing an item-level (= dispatched) component with
           another session *)
+  shard_sessions : int array;
+      (** per-shard session load (a session counts toward every shard
+          its footprint touches); length = shard count *)
+  shard_conflicted : int array;
+      (** per-shard slice of [item_conflicted_sessions] under the same
+          attribution *)
 }
 
 (** [components ~smap events] — the item-level components of a window's

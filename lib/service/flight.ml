@@ -1,0 +1,117 @@
+(* Service flight recorder: one sample per dispatched window, rendered
+   either as a human text dashboard block or as one NDJSON line. The
+   sample mixes deterministic per-window facts (sessions, components,
+   per-shard load/conflicts) with wall-clock attribution (per-worker
+   busy/utilization, merge-latency histogram, rates). *)
+
+type sample = {
+  window : int;  (* 0-based window index *)
+  windows : int;  (* total windows in the run *)
+  final : bool;
+  wall_s : float;  (* since run start *)
+  dt_s : float;  (* this window's wall duration *)
+  sessions : int;  (* cumulative *)
+  d_sessions : int;  (* this window *)
+  rate : float;  (* sessions/sec over this window *)
+  components : int;  (* this window *)
+  queue_depth : int;  (* events in this window's admission queue *)
+  conflict_rate : float;  (* item-conflicted fraction of this window's sessions *)
+  shard_sessions : int array;  (* this window, per shard *)
+  shard_conflicted : int array;
+  worker_busy_s : float array;  (* this window, per physical worker *)
+  worker_util : float array;  (* busy / window parallel-section wall *)
+  latency_hist : (float * int) array;  (* (upper bound us, count), last = +inf *)
+  wal_forces : int;  (* cumulative counter value *)
+  d_wal_forces : int;  (* this window *)
+}
+
+let latency_buckets_us = [| 10.0; 100.0; 1_000.0; 10_000.0; 100_000.0; infinity |]
+
+(* Bucket a list of latencies (seconds) into the fixed log-scale
+   histogram. *)
+let histogram latencies_s =
+  let counts = Array.make (Array.length latency_buckets_us) 0 in
+  List.iter
+    (fun l ->
+      let us = l *. 1e6 in
+      let rec place i =
+        if us <= latency_buckets_us.(i) || i = Array.length counts - 1 then
+          counts.(i) <- counts.(i) + 1
+        else place (i + 1)
+      in
+      place 0)
+    latencies_s;
+  Array.mapi (fun i c -> (latency_buckets_us.(i), c)) counts
+
+let bucket_label ub =
+  if ub = infinity then ">100ms"
+  else if ub >= 1_000.0 then Printf.sprintf "<=%.0fms" (ub /. 1_000.0)
+  else Printf.sprintf "<=%.0fus" ub
+
+(* Busiest-first indices of an int array, capped at [k]. *)
+let top_k k a =
+  let idx = Array.init (Array.length a) Fun.id in
+  Array.sort (fun i j -> compare (a.(j), i) (a.(i), j)) idx;
+  Array.to_list (Array.sub idx 0 (min k (Array.length idx)))
+
+let to_text s =
+  let b = Buffer.create 512 in
+  Printf.bprintf b "-- window %d/%d  t=%.2fs  %d sessions (+%d, %.0f/s)  %d components  queue=%d\n"
+    (s.window + 1) s.windows s.wall_s s.sessions s.d_sessions s.rate s.components s.queue_depth;
+  Printf.bprintf b "   conflict rate %.1f%%  wal forces %d (+%d)\n" (100.0 *. s.conflict_rate)
+    s.wal_forces s.d_wal_forces;
+  let hot = List.filter (fun i -> s.shard_sessions.(i) > 0) (top_k 4 s.shard_sessions) in
+  if hot <> [] then begin
+    Buffer.add_string b "   shards:";
+    List.iter
+      (fun i ->
+        Printf.bprintf b " s%d=%d(%dc)" i s.shard_sessions.(i) s.shard_conflicted.(i))
+      hot;
+    Buffer.add_char b '\n'
+  end;
+  if Array.length s.worker_util > 0 then begin
+    Buffer.add_string b "   workers:";
+    Array.iteri (fun w u -> Printf.bprintf b " w%d=%.0f%%" w (100.0 *. u)) s.worker_util;
+    Buffer.add_char b '\n'
+  end;
+  let total = Array.fold_left (fun n (_, c) -> n + c) 0 s.latency_hist in
+  if total > 0 then begin
+    Buffer.add_string b "   latency:";
+    Array.iter
+      (fun (ub, c) -> if c > 0 then Printf.bprintf b " %s=%d" (bucket_label ub) c)
+      s.latency_hist;
+    Buffer.add_char b '\n'
+  end;
+  Buffer.contents b
+
+let int_array_json a =
+  "[" ^ String.concat "," (List.map string_of_int (Array.to_list a)) ^ "]"
+
+let float_array_json a =
+  "[" ^ String.concat "," (List.map (Printf.sprintf "%.6f") (Array.to_list a)) ^ "]"
+
+let to_ndjson s =
+  let hist =
+    "["
+    ^ String.concat ","
+        (List.map
+           (fun (ub, c) ->
+             Printf.sprintf "{\"le_us\":%s,\"count\":%d}"
+               (if ub = infinity then "null" else Printf.sprintf "%.0f" ub)
+               c)
+           (Array.to_list s.latency_hist))
+    ^ "]"
+  in
+  Printf.sprintf
+    "{\"window\":%d,\"windows\":%d,\"final\":%b,\"wall_s\":%.6f,\"dt_s\":%.6f,\"sessions\":%d,\
+     \"d_sessions\":%d,\"rate\":%.3f,\"components\":%d,\"queue_depth\":%d,\
+     \"conflict_rate\":%.6f,\"shard_sessions\":%s,\"shard_conflicted\":%s,\
+     \"worker_busy_s\":%s,\"worker_util\":%s,\"latency_hist\":%s,\"wal_forces\":%d,\
+     \"d_wal_forces\":%d}"
+    s.window s.windows s.final s.wall_s s.dt_s s.sessions s.d_sessions s.rate s.components
+    s.queue_depth s.conflict_rate
+    (int_array_json s.shard_sessions)
+    (int_array_json s.shard_conflicted)
+    (float_array_json s.worker_busy_s)
+    (float_array_json s.worker_util)
+    hist s.wal_forces s.d_wal_forces

@@ -1,0 +1,46 @@
+(** Service flight recorder: periodic snapshot deltas of a running
+    {!Service.run}, one sample per dispatched window.
+
+    A sample carries deterministic per-window facts (sessions,
+    components, per-shard load and conflict counts) next to wall-clock
+    attribution (per-worker busy time and utilization, the merge-latency
+    histogram, sessions/sec, WAL force rate). [Service.run ?recorder]
+    invokes the callback after each window's fold-back barrier, on the
+    coordinator; the CLI's [service-sim --live[=SECS]] renders the
+    stream with {!to_text} (dashboard on stderr) and
+    [--live-out FILE] with {!to_ndjson} (one line per sample). *)
+
+type sample = {
+  window : int;  (** 0-based window index *)
+  windows : int;  (** total windows in the run *)
+  final : bool;  (** last window of the run *)
+  wall_s : float;  (** wall clock since run start *)
+  dt_s : float;  (** this window's wall duration *)
+  sessions : int;  (** cumulative sessions served *)
+  d_sessions : int;  (** sessions served this window *)
+  rate : float;  (** sessions/sec over this window *)
+  components : int;  (** components dispatched this window *)
+  queue_depth : int;  (** events in this window's admission queue *)
+  conflict_rate : float;
+      (** item-conflicted fraction of this window's sessions *)
+  shard_sessions : int array;  (** this window's per-shard session load *)
+  shard_conflicted : int array;  (** conflicted sessions per shard *)
+  worker_busy_s : float array;  (** per physical worker, this window *)
+  worker_util : float array;
+      (** worker busy time / window parallel-section wall *)
+  latency_hist : (float * int) array;
+      (** merge-latency histogram, [(upper bound in us, count)]; the
+          last bucket's bound is [infinity] *)
+  wal_forces : int;  (** cumulative [db.wal_forces] counter *)
+  d_wal_forces : int;  (** WAL forces this window *)
+}
+
+(** Bucket session latencies (in seconds) into the fixed log-scale
+    histogram (10us .. 100ms, +inf). *)
+val histogram : float list -> (float * int) array
+
+(** Multi-line text dashboard block for one sample (trailing newline). *)
+val to_text : sample -> string
+
+(** One NDJSON line for one sample (no trailing newline). *)
+val to_ndjson : sample -> string

@@ -8,8 +8,16 @@
     re-raised by [Domain.join].
 
     With [domains <= 1] (or a single task) everything runs inline on the
-    calling domain — no spawning — which also keeps process-global
-    non-thread-safe facilities (e.g. the Obs registry) safe to touch
-    from tasks. *)
+    calling domain — no spawning. Tasks that record telemetry should
+    wrap themselves in [Obs.Shard.collect] regardless of domain count so
+    the coordinator can fold the shards back in deterministic task
+    order. *)
 
 val map : domains:int -> (int -> 'a) -> int -> 'a array
+
+(** [map_w] is {!map} with the claiming worker's physical index passed
+    to each task ([worker = 0] is the calling domain; spawned domains
+    are [1 .. domains-1]). The worker index is scheduling-dependent —
+    use it only for timing attribution, never for deterministic
+    outputs. *)
+val map_w : domains:int -> (worker:int -> int -> 'a) -> int -> 'a array

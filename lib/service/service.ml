@@ -9,13 +9,14 @@ module Cost = Repro_replication.Cost
 module Trace = Repro_replication.Trace
 module Obs = Repro_obs.Obs
 
-(* Coordinator-side metrics. Everything below is observed on the main
-   domain (after each window's barrier), so the process-global Obs
-   registry is never touched concurrently by the service itself. Library
-   counters fired from inside worker domains (engine/protocol internals)
-   are only live when metrics collection is enabled; under
-   [domains > 1] those counts are best-effort (memory-safe, but
-   increments may be lost) — see docs/SERVICE.md. *)
+(* Telemetry. Coordinator-side metrics below are observed on the main
+   domain after each window's barrier. Worker-side metrics (everything
+   the engine/protocol internals and the per-session spans record from
+   inside component tasks) land in per-task [Obs.Shard] registries and
+   are folded back in task order at the same barrier, so the merged
+   registry is exact and bit-identical at any [domains] count — see
+   docs/SERVICE.md. Wall-clock distributions are marked [timing] so
+   deterministic comparisons ignore them. *)
 let obs_sessions = Obs.Counter.make "service.sessions"
 let obs_merges = Obs.Counter.make "service.merges"
 let obs_late = Obs.Counter.make "service.late_sessions"
@@ -23,8 +24,11 @@ let obs_windows = Obs.Counter.make "service.windows"
 let obs_components = Obs.Counter.make "service.components"
 let obs_parallel_windows = Obs.Counter.make "service.parallel_windows"
 let obs_violations = Obs.Counter.make "service.violations"
-let obs_latency = Obs.Dist.make "service.session_latency_us"
+let obs_latency = Obs.Dist.make ~timing:true "service.session_latency_us"
 let obs_comp_sessions = Obs.Dist.make "service.component_sessions"
+let obs_worker_util = Obs.Dist.make ~timing:true "service.worker_utilization"
+let obs_foldback_wait = Obs.Dist.make ~timing:true "service.foldback_wait_s"
+let wal_forces_counter = Obs.Counter.make "db.wal_forces"
 
 type config = {
   shards : int;
@@ -69,6 +73,16 @@ type timing = {
   p999_us : float;
 }
 
+(* Per-shard and per-worker breakdown, outside [det]: the shard arrays
+   are deterministic, the worker arrays are scheduling-dependent timing
+   attribution. *)
+type breakdown = {
+  bd_shard_sessions : int array;
+  bd_shard_conflicted : int array;
+  bd_worker_tasks : int array;
+  bd_worker_busy_s : float array;
+}
+
 type report = {
   det : det;
   speedup : float;
@@ -77,6 +91,7 @@ type report = {
          over windows. Hardware-independent; depends on [domains]. *)
   timing : timing;
   cost : Cost.tally;
+  breakdown : breakdown;
 }
 
 (* Per-component worker result. [deltas] are the canonical-base write
@@ -125,7 +140,7 @@ let lpt_makespan ~bins weights =
    shows them), so the scratch outcomes equal the serial ones — the
    correctness argument is spelled out in docs/SERVICE.md. *)
 let run_component ~(sync : Sync.config) ~(origins : State.t array) ~window_index
-    ~(events : Admission.wevent array) ~members ~inline =
+    ~(events : Admission.wevent array) ~members =
   let t_start = Unix.gettimeofday () in
   let origin = origins.(window_index) in
   let engine = Engine.create origin in
@@ -214,10 +229,8 @@ let run_component ~(sync : Sync.config) ~(origins : State.t array) ~window_index
       | Admission.Session s ->
           let t0 = Unix.gettimeofday () in
           let before = Engine.state engine in
-          (* The per-session span is only live on an inline (single
-             domain) run: the Obs span stack is not thread-safe. *)
-          if inline then Obs.Span.with_ ~name:"service.session" (fun () -> handle_session s)
-          else handle_session s;
+          Obs.Span.with_ ~lane:Obs.Event.Base ~name:"service.session" (fun () ->
+              handle_session s);
           let after = Engine.state engine in
           let writes =
             Item.Set.fold
@@ -264,7 +277,7 @@ let run_component ~(sync : Sync.config) ~(origins : State.t array) ~window_index
     r_cost = cost;
   }
 
-let run config (sync : Sync.config) (workload : Sync.workload) trace =
+let run ?recorder config (sync : Sync.config) (workload : Sync.workload) trace =
   if config.shards < 1 then invalid_arg "Service.run: shards must be >= 1";
   if config.domains < 1 then invalid_arg "Service.run: domains must be >= 1";
   (match sync.Sync.isolation with
@@ -299,24 +312,52 @@ let run config (sync : Sync.config) (workload : Sync.workload) trace =
   and critical_path = ref 0.0
   and work_s = ref 0.0 in
   let latencies = ref [] in
-  let inline = config.domains <= 1 in
+  (* Run-level breakdown accumulators. *)
+  let bd_shard_sessions = Array.make config.shards 0 in
+  let bd_shard_conflicted = Array.make config.shards 0 in
+  let bd_worker_tasks = Array.make config.domains 0 in
+  let bd_worker_busy = Array.make config.domains 0.0 in
+  let last_wal_forces = ref (Obs.Counter.value wal_forces_counter) in
   let run_window (w : Admission.window) =
+    let t_win0 = Unix.gettimeofday () in
     let comps, dstats = Dispatch.components ~smap w.Admission.events in
     let comp_arr = Array.of_list comps in
+    (* Every component runs in a fresh Obs shard — also at [domains = 1]
+       — and the shards are folded back in task order below, so the
+       merged telemetry (metrics *and* trace events) is bit-identical
+       across runs and domain counts. The window span is the merge
+       anchor: worker spans re-parent under it. *)
+    let anchor = Obs.Span.instance () in
+    let depth_base = Obs.Span.depth () in
     let results =
-      Pool.map ~domains:config.domains
-        (fun i ->
-          run_component ~sync ~origins ~window_index:w.Admission.index ~events:w.Admission.events
-            ~members:comp_arr.(i).Dispatch.members ~inline)
+      Pool.map_w ~domains:config.domains
+        (fun ~worker i ->
+          let r, shard =
+            Obs.Shard.collect ~anchor ~depth_base (fun () ->
+                Obs.Span.with_ ~lane:Obs.Event.Base ~name:"service.component" (fun () ->
+                    run_component ~sync ~origins ~window_index:w.Admission.index
+                      ~events:w.Admission.events ~members:comp_arr.(i).Dispatch.members))
+          in
+          (r, shard, worker))
         (Array.length comp_arr)
     in
+    let t_par = Unix.gettimeofday () -. t_win0 in
+    (* Fold the telemetry shards back in task order. The [worker] tag on
+       merged trace events is the *task index* — a deterministic virtual
+       worker identity — not the physical domain, which is
+       scheduling-dependent. *)
+    Array.iteri
+      (fun i (_, shard, _) ->
+        Obs.Shard.merge ~worker:i shard;
+        Obs.Shard.release shard)
+      results;
     (* Fold results back into the canonical WAL-backed base in admission
        order: merge the per-component delta streams (each ascending in
        event index) and apply one update group per event. *)
     let all_deltas =
       List.sort
         (fun (a, _) (b, _) -> compare (a : int) b)
-        (List.concat_map (fun r -> r.r_deltas) (Array.to_list results))
+        (List.concat_map (fun (r, _, _) -> r.r_deltas) (Array.to_list results))
     in
     List.iter
       (fun (_idx, writes) ->
@@ -327,8 +368,9 @@ let run config (sync : Sync.config) (workload : Sync.workload) trace =
     (* Aggregate in task order — deterministic regardless of which
        domain ran what. *)
     let weights = ref [] in
+    let win_worker_busy = Array.make config.domains 0.0 in
     Array.iter
-      (fun r ->
+      (fun (r, _, worker) ->
         merges := !merges + r.r_merges;
         saved := !saved + r.r_saved;
         reexecuted := !reexecuted + r.r_reexecuted;
@@ -338,9 +380,12 @@ let run config (sync : Sync.config) (workload : Sync.workload) trace =
         Cost.add cost r.r_cost;
         work_s := !work_s +. r.r_busy;
         latencies := List.rev_append r.r_latencies !latencies;
-        weights := r.r_weight :: !weights)
+        weights := r.r_weight :: !weights;
+        win_worker_busy.(worker) <- win_worker_busy.(worker) +. r.r_busy;
+        bd_worker_tasks.(worker) <- bd_worker_tasks.(worker) + 1)
       results;
-    if Array.exists (fun r -> r.r_violation) results then incr violations;
+    Array.iteri (fun i b -> bd_worker_busy.(i) <- bd_worker_busy.(i) +. b) win_worker_busy;
+    if Array.exists (fun (r, _, _) -> r.r_violation) results then incr violations;
     let weights = List.rev !weights in
     total_weight := !total_weight +. List.fold_left ( +. ) 0.0 weights;
     critical_path := !critical_path +. lpt_makespan ~bins:config.domains weights;
@@ -350,6 +395,11 @@ let run config (sync : Sync.config) (workload : Sync.workload) trace =
     if dstats.Dispatch.components >= 2 then incr parallel_windows;
     shard_conflicted := !shard_conflicted + dstats.Dispatch.shard_conflicted_sessions;
     item_conflicted := !item_conflicted + dstats.Dispatch.item_conflicted_sessions;
+    Array.iteri
+      (fun s n ->
+        bd_shard_sessions.(s) <- bd_shard_sessions.(s) + n;
+        bd_shard_conflicted.(s) <- bd_shard_conflicted.(s) + dstats.Dispatch.shard_conflicted.(s))
+      dstats.Dispatch.shard_sessions;
     (* Coordinator-side metrics, after the barrier. *)
     Obs.Counter.incr obs_windows;
     Obs.Counter.incr ~by:w_sessions obs_sessions;
@@ -357,14 +407,62 @@ let run config (sync : Sync.config) (workload : Sync.workload) trace =
     if dstats.Dispatch.components >= 2 then Obs.Counter.incr obs_parallel_windows;
     Array.iter (fun c -> Obs.Dist.observe_int obs_comp_sessions c.Dispatch.sessions) comp_arr;
     Array.iter
-      (fun r ->
+      (fun (r, _, _) ->
         Obs.Counter.incr ~by:r.r_merges obs_merges;
         Obs.Counter.incr ~by:r.r_late_sessions obs_late;
         if r.r_violation then Obs.Counter.incr obs_violations;
         List.iter (fun l -> Obs.Dist.observe obs_latency (l *. 1e6)) r.r_latencies)
       results;
+    (* Worker utilization and fold-back wait: how much of the window's
+       parallel section each physical worker spent busy vs idle at the
+       barrier. Wall-clock attribution — timing-only, outside [det]. *)
+    let used_workers = min config.domains (max 1 (Array.length comp_arr)) in
+    if Array.length comp_arr > 0 && t_par > 0.0 then
+      for wk = 0 to used_workers - 1 do
+        Obs.Dist.observe obs_worker_util (min 1.0 (win_worker_busy.(wk) /. t_par));
+        Obs.Dist.observe obs_foldback_wait (Float.max 0.0 (t_par -. win_worker_busy.(wk)))
+      done;
     (* The next window's common origin is the folded canonical state. *)
-    origins.(w.Admission.index + 1) <- Engine.state canonical
+    origins.(w.Admission.index + 1) <- Engine.state canonical;
+    (* Flight-recorder sample, after the fold-back barrier. *)
+    match recorder with
+    | None -> ()
+    | Some emit ->
+        let now = Unix.gettimeofday () in
+        let wal_now = Obs.Counter.value wal_forces_counter in
+        let d_wal = wal_now - !last_wal_forces in
+        last_wal_forces := wal_now;
+        let dt = now -. t_win0 in
+        let win_latencies =
+          List.concat_map (fun (r, _, _) -> r.r_latencies) (Array.to_list results)
+        in
+        let util =
+          Array.map (fun b -> if t_par > 0.0 then min 1.0 (b /. t_par) else 0.0) win_worker_busy
+        in
+        emit
+          {
+            Flight.window = w.Admission.index;
+            windows = n_windows;
+            final = w.Admission.index = n_windows - 1;
+            wall_s = now -. t_start;
+            dt_s = dt;
+            sessions = !sessions;
+            d_sessions = w_sessions;
+            rate = (if dt > 0.0 then float_of_int w_sessions /. dt else 0.0);
+            components = dstats.Dispatch.components;
+            queue_depth = Array.length w.Admission.events;
+            conflict_rate =
+              (if w_sessions > 0 then
+                 float_of_int dstats.Dispatch.item_conflicted_sessions /. float_of_int w_sessions
+               else 0.0);
+            shard_sessions = dstats.Dispatch.shard_sessions;
+            shard_conflicted = dstats.Dispatch.shard_conflicted;
+            worker_busy_s = win_worker_busy;
+            worker_util = util;
+            latency_hist = Flight.histogram win_latencies;
+            wal_forces = wal_now;
+            d_wal_forces = d_wal;
+          }
   in
   Obs.Span.with_ ~name:"service.run" (fun () ->
       List.iter
@@ -406,6 +504,13 @@ let run config (sync : Sync.config) (workload : Sync.workload) trace =
         p999_us = quantile sorted_us 0.999;
       };
     cost;
+    breakdown =
+      {
+        bd_shard_sessions;
+        bd_shard_conflicted;
+        bd_worker_tasks;
+        bd_worker_busy_s = bd_worker_busy;
+      };
   }
 
 (* Does the service's deterministic outcome match a serial Sync run over
@@ -436,12 +541,29 @@ let det_equal (a : det) (b : det) =
   && State.equal a.final_base b.final_base
 
 let pp_report ppf r =
-  let d = r.det and t = r.timing in
+  let d = r.det and t = r.timing and b = r.breakdown in
   Format.fprintf ppf
     "@[<v>sessions=%d merges=%d saved=%d reexec=%d rejected=%d late=%d violations=%d@ \
      windows=%d components=%d parallel_windows=%d shard_conflicted=%d item_conflicted=%d@ \
      speedup=%.2fx (cost-model) wall=%.3fs work=%.3fs sessions/sec=%.0f@ \
-     latency us: p50=%.0f p99=%.0f p999=%.0f@]"
+     latency us: p50=%.0f p99=%.0f p999=%.0f"
     d.sessions d.merges d.saved d.reexecuted d.rejected d.late_sessions d.violations d.windows
     d.components d.parallel_windows d.shard_conflicted_sessions d.item_conflicted_sessions
-    r.speedup t.wall_s t.work_s t.sessions_per_sec t.p50_us t.p99_us t.p999_us
+    r.speedup t.wall_s t.work_s t.sessions_per_sec t.p50_us t.p99_us t.p999_us;
+  (* Per-shard breakdown: the four busiest shards (sessions, conflicted
+     share); per-worker breakdown: tasks claimed and busy seconds. *)
+  let order = Array.init (Array.length b.bd_shard_sessions) Fun.id in
+  Array.sort
+    (fun i j -> compare (b.bd_shard_sessions.(j), i) (b.bd_shard_sessions.(i), j))
+    order;
+  Format.fprintf ppf "@ shards (top):";
+  Array.iteri
+    (fun rank s ->
+      if rank < 4 && b.bd_shard_sessions.(s) > 0 then
+        Format.fprintf ppf " s%d=%d(%dc)" s b.bd_shard_sessions.(s) b.bd_shard_conflicted.(s))
+    order;
+  Format.fprintf ppf "@ workers:";
+  Array.iteri
+    (fun w n -> Format.fprintf ppf " w%d=%d tasks/%.3fs" w n b.bd_worker_busy_s.(w))
+    b.bd_worker_tasks;
+  Format.fprintf ppf "@]"

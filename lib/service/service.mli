@@ -70,6 +70,19 @@ type timing = {
   p999_us : float;
 }
 
+(** Per-shard and per-worker breakdown of a run. The shard arrays are
+    deterministic (admission-order attribution); the worker arrays are
+    scheduling-dependent timing attribution over *physical* workers
+    (worker 0 = the coordinator's domain). *)
+type breakdown = {
+  bd_shard_sessions : int array;
+      (** sessions touching each shard, summed over windows *)
+  bd_shard_conflicted : int array;
+      (** item-conflicted sessions touching each shard *)
+  bd_worker_tasks : int array;  (** component tasks claimed per worker *)
+  bd_worker_busy_s : float array;  (** busy seconds per worker *)
+}
+
 type report = {
   det : det;
   speedup : float;
@@ -80,14 +93,30 @@ type report = {
           [domains = 1]. *)
   timing : timing;  (** machine-dependent wall-clock measurements *)
   cost : Cost.tally;
+  breakdown : breakdown;
 }
 
-(** [run config sync workload trace] — serve every window of [trace].
-    Requires [sync.isolation = Strategy2] and [sync.merge_runner = None]
-    (invalid_arg otherwise). The scheduling fields of [sync] are ignored
-    — the trace fixes the events; [sync.protocol] and [sync.params]
-    drive the merges. *)
-val run : config -> Sync.config -> Sync.workload -> Repro_replication.Trace.t -> report
+(** [run ?recorder config sync workload trace] — serve every window of
+    [trace]. Requires [sync.isolation = Strategy2] and
+    [sync.merge_runner = None] (invalid_arg otherwise). The scheduling
+    fields of [sync] are ignored — the trace fixes the events;
+    [sync.protocol] and [sync.params] drive the merges.
+
+    Telemetry is exact at any [domains] count: every component task runs
+    in a fresh {!Repro_obs.Obs.Shard}, and the coordinator folds the
+    shards back in task order at each window's barrier, so the merged
+    registry (including worker-side [service.session] spans and trace
+    events) is bit-identical across runs and domain counts.
+
+    [recorder], when given, is invoked on the coordinator after each
+    window's fold-back barrier with that window's {!Flight.sample}. *)
+val run :
+  ?recorder:(Flight.sample -> unit) ->
+  config ->
+  Sync.config ->
+  Sync.workload ->
+  Repro_replication.Trace.t ->
+  report
 
 (** Does the deterministic outcome agree with a serial [Sync.run] over
     the same trace? Compares verdict counters, ground-truth check

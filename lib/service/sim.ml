@@ -5,6 +5,8 @@ module Zipf = Repro_workload.Zipf
 module Sync = Repro_replication.Sync
 module Protocol = Repro_replication.Protocol
 module Trace = Repro_replication.Trace
+module Obs = Repro_obs.Obs
+module Report = Repro_obs.Report
 
 type config = {
   mobiles : int;
@@ -147,29 +149,52 @@ type result = {
   report : Service.report;
   baseline : Service.report option;  (* same trace, domains = 1 *)
   baseline_matches : bool;  (* det_equal report baseline — true when no baseline ran *)
+  obs_parity : bool option;
+      (* merged Obs registry of the parallel run equals the baseline's
+         on every deterministic metric (Report.strip_timings); None when
+         no baseline ran or metrics are disabled *)
   wall_speedup : float option;
   events : int;
 }
 
-(* [run ?baseline cfg] — generate one trace, serve it. With [baseline]
-   (default: on whenever [domains > 1]) the same trace is also served on
-   a single domain: its deterministic outcome must match the parallel
-   one bit for bit (the cross-domain determinism check), and the wall
-   ratio is the measured end-to-end speedup. *)
-let run ?baseline cfg =
+(* [run ?baseline ?recorder cfg] — generate one trace, serve it. With
+   [baseline] (default: on whenever [domains > 1]) the same trace is
+   first served on a single domain inside a detached Obs shard: its
+   deterministic outcome must match the parallel one bit for bit (the
+   cross-domain determinism check), its metric snapshot must equal the
+   parallel run's after [Report.strip_timings] (the obs-parity check),
+   and the wall ratio is the measured end-to-end speedup. The baseline's
+   telemetry is discarded after the comparison, so the ambient registry
+   carries exactly the parallel run's exact merged metrics and events. *)
+let run ?baseline ?recorder cfg =
   let baseline = Option.value baseline ~default:(cfg.domains > 1) in
   let sync = sync_config cfg in
   let wl = workload cfg in
   let trace = Trace.generate (Sync.trace_params sync) wl in
   let svc = service_config cfg in
-  let report = Service.run svc sync wl trace in
-  let base =
-    if baseline && cfg.domains > 1 then
-      Some (Service.run { svc with Service.domains = 1 } sync wl trace)
-    else None
+  let base, base_snap =
+    if baseline && cfg.domains > 1 then begin
+      let b, sh =
+        Obs.Shard.collect (fun () ->
+            Service.run { svc with Service.domains = 1 } sync wl trace)
+      in
+      let snap = Obs.Shard.snapshot sh in
+      Obs.Shard.release sh;
+      (Some b, Some snap)
+    end
+    else (None, None)
   in
+  let report, shard = Obs.Shard.collect (fun () -> Service.run ?recorder svc sync wl trace) in
+  let report_snap = Obs.Shard.snapshot shard in
+  Obs.Shard.merge shard;
+  Obs.Shard.release shard;
   let matches =
     match base with None -> true | Some b -> Service.det_equal report.Service.det b.Service.det
+  in
+  let obs_parity =
+    match base_snap with
+    | Some bs when Obs.enabled () -> Some (Report.deterministic_equal bs report_snap)
+    | _ -> None
   in
   let wall_speedup =
     match base with
@@ -177,12 +202,23 @@ let run ?baseline cfg =
         Some (b.Service.timing.Service.wall_s /. report.Service.timing.Service.wall_s)
     | _ -> None
   in
-  { report; baseline = base; baseline_matches = matches; wall_speedup; events = Trace.length trace }
+  {
+    report;
+    baseline = base;
+    baseline_matches = matches;
+    obs_parity;
+    wall_speedup;
+    events = Trace.length trace;
+  }
 
 let pp_result ppf r =
   Format.fprintf ppf "@[<v>%a@]" Service.pp_report r.report;
   (match r.wall_speedup with
   | Some s -> Format.fprintf ppf "@ wall speedup vs 1 domain: %.2fx" s
+  | None -> ());
+  (match r.obs_parity with
+  | Some true -> Format.fprintf ppf "@ obs parity vs 1 domain: ok"
+  | Some false -> Format.fprintf ppf "@ WARNING: merged metrics diverged from single-domain run"
   | None -> ());
   if not r.baseline_matches then
     Format.fprintf ppf "@ WARNING: parallel run diverged from single-domain baseline"

@@ -52,14 +52,21 @@ type result = {
   baseline_matches : bool;
       (** parallel and single-domain deterministic outcomes are
           identical (vacuously true with no baseline) *)
+  obs_parity : bool option;
+      (** the parallel run's merged Obs registry equals the baseline's
+          on every deterministic metric ({!Repro_obs.Report.strip_timings});
+          [None] with no baseline or with metrics disabled *)
   wall_speedup : float option;  (** baseline wall / parallel wall *)
   events : int;  (** trace length *)
 }
 
-(** [run ?baseline cfg] — generate one seeded trace and serve it.
-    [baseline] defaults to [domains > 1]; when on, the same trace is
-    also served with [domains = 1] for the cross-domain determinism
-    check and the measured wall speedup. *)
-val run : ?baseline:bool -> config -> result
+(** [run ?baseline ?recorder cfg] — generate one seeded trace and serve
+    it. [baseline] defaults to [domains > 1]; when on, the same trace is
+    first served with [domains = 1] inside a detached Obs shard (its
+    telemetry is compared for {!result.obs_parity}, then discarded) for
+    the cross-domain determinism check and the measured wall speedup.
+    [recorder] receives the parallel run's per-window
+    {!Flight.sample}s. *)
+val run : ?baseline:bool -> ?recorder:(Flight.sample -> unit) -> config -> result
 
 val pp_result : Format.formatter -> result -> unit

@@ -133,6 +133,152 @@ let test_span_disabled_transparent () =
   checkb "nothing recorded" true
     (match recorded with None -> true | Some s -> s.Report.entered = 0)
 
+(* Shards: detached per-task registries and the deterministic fold-back
+   (the multicore story — exactness of the merge is what lets the
+   service report bit-identical telemetry at any domain count). *)
+
+let dist_entry name (r : Report.t) =
+  List.find (fun (d : Report.dist) -> d.Report.d_name = name) r.Report.dists
+
+let test_shard_counter_and_dist_merge () =
+  fresh ();
+  Obs.set_enabled true;
+  let c = Obs.Counter.make "test.shard_counter" in
+  let d = Obs.Dist.make "test.shard_dist" in
+  Obs.Counter.incr ~by:5 c;
+  Obs.Dist.observe d 10.0;
+  let collect_one values by =
+    let (), sh =
+      Obs.Shard.collect (fun () ->
+          Obs.Counter.incr ~by c;
+          List.iter (Obs.Dist.observe d) values)
+    in
+    sh
+  in
+  let sh0 = collect_one [ 1.0; 2.0 ] 7 in
+  let sh1 = collect_one [ -3.0; 40.0 ] 11 in
+  (* shard work is invisible until merged *)
+  checki "ambient counter untouched by collect" 5 (Obs.Counter.value c);
+  Obs.Shard.merge sh0;
+  Obs.Shard.merge sh1;
+  checki "counters sum" 23 (Obs.Counter.value c);
+  let e = dist_entry "test.shard_dist" (Obs.snapshot ()) in
+  checki "dist count" 5 e.Report.count;
+  Alcotest.check (Alcotest.float 1e-9) "dist total" 50.0 e.Report.total;
+  Alcotest.check (Alcotest.float 1e-9) "dist min" (-3.0) e.Report.min;
+  Alcotest.check (Alcotest.float 1e-9) "dist max" 40.0 e.Report.max;
+  Alcotest.(check (array (float 1e-9)))
+    "reservoir concatenates in merge order"
+    [| 10.0; 1.0; 2.0; -3.0; 40.0 |]
+    (Obs.Dist.reservoir d);
+  fresh ()
+
+let test_shard_reservoir_truncation () =
+  fresh ();
+  Obs.set_enabled true;
+  let d = Obs.Dist.make "test.shard_reservoir_cap" in
+  let (), sh0 = Obs.Shard.collect (fun () -> for i = 1 to 400 do Obs.Dist.observe_int d i done) in
+  let (), sh1 = Obs.Shard.collect (fun () -> for i = 1 to 400 do Obs.Dist.observe_int d (-i) done) in
+  Obs.Shard.merge sh0;
+  Obs.Shard.merge sh1;
+  let res = Obs.Dist.reservoir d in
+  checki "reservoir truncated at capacity" 512 (Array.length res);
+  Alcotest.check (Alcotest.float 1e-9) "first sample from first shard" 1.0 res.(0);
+  Alcotest.check (Alcotest.float 1e-9) "tail from second shard" (-112.0) res.(511);
+  checki "count unaffected by truncation" 800 (Obs.Dist.count d);
+  fresh ()
+
+let test_shard_span_reparenting () =
+  fresh ();
+  Obs.set_enabled true;
+  Obs.Event.with_capturing true (fun () ->
+      Obs.Event.clear ();
+      Obs.Span.with_ ~name:"test.shard_outer" (fun () ->
+          let anchor = Obs.Span.instance () in
+          checkb "anchor is a live span instance" true (anchor > 0);
+          let (), sh =
+            Obs.Shard.collect ~anchor ~depth_base:(Obs.Span.depth ()) (fun () ->
+                Obs.Span.with_ ~name:"test.shard_inner" (fun () -> ()))
+          in
+          Obs.Shard.merge ~worker:3 sh);
+      let events = Obs.Event.events () in
+      let inner_begin =
+        List.find
+          (fun (e : Obs.Event.t) ->
+            e.Obs.Event.kind = Obs.Event.Span_begin && e.Obs.Event.name = "test.shard_inner")
+          events
+      in
+      let outer_begin =
+        List.find
+          (fun (e : Obs.Event.t) ->
+            e.Obs.Event.kind = Obs.Event.Span_begin && e.Obs.Event.name = "test.shard_outer")
+          events
+      in
+      checki "shard top-level span re-parented under the anchor"
+        outer_begin.Obs.Event.span inner_begin.Obs.Event.parent;
+      checki "worker index assigned at merge" 3 inner_begin.Obs.Event.worker;
+      checki "coordinator events stay at -1" (-1) outer_begin.Obs.Event.worker);
+  let inner = span_entry "test.shard_inner" (Obs.snapshot ()) in
+  checki "depth_base offsets shard depth accounting" 2 inner.Report.max_depth;
+  fresh ()
+
+let test_shard_trace_order_stability () =
+  fresh ();
+  Obs.set_enabled true;
+  Obs.Event.with_capturing true (fun () ->
+      Obs.Event.clear ();
+      Obs.Event.emit "test.coord_before";
+      let mk tag =
+        let (), sh =
+          Obs.Shard.collect (fun () ->
+              Obs.Event.emit ("test." ^ tag ^ "_a");
+              Obs.Event.emit ("test." ^ tag ^ "_b"))
+        in
+        sh
+      in
+      let sh0 = mk "w0" and sh1 = mk "w1" in
+      Obs.Shard.merge ~worker:0 sh0;
+      Obs.Shard.merge ~worker:1 sh1;
+      Obs.Event.emit "test.coord_after";
+      let events = Obs.Event.events () in
+      Alcotest.(check (list string))
+        "events interleave in merge order"
+        [ "test.coord_before"; "test.w0_a"; "test.w0_b"; "test.w1_a"; "test.w1_b";
+          "test.coord_after" ]
+        (List.map (fun (e : Obs.Event.t) -> e.Obs.Event.name) events);
+      Alcotest.(check (list int))
+        "logical clock restamped contiguously" [ 1; 2; 3; 4; 5; 6 ]
+        (List.map (fun (e : Obs.Event.t) -> e.Obs.Event.logical) events);
+      Alcotest.(check (list int))
+        "worker tags follow merge order" [ -1; 0; 0; 1; 1; -1 ]
+        (List.map (fun (e : Obs.Event.t) -> e.Obs.Event.worker) events);
+      checkb "ids strictly increasing" true
+        (let ids = List.map (fun (e : Obs.Event.t) -> e.Obs.Event.id) events in
+         List.for_all2 ( < ) (List.filteri (fun i _ -> i < 5) ids) (List.tl ids)));
+  fresh ()
+
+let test_shard_nested_merge_keeps_worker () =
+  fresh ();
+  Obs.set_enabled true;
+  Obs.Event.with_capturing true (fun () ->
+      Obs.Event.clear ();
+      (* A shard that itself folds in a sub-shard tagged worker 7: the
+         outer merge must not overwrite the inner tag. *)
+      let (), outer =
+        Obs.Shard.collect (fun () ->
+            let (), inner = Obs.Shard.collect (fun () -> Obs.Event.emit "test.nested_inner") in
+            Obs.Shard.merge ~worker:7 inner;
+            Obs.Event.emit "test.nested_outer")
+      in
+      Obs.Shard.merge ~worker:2 outer;
+      let worker_of name =
+        (List.find (fun (e : Obs.Event.t) -> e.Obs.Event.name = name) (Obs.Event.events ()))
+          .Obs.Event.worker
+      in
+      checki "inner tag preserved" 7 (worker_of "test.nested_inner");
+      checki "untagged events take the merge worker" 2 (worker_of "test.nested_outer"));
+  fresh ()
+
 (* Snapshot determinism: the same seeded merge twice gives the same
    report once wall-clock timings are stripped. *)
 
@@ -248,6 +394,18 @@ let () =
           Alcotest.test_case "error accounting" `Quick test_span_error_accounting;
           Alcotest.test_case "errors rendered and round-tripped" `Quick test_span_errors_render;
           Alcotest.test_case "disabled is transparent" `Quick test_span_disabled_transparent;
+        ] );
+      ( "shard",
+        [
+          Alcotest.test_case "counters and dists merge exactly" `Quick
+            test_shard_counter_and_dist_merge;
+          Alcotest.test_case "reservoirs truncate at capacity" `Quick
+            test_shard_reservoir_truncation;
+          Alcotest.test_case "top-level spans re-parent under the anchor" `Quick
+            test_shard_span_reparenting;
+          Alcotest.test_case "trace order is merge order" `Quick test_shard_trace_order_stability;
+          Alcotest.test_case "nested merges keep worker tags" `Quick
+            test_shard_nested_merge_keeps_worker;
         ] );
       ( "snapshot",
         [ Alcotest.test_case "deterministic for a seeded run" `Quick test_snapshot_deterministic ]

@@ -191,6 +191,34 @@ let prop_service_deterministic =
       let b = Service.run svc sync wl trace in
       Service.det_equal a.Service.det b.Service.det)
 
+(* Telemetry parity: the merged Obs registry of a multi-domain run — the
+   deterministic metrics AND the logical-clock Chrome trace — is
+   bit-identical to the single-domain run's. This is the tentpole
+   property of the sharded registry design. *)
+let prop_service_obs_parity =
+  let module Obs = Repro_obs.Obs in
+  let module Report = Repro_obs.Report in
+  let module Chrome = Repro_obs.Chrome in
+  QCheck.Test.make ~count:15 ~name:"merged telemetry identical across domain counts"
+    (QCheck.make (QCheck.Gen.int_bound 1_000_000))
+    (fun seed ->
+      let wl, sync, svc = case_of_seed seed in
+      let trace = Trace.generate (Sync.trace_params sync) wl in
+      let telemetry domains =
+        Obs.with_enabled true (fun () ->
+            Obs.Event.with_capturing true (fun () ->
+                let (), sh =
+                  Obs.Shard.collect (fun () ->
+                      Obs.Event.clear ();
+                      ignore (Service.run { svc with Service.domains } sync wl trace))
+                in
+                ( Report.strip_timings (Obs.Shard.snapshot sh),
+                  Chrome.to_json ~clock:`Logical (Obs.Shard.events sh) )))
+      in
+      let m1, t1 = telemetry 1 in
+      let m3, t3 = telemetry 3 in
+      Report.to_json m1 = Report.to_json m3 && String.equal t1 t3)
+
 (* The serial simulator itself must be unchanged by the trace refactor:
    run = run_trace over the generated trace. *)
 let test_sync_run_is_trace_run () =
@@ -261,6 +289,7 @@ let () =
           Alcotest.test_case "run = run_trace" `Quick test_sync_run_is_trace_run;
           Alcotest.test_case "strategy-2 only" `Quick test_requires_strategy2;
         ]
-        @ qsuite [ prop_service_equals_serial; prop_service_deterministic ] );
+        @ qsuite
+            [ prop_service_equals_serial; prop_service_deterministic; prop_service_obs_parity ] );
       ("sim", [ Alcotest.test_case "smoke" `Quick test_sim_smoke ]);
     ]
