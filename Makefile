@@ -2,7 +2,7 @@
 # build, tests, docs (skipped when odoc is not installed — the build
 # container does not ship it), and the changelog check.
 
-.PHONY: all build test bench bench-snapshot bench-check smoke service-sim obs-parity nemesis nemesis-disk doc changelog ci
+.PHONY: all build test bench bench-snapshot bench-check smoke service-sim obs-parity nemesis nemesis-disk nemesis-bases bases-sim doc changelog ci
 
 all: build
 
@@ -81,6 +81,20 @@ nemesis:
 nemesis-disk:
 	dune exec bin/repro_cli.exe -- nemesis --disk --count 200 --seed 2026
 
+# Multi-base fault sweep: random clusters of replica bases under mobile
+# sessions, anti-entropy exchanges, base-from-base partitions, asymmetric
+# links and base crash/restarts must heal to identical stable state at
+# every base with zero phantom commits and a serializable committed
+# sequence (exits 1 on any violation).
+nemesis-bases:
+	dune exec bin/repro_cli.exe -- nemesis-bases --count 200 --seed 2026
+
+# Multi-base smoke: one 3-base cluster with partitions on must converge
+# with zero violations.
+bases-sim: build
+	dune exec bin/repro_cli.exe -- bases-sim --bases 3 --mobiles 3 --ops 30 \
+		--base-partition-rate 0.4 --seed 2026
+
 doc:
 	@if command -v odoc >/dev/null 2>&1; then \
 		dune build @doc; \
@@ -91,5 +105,5 @@ doc:
 changelog:
 	sh tools/check_changes.sh
 
-ci: build test nemesis nemesis-disk smoke service-sim obs-parity bench-check doc changelog
+ci: build test nemesis nemesis-disk nemesis-bases bases-sim smoke service-sim obs-parity bench-check doc changelog
 	@echo "ci: ok"

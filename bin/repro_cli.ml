@@ -726,8 +726,25 @@ let sim_cmd =
       value & opt int 99
       & info [ "net-seed" ] ~docv:"S" ~doc:"PRNG seed for the faulty transport.")
   in
+  let retry_seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "retry-seed" ] ~docv:"S"
+          ~doc:
+            "PRNG seed for the sessions' retry-backoff jitter streams (defaults to \
+             $(b,--net-seed), so a run is reproducible from the transport seed alone).")
+  in
+  let jitter =
+    Arg.(
+      value & opt float 0.0
+      & info [ "jitter" ] ~docv:"J"
+          ~doc:
+            "Retransmission jitter: spread each retry's backoff by up to ±$(docv) of the \
+             nominal timeout, drawn from the $(b,--retry-seed) stream (0.0 disables).")
+  in
   let run metrics trace trace_out mobiles duration window seed strategy1 reprocess bias profiles
-      faults drop_rate crash_at net_seed =
+      faults drop_rate crash_at net_seed retry_seed jitter =
     let workload =
       match profiles with
       | Some file -> (
@@ -777,9 +794,8 @@ let sim_cmd =
               (match crash_at with Some n -> [ Net.Base_after_handling n ] | None -> []);
           }
         in
-        let runner, totals =
-          Session.sync_runner ~schedule ~session:Session.default_config ~net_seed ()
-        in
+        let session = { Session.default_config with Session.jitter } in
+        let runner, totals = Session.sync_runner ?retry_seed ~schedule ~session ~net_seed () in
         Some (runner, totals)
       end
     in
@@ -813,7 +829,8 @@ let sim_cmd =
     (Cmd.info "sim" ~doc:"Run one multi-node banking simulation with custom parameters.")
     Term.(
       const run $ metrics_arg $ trace_arg $ trace_out_arg $ mobiles $ duration $ window $ seed
-      $ strategy1 $ reprocess $ bias $ profiles $ faults $ drop_rate $ crash_at $ net_seed)
+      $ strategy1 $ reprocess $ bias $ profiles $ faults $ drop_rate $ crash_at $ net_seed
+      $ retry_seed $ jitter)
 
 (* service-sim: large-scale run against the concurrent merge service *)
 let service_sim_cmd =
@@ -1061,6 +1078,110 @@ let metrics_diff_cmd =
           comparison. Exits 1 and prints a per-metric diff on mismatch.")
     Term.(const run $ file_a $ file_b)
 
+(* bases-sim: one multi-base epidemic-replication simulation *)
+let bases_sim_cmd =
+  let module MB = Repro_multibase in
+  let bases =
+    Arg.(value & opt int 3 & info [ "bases" ] ~docv:"N" ~doc:"Number of replica bases.")
+  in
+  let mobiles =
+    Arg.(value & opt int 3 & info [ "mobiles" ] ~docv:"N" ~doc:"Number of mobile nodes.")
+  in
+  let ops =
+    Arg.(
+      value & opt int 30
+      & info [ "ops" ] ~docv:"N"
+          ~doc:
+            "Number of cluster operations (mobile syncs, base transactions, anti-entropy \
+             exchanges, crash-restarts, clock ticks) before healing.")
+  in
+  let seed = Arg.(value & opt int 2026 & info [ "seed" ] ~docv:"S" ~doc:"PRNG seed.") in
+  let partition_rate =
+    Arg.(
+      value & opt float 0.3
+      & info [ "base-partition-rate" ] ~docv:"P"
+          ~doc:
+            "Probability a drawn base-pair (or mobile) link schedule carries a partition; half \
+             of those are hard — down for the whole exchange.")
+  in
+  let crash_at =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "base-crash-at" ] ~docv:"N"
+          ~doc:
+            "Crash-restart the responding base on receipt of its $(docv)-th message of every \
+             anti-entropy exchange (replaces the randomly drawn crash points).")
+  in
+  let run metrics trace trace_out bases mobiles ops seed partition_rate crash_at =
+    let ok =
+      with_observability ~metrics ~trace ~trace_out @@ fun () ->
+      let case =
+        MB.Mb_nemesis.random_case ~partition_rate ?crash_at ~bases ~mobiles ~n_ops:ops ~seed ()
+      in
+      let cluster =
+        MB.Cluster.create ~bases:case.MB.Mb_nemesis.bases ~mobiles:case.MB.Mb_nemesis.mobiles
+          ~n_accounts:8 ()
+      in
+      MB.Cluster.run_ops cluster case.MB.Mb_nemesis.ops;
+      let violations = MB.Cluster.check cluster in
+      let ppf =
+        match metrics with
+        | Some `Json | Some `Csv -> Format.err_formatter
+        | Some `Text | None -> Format.std_formatter
+      in
+      Format.fprintf ppf "%a@." MB.Cluster.pp_stats (MB.Cluster.stats cluster);
+      List.iter (fun v -> Format.fprintf ppf "VIOLATION: %s@." v) violations;
+      violations = []
+    in
+    if not ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "bases-sim"
+       ~doc:
+         "Run one multi-base simulation: bases replicate merged mobile sessions to each other \
+          by anti-entropy over faulty links (partitions, asymmetric drops, crash-restarts), \
+          commitment is decided without consensus, then the cluster heals and the convergence \
+          contract is checked — identical durable stable state everywhere, no phantom commits, \
+          serializable committed history. Exits 1 on any violation.")
+    Term.(
+      const run $ metrics_arg $ trace_arg $ trace_out_arg $ bases $ mobiles $ ops $ seed
+      $ partition_rate $ crash_at)
+
+let nemesis_bases_cmd =
+  let module MN = Repro_multibase.Mb_nemesis in
+  let count =
+    Arg.(
+      value & opt int 200
+      & info [ "count" ] ~docv:"N" ~doc:"Number of random cluster cases to check.")
+  in
+  let seed = Arg.(value & opt int 2026 & info [ "seed" ] ~docv:"S" ~doc:"PRNG seed.") in
+  let partition_rate =
+    Arg.(
+      value & opt float 0.3
+      & info [ "base-partition-rate" ] ~docv:"P"
+          ~doc:"Per-schedule partition probability (half hard, half transient).")
+  in
+  let crash_rate =
+    Arg.(
+      value & opt float 0.2
+      & info [ "base-crash-rate" ] ~docv:"P"
+          ~doc:"Per-schedule probability of an injected responder crash-restart.")
+  in
+  let run count seed partition_rate crash_rate =
+    let sweep = MN.run_sweep ~partition_rate ~crash_rate ~seed ~count () in
+    Format.printf "%a@." MN.pp_sweep sweep;
+    if sweep.MN.failures <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "nemesis-bases"
+       ~doc:
+         "Run random multi-base clusters under the base-partition nemesis (base-from-base \
+          partitions, asymmetric links, base crash/restart injection, faulty mobile sessions \
+          against arbitrary bases) and check the convergence contract after healing. Exits 1 \
+          on any violation.")
+    Term.(const run $ count $ seed $ partition_rate $ crash_rate)
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let info =
@@ -1077,4 +1198,5 @@ let () =
             a2_cmd; a3_cmd;
             all_cmd; sim_cmd; service_sim_cmd; metrics_diff_cmd; merge_cmd; explain_cmd;
             validate_json_cmd; scrub_cmd; salvage_cmd; analyze_cmd; scenario_cmd; nemesis_cmd;
+            bases_sim_cmd; nemesis_bases_cmd;
           ]))

@@ -32,7 +32,16 @@ let random_schedule rng =
         (if Rng.bool rng 0.2 then [ Net.Base_after_commit ] else []);
       ]
   in
-  { Net.drop_rate; dup_rate; min_latency; max_latency; partitions; crashes }
+  {
+    Net.drop_rate;
+    dup_rate;
+    min_latency;
+    max_latency;
+    partitions;
+    crashes;
+    to_base_drop = None;
+    to_mobile_drop = None;
+  }
 
 let random_disk_schedule rng =
   {

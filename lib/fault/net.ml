@@ -21,6 +21,8 @@ type schedule = {
   max_latency : float;
   partitions : (float * float) list;
   crashes : crash_point list;
+  to_base_drop : float option;
+  to_mobile_drop : float option;
 }
 
 let ideal =
@@ -31,6 +33,8 @@ let ideal =
     max_latency = 0.05;
     partitions = [];
     crashes = [];
+    to_base_drop = None;
+    to_mobile_drop = None;
   }
 
 let lossy ~drop_rate = { ideal with drop_rate }
@@ -103,11 +107,17 @@ let wire_event t ~now ~dst name payload extra =
         :: extra)
       name
 
+(* Per-direction drop probability: the asymmetric override wins when
+   present, otherwise the symmetric [drop_rate] applies. *)
+let drop_rate_for t dst =
+  let o = match dst with Base -> t.sched.to_base_drop | Mobile -> t.sched.to_mobile_drop in
+  match o with Some r -> r | None -> t.sched.drop_rate
+
 let send t ~now ~dst payload =
   t.sent <- t.sent + 1;
   Obs.Counter.incr obs_sent;
   wire_event t ~now ~dst "net.send" payload [];
-  if partitioned t now || Rng.float t.rng < t.sched.drop_rate then begin
+  if partitioned t now || Rng.float t.rng < drop_rate_for t dst then begin
     t.dropped <- t.dropped + 1;
     Obs.Counter.incr obs_dropped;
     wire_event t ~now ~dst "net.drop" payload

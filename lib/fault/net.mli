@@ -45,6 +45,12 @@ type schedule = {
   max_latency : float;
   partitions : (float * float) list;  (** link-down intervals [(from, to)] *)
   crashes : crash_point list;
+  to_base_drop : float option;
+      (** asymmetric link: overrides [drop_rate] for sends toward
+          [Base] (the responder side of a base-to-base exchange) *)
+  to_mobile_drop : float option;
+      (** asymmetric link: overrides [drop_rate] for sends toward
+          [Mobile] (the initiator side of a base-to-base exchange) *)
 }
 
 (** No faults: small constant-ish latency, nothing dropped. *)

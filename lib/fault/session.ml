@@ -582,17 +582,22 @@ type totals = {
   mutable forced : int;
 }
 
-let sync_runner ~schedule ~session ~net_seed () =
+let sync_runner ?retry_seed ~schedule ~session ~net_seed () =
   let totals =
     { sessions = 0; completed = 0; aborted = 0; resumed = 0; retries = 0; crashes = 0; forced = 0 }
   in
+  (* Default the retry-jitter stream from the net seed so a faulty run is
+     reproducible from [net_seed] alone; an explicit [retry_seed] still
+     decouples the two streams. *)
+  let retry_base = match retry_seed with Some s -> s | None -> net_seed in
   let counter = ref 0 in
   let runner ~config ~params ~base ~base_history ~origin ~tentative =
     incr counter;
     let sid = !counter in
     let net = Net.create ~describe:wire_label ~seed:(net_seed + (7919 * sid)) schedule in
     let res =
-      run_merge ~sid ~net ~session ~config ~params ~base ~base_history ~origin ~tentative ()
+      run_merge ~sid ~retry_seed:(retry_base + (31 * sid)) ~net ~session ~config ~params ~base
+        ~base_history ~origin ~tentative ()
     in
     totals.sessions <- totals.sessions + 1;
     totals.retries <- totals.retries + res.retries;

@@ -133,12 +133,15 @@ type totals = {
   mutable forced : int;
 }
 
-(** [sync_runner ~schedule ~session ~net_seed] is a
+(** [sync_runner ?retry_seed ~schedule ~session ~net_seed] is a
     {!Repro_replication.Sync.merge_runner} that carries every merge of a
     multi-node simulation over its own freshly seeded faulty transport
-    (session [i] uses seed [net_seed + 7919 * i]), plus the totals it
+    (session [i] uses seed [net_seed + 7919 * i]) and its own retry-jitter
+    stream (seed [retry_seed + 31 * i], where [retry_seed] defaults to
+    [net_seed] so runs are byte-stable from one seed), plus the totals it
     fills in. *)
 val sync_runner :
+  ?retry_seed:int ->
   schedule:Net.schedule ->
   session:config ->
   net_seed:int ->

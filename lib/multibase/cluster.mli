@@ -1,0 +1,92 @@
+(** A cluster of replica bases plus roaming mobiles: the multi-base
+    simulation harness and its convergence contract.
+
+    The cluster owns the global transaction registry ({!Mbase.store}),
+    the [n] bases, and the mobiles — each a disconnected tentative
+    history that syncs at {e any} base through the crash-safe session
+    layer ({!Repro_fault.Session}), re-anchoring its Strategy 2 window
+    against that base's current stable prefix. Base-to-base propagation
+    is pairwise anti-entropy ({!Exchange}); commitment is the
+    decentralized fence of {!Mbase.maybe_commit}.
+
+    Every commit/abort decision reported by an exchange is recorded
+    against the first decision seen for that transaction; any
+    disagreement is a {e phantom} and is flagged immediately. After
+    {!converge} heals the cluster, {!check} enforces the contract:
+    identical durable stable state at every base, zero phantoms, and
+    serializability of the committed sequence against an independent
+    replay oracle. *)
+
+module History = Repro_history.History
+module Net = Repro_fault.Net
+module Session = Repro_fault.Session
+
+type op =
+  | Mobile_session of {
+      mobile : int;
+      base : int;  (** any base — cross-base reconnects re-anchor *)
+      length : int;  (** fresh disconnected transactions before syncing *)
+      schedule : Net.schedule;
+      seed : int;
+    }
+  | Base_txn of { base : int; seed : int }
+  | Exchange of { initiator : int; responder : int; schedule : Net.schedule; seed : int }
+  | Crash of { base : int }  (** crash-restart; state rebuilt from the journal *)
+  | Tick of { base : int }
+
+type stats = {
+  mutable sessions : int;
+  mutable completed : int;
+  mutable session_aborts : int;
+  mutable reanchored : int;  (** completed syncs against a different base *)
+  mutable exchanges : int;
+  mutable exchange_aborts : int;
+  mutable pulled : int;
+  mutable pushed : int;
+  mutable base_txns : int;
+  mutable base_crashes : int;
+  mutable storage_failures : int;
+  mutable committed : int;
+  mutable rejected : int;
+}
+
+type t
+
+val create :
+  ?config:Mbase.config ->
+  ?xconfig:Exchange.config ->
+  ?session:Session.config ->
+  ?commuting_bias:float ->
+  bases:int ->
+  mobiles:int ->
+  n_accounts:int ->
+  unit ->
+  t
+
+val bases : t -> Mbase.t array
+val stats : t -> stats
+
+(** Violations recorded so far (phantoms, divergence, ...), oldest
+    first. *)
+val violations : t -> string list
+
+val run_op : t -> op -> unit
+val run_ops : t -> op list -> unit
+
+(** Heal: drain every mobile over a fault-free link, then run fault-free
+    anti-entropy rounds (tick all, exchange all ordered pairs) until
+    every tentative layer has committed, bounded by [max_rounds]
+    (default [8 + bases]). [false] — and a recorded violation — if the
+    cluster fails to drain. *)
+val converge : ?max_rounds:int -> t -> bool
+
+(** {!converge}, then enforce the convergence contract; returns all
+    violations (empty = the contract holds):
+    (a) identical stable sequence, decisions and state at every base,
+        equal to each base's applied {e and} durable state;
+    (b) no phantom commits were observed at any point;
+    (c) the committed sequence replays serially from the initial state
+        through an independent oracle to every base's state. *)
+val check : t -> string list
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,28 @@
+open Repro_txn
+
+type id = { origin : int; seq : int }
+
+type t = {
+  id : id;
+  ts : int;
+  program : Program.t;
+  fix : Fix.t;
+  origin_record : Interp.record;
+}
+
+(* The cluster-wide total commit order: Lamport timestamp, ties broken by
+   origin base then per-origin sequence. Every base sorts the same key
+   over the same transaction universe, so stable prefixes nest. *)
+let compare_order a b =
+  match compare a.ts b.ts with
+  | 0 -> (
+    match compare a.id.origin b.id.origin with
+    | 0 -> compare a.id.seq b.id.seq
+    | c -> c)
+  | c -> c
+
+let name t = t.program.Program.name
+let pp_id ppf i = Format.fprintf ppf "B%d.%d" i.origin i.seq
+
+let pp ppf t =
+  Format.fprintf ppf "%a ts=%d %s" pp_id t.id t.ts (name t)

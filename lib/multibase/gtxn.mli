@@ -1,0 +1,32 @@
+(** Globally-identified transactions for the multi-base replication layer.
+
+    Every transaction entering the cluster — a base-local write, or a
+    mobile transaction appended by a merge session — is wrapped as a
+    [Gtxn.t] at the base that first accepted it (its {e origin}): a
+    per-origin sequence number, a Lamport timestamp drawn from the
+    origin's clock, the program (with the fix its rewrite pinned, if
+    any), and the execution record that stood for it at acceptance time
+    (the shape witness for commit-time acceptance checks). *)
+
+open Repro_txn
+
+type id = { origin : int; seq : int }
+
+type t = {
+  id : id;
+  ts : int;  (** Lamport timestamp at the origin base *)
+  program : Program.t;
+  fix : Fix.t;  (** pinned reads from the rewrite that saved it, or empty *)
+  origin_record : Interp.record;
+      (** execution record at acceptance: the commit-time acceptance
+          criterion compares re-execution against this witness *)
+}
+
+(** The cluster-wide total commit order: [(ts, origin, seq)]
+    lexicographically. Identical at every base, so stable prefixes
+    nest. *)
+val compare_order : t -> t -> int
+
+val name : t -> string
+val pp_id : Format.formatter -> id -> unit
+val pp : Format.formatter -> t -> unit

@@ -13,10 +13,11 @@ let lane_tid = function
   | E.Mobile -> 1
   | E.Base -> 2
   | E.Network -> 3
+  | E.Cluster -> 4
 
-(* Coordinator rows are tids 0-3; worker [w]'s rows start at 4*(w+1),
+(* Coordinator rows are tids 0-4; worker [w]'s rows start at 5*(w+1),
    keeping every (lane, worker) pair on a distinct, stable tid. *)
-let event_tid e = if e.E.worker < 0 then lane_tid e.E.lane else (4 * (e.E.worker + 1)) + lane_tid e.E.lane
+let event_tid e = if e.E.worker < 0 then lane_tid e.E.lane else (5 * (e.E.worker + 1)) + lane_tid e.E.lane
 
 let track_name e =
   if e.E.worker < 0 then E.lane_name e.E.lane

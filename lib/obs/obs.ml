@@ -38,7 +38,7 @@ module Log = (val Logs.src_log src : Logs.LOG)
 
 type value = Str of string | Int of int | Float of float | Bool of bool
 type kind = Span_begin | Span_end | Instant
-type lane = Pipeline | Mobile | Base | Network
+type lane = Pipeline | Mobile | Base | Network | Cluster
 
 type event = {
   id : int;
@@ -259,7 +259,7 @@ let ring_events r =
 module Event = struct
   type nonrec value = value = Str of string | Int of int | Float of float | Bool of bool
   type nonrec kind = kind = Span_begin | Span_end | Instant
-  type nonrec lane = lane = Pipeline | Mobile | Base | Network
+  type nonrec lane = lane = Pipeline | Mobile | Base | Network | Cluster
 
   type t = event = {
     id : int;
@@ -279,6 +279,7 @@ module Event = struct
     | Mobile -> "mobile"
     | Base -> "base"
     | Network -> "network"
+    | Cluster -> "cluster"
 
   let capturing () = Atomic.get capturing_flag
   let set_capturing b = Atomic.set capturing_flag b

@@ -92,8 +92,10 @@ module Event : sig
 
   (** Which timeline the event belongs to. The merge pipeline stages
       default to [Pipeline]; the fault-injection layer tags wire traffic
-      [Network] and endpoint events [Mobile] / [Base]. *)
-  type lane = Pipeline | Mobile | Base | Network
+      [Network] and endpoint events [Mobile] / [Base]; the multi-base
+      replication layer tags epidemic exchanges and commitment events
+      [Cluster]. *)
+  type lane = Pipeline | Mobile | Base | Network | Cluster
 
   type t = {
     id : int;  (** monotonic per registry (survives {!clear}) *)

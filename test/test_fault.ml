@@ -350,6 +350,151 @@ let test_nemesis_disk_sweep_clean () =
     (sweep.Nemesis.completed + sweep.Nemesis.aborted);
   checkb "storage failures were actually provoked and detected" true (sweep.Nemesis.damaged > 0)
 
+(* ------------------------------------------------------------------ *)
+(* Two interleaved sessions against one base (ROADMAP item 5)          *)
+(* ------------------------------------------------------------------ *)
+
+let applied_markers engine ~sid =
+  List.length
+    (List.filter
+       (fun (s, note) -> s = sid && Session.parse_applied note <> None)
+       (Engine.session_journal engine))
+
+let replay_programs s0 (txns : P.base_txn list) =
+  List.fold_left (fun s (bt : P.base_txn) -> Interp.apply s bt.P.program) s0 txns
+
+(* Exactly-once with two mobiles sharing one base: each session leaves
+   exactly one applied marker iff it completed, and the base's final
+   state is the serial composition of the completed merges — the second
+   mobile connects against whatever logical history the first left
+   behind, exactly as a reconnecting client would. *)
+let prop_two_sessions_exactly_once =
+  QCheck.Test.make ~count:50
+    ~name:"sessions: two mobiles on one base commit exactly once each"
+    QCheck.(pair small_nat small_nat)
+    (fun (a, b) ->
+      let seed = 11 + (131 * a) + b in
+      let rng = Rng.create seed in
+      let sched1 = Nemesis.random_schedule rng in
+      let sched2 = Nemesis.random_schedule rng in
+      let bank = Banking.make ~n_accounts:8 in
+      let s0 = Banking.initial_state bank in
+      let base_h = Banking.random_history bank rng ~prefix:"B" ~length:4 ~commuting_bias:0.6 in
+      let t1 =
+        Banking.random_history bank rng ~prefix:"M1x" ~length:(2 + Rng.int rng 4)
+          ~commuting_bias:0.6
+      in
+      let t2 =
+        Banking.random_history bank rng ~prefix:"M2x" ~length:(2 + Rng.int rng 4)
+          ~commuting_bias:0.6
+      in
+      let engine = Engine.create s0 in
+      let records = Engine.execute_batch engine (History.entries base_h) in
+      let history0 =
+        List.map2 (fun p record -> { P.program = p; record }) (History.programs base_h) records
+      in
+      let run ~sid ~schedule ~tentative ~base_history =
+        let net = Net.create ~seed:(seed + (7919 * sid)) schedule in
+        Session.run_merge ~sid ~retry_seed:(seed + (31 * sid)) ~net
+          ~session:Session.default_config ~config:P.default_merge_config
+          ~params:Cost.default_params ~base:engine ~base_history ~origin:s0 ~tentative ()
+      in
+      let check cond msg = if cond then true else QCheck.Test.fail_report msg in
+      let r1 = run ~sid:1 ~schedule:sched1 ~tentative:t1 ~base_history:history0 in
+      let h1 =
+        match r1.Session.outcome with
+        | Session.Completed rep -> rep.P.new_history
+        | Session.Aborted _ -> history0
+      in
+      let r2 = run ~sid:2 ~schedule:sched2 ~tentative:t2 ~base_history:h1 in
+      let h2 =
+        match r2.Session.outcome with
+        | Session.Completed rep -> rep.P.new_history
+        | Session.Aborted _ -> h1
+      in
+      let want r =
+        match r.Session.outcome with Session.Completed _ -> 1 | Session.Aborted _ -> 0
+      in
+      let m1 = applied_markers engine ~sid:1 and m2 = applied_markers engine ~sid:2 in
+      check
+        ((not r1.Session.storage_failure) && not r2.Session.storage_failure)
+        "storage failure without a disk fault"
+      && check (m1 = want r1) (Printf.sprintf "sid 1: %d applied markers (want %d)" m1 (want r1))
+      && check (m2 = want r2) (Printf.sprintf "sid 2: %d applied markers (want %d)" m2 (want r2))
+      && check
+           (State.equal (Engine.state engine) (replay_programs s0 h2))
+           "base state is not the serial composition of the completed merges"
+      && check
+           (State.equal (Engine.recover engine) (Engine.state engine))
+           "committed state not durable")
+
+(* ------------------------------------------------------------------ *)
+(* Crash-point x retry-budget matrix (widened in-doubt rule)           *)
+(* ------------------------------------------------------------------ *)
+
+(* One row of the crash-point x budget-exhaustion matrix. A permanent
+   partition opens at [cut] (seconds into the run, fixed seed 42 over an
+   ideal link, so the message timeline is deterministic) and the session
+   exhausts whatever retry budget it is in at that moment. The widened
+   in-doubt rule under test: once a [Forward] was ever on the wire, any
+   budget exhaustion — including a {e resumed} session dying in its
+   [Hello] budget — must resolve through the durable journal peek, never
+   blindly abort. The peek's verdict then decides the row: a marker
+   (crash after the commit force) completes to the reference state; no
+   marker (torn commit group, or a crash before the Forward) aborts with
+   the base untouched. *)
+let in_doubt_case name ~crash ~cut ~expect ~resumed ~forced =
+  Alcotest.test_case name `Quick (fun () ->
+      let fx = fixture 31 in
+      let s0, tentative, mk = fx in
+      let engine, base_history = mk () in
+      let pre = Engine.state engine in
+      let session =
+        {
+          Session.default_config with
+          Session.retry_timeout = 0.2;
+          max_retries = 4;
+          commit_retries = 4;
+        }
+      in
+      let schedule = { Net.ideal with Net.crashes = [ crash ]; partitions = [ (cut, 1e9) ] } in
+      let net = Net.create ~seed:42 schedule in
+      let res =
+        Session.run_merge ~sid:1 ~net ~session ~config:P.default_merge_config
+          ~params:Cost.default_params ~base:engine ~base_history ~origin:s0 ~tentative ()
+      in
+      checkb "a crash was injected" true (res.Session.crashes > 0);
+      checkb "resumed as expected" resumed res.Session.resumed;
+      checkb "journal peek engaged as expected" forced res.Session.forced_resolution;
+      match (expect, res.Session.outcome) with
+      | `Completed, Session.Completed _ ->
+        checki "exactly one applied marker" 1 (applied_markers engine ~sid:1);
+        let _, ref_engine = reference fx in
+        check_state "resolved to the reference merge state" (Engine.state ref_engine)
+          (Engine.state engine);
+        check_state "committed state durable" (Engine.state engine) (Engine.recover engine)
+      | `Aborted, Session.Aborted _ ->
+        checki "no applied marker" 0 (applied_markers engine ~sid:1);
+        check_state "base untouched" pre (Engine.state engine)
+      | `Completed, Session.Aborted reason ->
+        Alcotest.failf "expected in-doubt completion, aborted: %s" reason
+      | `Aborted, Session.Completed _ -> Alcotest.fail "expected abort, completed")
+
+let in_doubt_matrix =
+  [
+    in_doubt_case "marker present, commit retries exhausted -> resolved"
+      ~crash:Net.Base_after_commit ~cut:0.30 ~expect:`Completed ~resumed:false ~forced:true;
+    in_doubt_case "marker present, resumed hello budget exhausted -> resolved"
+      ~crash:Net.Base_after_commit ~cut:0.50 ~expect:`Completed ~resumed:true ~forced:true;
+    in_doubt_case "torn group, commit retries exhausted -> abort"
+      ~crash:Net.Base_mid_commit ~cut:0.30 ~expect:`Aborted ~resumed:false ~forced:true;
+    in_doubt_case "torn group, resumed hello budget exhausted -> abort"
+      ~crash:Net.Base_mid_commit ~cut:0.50 ~expect:`Aborted ~resumed:true ~forced:true;
+    in_doubt_case "crash before forward, ship budget exhausted -> plain abort"
+      ~crash:(Net.Base_after_handling 2) ~cut:0.30 ~expect:`Aborted ~resumed:false
+      ~forced:false;
+  ]
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -388,7 +533,9 @@ let () =
             test_dead_link_aborts_counted_in_sync;
           Alcotest.test_case "backoff jitter deterministic" `Quick
             test_session_backoff_jitter_deterministic;
-        ] );
+        ]
+        @ qsuite [ prop_two_sessions_exactly_once ] );
+      ("in-doubt", in_doubt_matrix);
       ( "nemesis",
         [
           Alcotest.test_case "fixed-seed sweep" `Quick test_nemesis_sweep_clean;

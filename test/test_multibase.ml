@@ -1,0 +1,329 @@
+(* Tests for the multi-base replication layer: epidemic propagation and
+   decentralized commitment (Mbase), the anti-entropy exchange protocol
+   under faults (Exchange), the cluster harness and its convergence
+   contract (Cluster), and the base-partition nemesis (Mb_nemesis). *)
+
+module Engine = Repro_db.Engine
+module Rng = Repro_workload.Rng
+module Banking = Repro_workload.Banking
+module Net = Repro_fault.Net
+module Gtxn = Repro_multibase.Gtxn
+module Mbase = Repro_multibase.Mbase
+module Exchange = Repro_multibase.Exchange
+module Cluster = Repro_multibase.Cluster
+module MN = Repro_multibase.Mb_nemesis
+module G = Test_support.Generators
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+let check_state = Alcotest.check G.state
+
+(* A tiny standalone cluster: shared registry, [n] bases. *)
+let mk ?(n_accounts = 6) n =
+  let bank = Banking.make ~n_accounts in
+  let s0 = Banking.initial_state bank in
+  let registry : (Gtxn.id, Gtxn.t) Hashtbl.t = Hashtbl.create 16 in
+  let store =
+    {
+      Mbase.register = (fun (g : Gtxn.t) -> Hashtbl.replace registry g.Gtxn.id g);
+      lookup = (fun id -> Hashtbl.find registry id);
+    }
+  in
+  ( bank,
+    Array.init n (fun i -> Mbase.create ~id:i ~n ~s0 ~config:Mbase.default_config ~store ())
+  )
+
+let xrun ?(schedule = Net.ideal) ~seed a b =
+  let net = Net.create ~describe:Exchange.wire_label ~seed schedule in
+  Exchange.run ~net ~config:Exchange.default_config ~initiator:a ~responder:b ()
+
+(* Fault-free healing rounds: tick everyone, exchange all ordered pairs. *)
+let heal ?(rounds = 5) bases =
+  let n = Array.length bases in
+  for r = 1 to rounds do
+    Array.iter Mbase.tick bases;
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if i <> j then ignore (xrun ~seed:(1000 * r) bases.(i) bases.(j))
+      done
+    done
+  done
+
+let assert_converged bases =
+  let b0 = bases.(0) in
+  Array.iter
+    (fun b ->
+      checki
+        (Printf.sprintf "base %d: tentative drained" (Mbase.id b))
+        0 (Mbase.tentative_count b);
+      check_state
+        (Printf.sprintf "base %d: stable state matches base 0" (Mbase.id b))
+        (Mbase.stable_state b0) (Mbase.stable_state b);
+      checkb
+        (Printf.sprintf "base %d: identical stable sequence" (Mbase.id b))
+        true
+        (List.map (fun ((g : Gtxn.t), ok) -> (g.Gtxn.id, ok)) (Mbase.stable b)
+        = List.map (fun ((g : Gtxn.t), ok) -> (g.Gtxn.id, ok)) (Mbase.stable b0));
+      check_state
+        (Printf.sprintf "base %d: applied = stable" (Mbase.id b))
+        (Mbase.stable_state b) (Mbase.applied b);
+      check_state
+        (Printf.sprintf "base %d: stable state durable" (Mbase.id b))
+        (Mbase.applied b)
+        (Engine.recover (Mbase.engine b)))
+    bases
+
+(* ------------------------------------------------------------------ *)
+(* Mbase                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_two_bases_converge () =
+  let bank, bases = mk 2 in
+  ignore (Mbase.submit bases.(0) (Banking.deposit bank ~name:"t0" ~account:0 ~amount:7));
+  ignore (Mbase.submit bases.(1) (Banking.transfer bank ~name:"t1" ~from_:1 ~to_:2 ~amount:3));
+  ignore (Mbase.submit bases.(0) (Banking.withdraw bank ~name:"t2" ~account:2 ~amount:1));
+  heal bases;
+  assert_converged bases;
+  checki "all three committed or rejected" 3 (Mbase.stable_len bases.(0))
+
+let test_exchange_idempotent () =
+  let bank, bases = mk 2 in
+  ignore (Mbase.submit bases.(0) (Banking.deposit bank ~name:"i0" ~account:0 ~amount:5));
+  let r1 = xrun ~seed:1 bases.(0) bases.(1) in
+  checki "first exchange ships the txn" 1 r1.Exchange.pushed;
+  let r2 = xrun ~seed:2 bases.(0) bases.(1) in
+  checki "second exchange ships nothing" 0 r2.Exchange.pushed;
+  checki "nothing pulled either" 0 r2.Exchange.pulled
+
+let test_restore_rebuilds_state () =
+  let bank, bases = mk 2 in
+  ignore (Mbase.submit bases.(0) (Banking.deposit bank ~name:"r0" ~account:0 ~amount:4));
+  ignore (Mbase.submit bases.(1) (Banking.deposit bank ~name:"r1" ~account:1 ~amount:2));
+  ignore (xrun ~seed:3 bases.(0) bases.(1));
+  ignore (xrun ~seed:4 bases.(1) bases.(0));
+  let before_applied = Mbase.applied bases.(0) in
+  let before_stable = Mbase.stable_len bases.(0) in
+  let before_tentative = Mbase.tentative_count bases.(0) in
+  let d1 = Mbase.digest bases.(0) in
+  ignore (Mbase.restore bases.(0));
+  check_state "applied state survives crash-restart" before_applied (Mbase.applied bases.(0));
+  checki "stable prefix survives" before_stable (Mbase.stable_len bases.(0));
+  checki "tentative layer survives" before_tentative (Mbase.tentative_count bases.(0));
+  let d2 = Mbase.digest bases.(0) in
+  checkb "durable clock never regresses across a crash" true
+    (d2.Mbase.clock >= d1.Mbase.clock);
+  checkb "coverage never regresses across a crash" true
+    (Array.for_all2 ( <= ) d1.Mbase.have d2.Mbase.have);
+  (* and the cluster still converges after the restart *)
+  heal bases;
+  assert_converged bases
+
+let test_commit_is_deterministic_across_bases () =
+  (* Conflicting writes from both sides: whatever the acceptance rule
+     decides, both bases must decide it identically. *)
+  let bank, bases = mk 3 in
+  ignore (Mbase.submit bases.(0) (Banking.withdraw bank ~name:"c0" ~account:0 ~amount:10));
+  ignore (Mbase.submit bases.(1) (Banking.withdraw bank ~name:"c1" ~account:0 ~amount:10));
+  ignore (Mbase.submit bases.(2) (Banking.apply_fee bank ~name:"c2" ~account:0));
+  heal bases;
+  assert_converged bases;
+  checki "every transaction decided" 3 (Mbase.stable_len bases.(0))
+
+let test_commit_rejects_divergent_shape () =
+  (* Both bases drain the same account while disconnected: each
+     [safe_withdraw] succeeds at its origin (100 >= 70), but in the
+     global commit order the later one's guard fails and it writes
+     nothing — its shape diverges from the origin witness, so the
+     commitment rule must reject it, identically at every base, as a
+     clean global abort. *)
+  let bank, bases = mk 2 in
+  ignore (Mbase.submit bases.(0) (Banking.safe_withdraw bank ~name:"d0" ~account:0 ~amount:70));
+  ignore (Mbase.submit bases.(1) (Banking.safe_withdraw bank ~name:"d1" ~account:0 ~amount:70));
+  heal bases;
+  assert_converged bases;
+  let decisions = List.map snd (Mbase.stable bases.(0)) in
+  checki "both decided" 2 (List.length decisions);
+  checki "exactly one rejected" 1
+    (List.length (List.filter (fun ok -> not ok) decisions));
+  (* the committed one really withdrew: 100 - 70 = 30 *)
+  checkb "winner's effect is in the stable state" true
+    (Repro_txn.State.to_list (Mbase.stable_state bases.(0))
+    |> List.exists (fun (_, v) -> v = 30))
+
+(* ------------------------------------------------------------------ *)
+(* Exchange under faults                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_exchange_hard_partition_aborts_then_heals () =
+  let bank, bases = mk 2 in
+  ignore (Mbase.submit bases.(0) (Banking.deposit bank ~name:"p0" ~account:0 ~amount:9));
+  let parted = { Net.ideal with Net.partitions = [ (0.0, 1e9) ] } in
+  let r = xrun ~schedule:parted ~seed:5 bases.(0) bases.(1) in
+  checkb "partitioned exchange aborts" true
+    (match r.Exchange.outcome with Exchange.Aborted _ -> true | Exchange.Completed -> false);
+  checki "nothing propagated through the partition" 0 (r.Exchange.pushed + r.Exchange.pulled);
+  heal bases;
+  assert_converged bases;
+  checki "the transaction committed after healing" 1 (Mbase.stable_len bases.(0))
+
+let test_exchange_responder_crash_recovers () =
+  let bank, bases = mk 2 in
+  ignore (Mbase.submit bases.(0) (Banking.deposit bank ~name:"x0" ~account:0 ~amount:3));
+  ignore (Mbase.submit bases.(1) (Banking.deposit bank ~name:"x1" ~account:1 ~amount:6));
+  let sched = { Net.ideal with Net.crashes = [ Net.Base_after_handling 2 ] } in
+  let r = xrun ~schedule:sched ~seed:6 bases.(0) bases.(1) in
+  checkb "responder crash was injected" true (r.Exchange.crashes >= 1);
+  heal bases;
+  assert_converged bases
+
+let test_exchange_commit_window_crashes () =
+  (* Crash points around the responder's commitment run: before it
+     (mid-commit) and after it but before the ack (after-commit, the
+     in-doubt window — the retransmitted Bye re-runs commitment). *)
+  List.iter
+    (fun crash ->
+      let bank, bases = mk 2 in
+      ignore (Mbase.submit bases.(0) (Banking.deposit bank ~name:"w0" ~account:0 ~amount:2));
+      ignore (Mbase.submit bases.(1) (Banking.deposit bank ~name:"w1" ~account:1 ~amount:2));
+      let sched = { Net.ideal with Net.crashes = [ crash ] } in
+      ignore (xrun ~schedule:sched ~seed:7 bases.(0) bases.(1));
+      heal bases;
+      assert_converged bases)
+    [ Net.Base_mid_commit; Net.Base_after_commit ]
+
+let test_asymmetric_link () =
+  (* Requests all dropped, replies clean: the exchange must abort (or
+     degrade) without corrupting either side; healing converges. *)
+  let bank, bases = mk 2 in
+  ignore (Mbase.submit bases.(0) (Banking.deposit bank ~name:"a0" ~account:0 ~amount:8));
+  let sched = { Net.ideal with Net.to_base_drop = Some 1.0 } in
+  let r = xrun ~schedule:sched ~seed:8 bases.(0) bases.(1) in
+  checkb "one-way-dead link aborts" true
+    (match r.Exchange.outcome with Exchange.Aborted _ -> true | Exchange.Completed -> false);
+  heal bases;
+  assert_converged bases
+
+(* ------------------------------------------------------------------ *)
+(* Cluster                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_cluster_mobile_reanchors () =
+  let c = Cluster.create ~bases:3 ~mobiles:1 ~n_accounts:6 () in
+  Cluster.run_ops c
+    [
+      Cluster.Mobile_session
+        { mobile = 0; base = 0; length = 3; schedule = Net.ideal; seed = 11 };
+      Cluster.Base_txn { base = 1; seed = 12 };
+      Cluster.Exchange { initiator = 1; responder = 0; schedule = Net.ideal; seed = 13 };
+      (* reconnect at a different base with new disconnected work *)
+      Cluster.Mobile_session
+        { mobile = 0; base = 1; length = 2; schedule = Net.ideal; seed = 14 };
+      Cluster.Base_txn { base = 2; seed = 15 };
+    ];
+  (match Cluster.check c with
+  | [] -> ()
+  | vs -> Alcotest.failf "violations: %s" (String.concat "; " vs));
+  checki "the mobile re-anchored at a new base" 1 (Cluster.stats c).Cluster.reanchored;
+  checki "both sessions completed" 2 (Cluster.stats c).Cluster.completed
+
+let test_cluster_aborted_session_retries_elsewhere () =
+  (* The first sync dies on a dead link; the mobile keeps its tentative
+     history and completes it later against a different base. *)
+  let c = Cluster.create ~bases:2 ~mobiles:1 ~n_accounts:6 () in
+  let dead = { Net.ideal with Net.drop_rate = 1.0 } in
+  Cluster.run_ops c
+    [
+      Cluster.Mobile_session { mobile = 0; base = 0; length = 3; schedule = dead; seed = 21 };
+      Cluster.Mobile_session
+        { mobile = 0; base = 1; length = 0; schedule = Net.ideal; seed = 22 };
+    ];
+  let s = Cluster.stats c in
+  checki "first session aborted" 1 s.Cluster.session_aborts;
+  checki "retry completed" 1 s.Cluster.completed;
+  (match Cluster.check c with
+  | [] -> ()
+  | vs -> Alcotest.failf "violations: %s" (String.concat "; " vs));
+  checkb "all three mobile transactions decided" true
+    (Mbase.stable_len (Cluster.bases c).(0) >= 3)
+
+let test_cluster_partitioned_exchanges_heal () =
+  let c = Cluster.create ~bases:3 ~mobiles:2 ~n_accounts:6 () in
+  let parted = { Net.ideal with Net.partitions = [ (0.0, 1e9) ] } in
+  Cluster.run_ops c
+    [
+      Cluster.Mobile_session
+        { mobile = 0; base = 0; length = 2; schedule = Net.ideal; seed = 31 };
+      Cluster.Base_txn { base = 1; seed = 32 };
+      Cluster.Exchange { initiator = 0; responder = 1; schedule = parted; seed = 33 };
+      Cluster.Exchange { initiator = 1; responder = 2; schedule = parted; seed = 34 };
+      Cluster.Crash { base = 1 };
+      Cluster.Mobile_session
+        { mobile = 1; base = 2; length = 2; schedule = Net.ideal; seed = 35 };
+      Cluster.Tick { base = 0 };
+    ];
+  let s = Cluster.stats c in
+  checki "both partitioned exchanges aborted" 2 s.Cluster.exchange_aborts;
+  match Cluster.check c with
+  | [] -> ()
+  | vs -> Alcotest.failf "violations: %s" (String.concat "; " vs)
+
+(* ------------------------------------------------------------------ *)
+(* Nemesis                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_mb_nemesis_fixed_sweep () =
+  let sweep = MN.run_sweep ~seed:2026 ~count:25 () in
+  (match sweep.MN.failures with
+  | [] -> ()
+  | (seed, msg) :: _ -> Alcotest.failf "seed %d: %s" seed msg);
+  checki "all cases pass" sweep.MN.cases sweep.MN.ok;
+  checkb "faults actually fired" true
+    (sweep.MN.exchange_aborts > 0 || sweep.MN.base_crashes > 0 || sweep.MN.session_aborts > 0);
+  checkb "transactions actually committed" true (sweep.MN.committed > 0)
+
+let prop_mb_nemesis_convergence =
+  QCheck.Test.make ~count:30 ~name:"mb-nemesis: convergence contract under random faults"
+    QCheck.(pair small_nat small_nat)
+    (fun (a, b) ->
+      match MN.check_case ~seed:(3000 + (131 * a) + b) () with
+      | Ok _ -> true
+      | Error msg -> QCheck.Test.fail_report msg)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "repro_multibase"
+    [
+      ( "mbase",
+        [
+          Alcotest.test_case "two bases converge" `Quick test_two_bases_converge;
+          Alcotest.test_case "exchange idempotent" `Quick test_exchange_idempotent;
+          Alcotest.test_case "restore rebuilds replication state" `Quick
+            test_restore_rebuilds_state;
+          Alcotest.test_case "conflicting writes decided identically" `Quick
+            test_commit_is_deterministic_across_bases;
+          Alcotest.test_case "divergent shape rejected everywhere" `Quick
+            test_commit_rejects_divergent_shape;
+        ] );
+      ( "exchange",
+        [
+          Alcotest.test_case "hard partition aborts then heals" `Quick
+            test_exchange_hard_partition_aborts_then_heals;
+          Alcotest.test_case "responder crash recovers" `Quick
+            test_exchange_responder_crash_recovers;
+          Alcotest.test_case "commit-window crashes" `Quick test_exchange_commit_window_crashes;
+          Alcotest.test_case "asymmetric link" `Quick test_asymmetric_link;
+        ] );
+      ( "cluster",
+        [
+          Alcotest.test_case "mobile re-anchors across bases" `Quick
+            test_cluster_mobile_reanchors;
+          Alcotest.test_case "aborted session retries elsewhere" `Quick
+            test_cluster_aborted_session_retries_elsewhere;
+          Alcotest.test_case "partitioned exchanges heal" `Quick
+            test_cluster_partitioned_exchanges_heal;
+        ] );
+      ( "nemesis",
+        [ Alcotest.test_case "fixed-seed sweep" `Quick test_mb_nemesis_fixed_sweep ]
+        @ qsuite [ prop_mb_nemesis_convergence ] );
+    ]
