@@ -2,7 +2,7 @@
 # build, tests, docs (skipped when odoc is not installed — the build
 # container does not ship it), and the changelog check.
 
-.PHONY: all build test bench bench-snapshot bench-check smoke service-sim obs-parity nemesis nemesis-disk nemesis-bases bases-sim doc changelog ci
+.PHONY: all build test bench bench-snapshot bench-check smoke service-sim obs-parity nemesis nemesis-disk nemesis-bases bases-sim wal-compat doc changelog ci
 
 all: build
 
@@ -95,6 +95,13 @@ bases-sim: build
 	dune exec bin/repro_cli.exe -- bases-sim --bases 3 --mobiles 3 --ops 30 \
 		--base-partition-rate 0.4 --seed 2026
 
+# Cross-format WAL gate: the golden fixture corpus (v2 and v3, clean
+# and damaged) must scrub to its pinned classifications, salvage to
+# clean images, and wal-migrate must round-trip the clean fixtures
+# across formats byte-identically (see docs/STORAGE.md).
+wal-compat: build
+	sh tools/wal_compat.sh
+
 doc:
 	@if command -v odoc >/dev/null 2>&1; then \
 		dune build @doc; \
@@ -105,5 +112,5 @@ doc:
 changelog:
 	sh tools/check_changes.sh
 
-ci: build test nemesis nemesis-disk nemesis-bases bases-sim smoke service-sim obs-parity bench-check doc changelog
+ci: build test nemesis nemesis-disk nemesis-bases bases-sim smoke service-sim obs-parity wal-compat bench-check doc changelog
 	@echo "ci: ok"

@@ -51,6 +51,31 @@ let case_of_length n =
     ~profile:{ Gen_wl.default_profile with Gen_wl.zipf_skew = 0.9 }
     ~tentative_len:n ~base_len:(n / 2) ~strategy:Backout.Two_cycle_then_greedy
 
+(* The on-disk codec head-to-head (B7): n committed transactions, each
+   force writing through a faithful in-memory device. v2 encodes and
+   appends record by record; v3 buffers the frame batch into a single
+   device write per force. The grouped variant coalesces all n forces
+   into one combined write + sync. *)
+let wal_run =
+  let n = 64 in
+  let items = [| "a"; "b"; "c"; "d" |] in
+  let progs =
+    List.init n (fun i ->
+        let x = items.(i mod Array.length items) in
+        Program.make
+          ~name:(Printf.sprintf "W%d" i)
+          [ Stmt.Update (x, Expr.Add (Expr.Item x, Expr.Const 1)) ])
+  in
+  let s0 = State.of_list [ ("a", 0); ("b", 0); ("c", 0); ("d", 0) ] in
+  fun fmt ~grouped () ->
+    let dev = Repro_db.Block.create Repro_db.Block.faithful in
+    let e = Engine.create ~device:dev ~format:fmt s0 in
+    if grouped then
+      Engine.with_group e (fun () -> List.iter (fun p -> ignore (Engine.execute e p)) progs)
+    else List.iter (fun p -> ignore (Engine.execute e p)) progs
+
+let wal_commits = 64
+
 let bench_tests () =
   let lengths = [ 16; 64; 256 ] in
   let cases = List.map (fun n -> (n, case_of_length n)) lengths in
@@ -225,12 +250,25 @@ let bench_tests () =
           ])
       cases
   in
+  let wal_tests =
+    [
+      Bechamel.Test.make
+        ~name:(Printf.sprintf "wal-append-force-v2/n=%d" wal_commits)
+        (Bechamel.Staged.stage (wal_run Repro_db.Wal.V2 ~grouped:false));
+      Bechamel.Test.make
+        ~name:(Printf.sprintf "wal-append-force-v3/n=%d" wal_commits)
+        (Bechamel.Staged.stage (wal_run Repro_db.Wal.V3 ~grouped:false));
+      Bechamel.Test.make
+        ~name:(Printf.sprintf "wal-group-commit-v3/n=%d" wal_commits)
+        (Bechamel.Staged.stage (wal_run Repro_db.Wal.V3 ~grouped:true));
+    ]
+  in
   graph_tests @ incremental_graph_tests @ backout_tests @ damage_backout_tests
   @ bnb_backout_tests
   @ rewrite_tests Rewrite.Can_follow "alg1"
   @ rewrite_tests Rewrite.Can_follow_precede "alg2"
   @ rewrite_tests Rewrite.Commute_only "cbt"
-  @ static_rewrite_tests @ prune_tests @ protocol_tests @ obs_overhead_tests
+  @ static_rewrite_tests @ prune_tests @ protocol_tests @ obs_overhead_tests @ wal_tests
 
 let part2 () =
   Format.printf "=== Part 2: micro-benchmarks (Bechamel, monotonic clock) ===@.@.";
@@ -363,6 +401,14 @@ let snapshot_experiments =
         ignore
           (Sim.run ~baseline:false
              { Sim.default_config with Sim.mobiles = 5000; Sim.domains = 4 }) );
+    (* The WAL codec sweep: 200 engines x 64 committed transactions each,
+       forcing through a faithful device. Besides the wall-clock, the
+       db.wal.bytes_written / db.wal_forces counters in each snapshot pin
+       the density win (v3 frames vs v2 text) and the coalescing win
+       (db.group_commit.coalesced under the grouped run). *)
+    ("wal-v2", fun () -> for _ = 1 to 200 do wal_run Repro_db.Wal.V2 ~grouped:false () done);
+    ("wal-v3", fun () -> for _ = 1 to 200 do wal_run Repro_db.Wal.V3 ~grouped:false () done);
+    ("wal-v3-group", fun () -> for _ = 1 to 200 do wal_run Repro_db.Wal.V3 ~grouped:true () done);
   ]
 
 let snapshot file =

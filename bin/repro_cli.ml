@@ -548,28 +548,39 @@ let validate_json_cmd =
           producers); with $(b,--chrome), also check the trace-event schema.")
     Term.(const run $ chrome $ file)
 
+(* Shared --format=text|json selector for the storage tools. *)
+let wal_output_format =
+  let fmt_conv = Arg.enum [ ("text", `Text); ("json", `Json) ] in
+  Arg.(
+    value & opt fmt_conv `Text
+    & info [ "format" ] ~docv:"FMT" ~doc:"Output format: text or json.")
+
 (* scrub: offline WAL verification *)
 let scrub_cmd =
   let file =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Persisted WAL file.")
   in
-  let run file =
+  let run file format =
     match Repro_db.Scrub.file ~path:file with
     | Error msg ->
       prerr_endline (file ^ ": " ^ msg);
       exit 2
     | Ok report ->
-      Format.printf "%a@." Repro_db.Scrub.pp report;
+      (match format with
+      | `Text -> Format.printf "%a@." Repro_db.Scrub.pp report
+      | `Json -> print_endline (Repro_db.Scrub.to_json report));
       if not (Repro_db.Scrub.is_clean report) then exit 1
   in
   Cmd.v
     (Cmd.info "scrub"
        ~doc:
-         "Verify a persisted write-ahead log offline: check every record's framing, CRC-32, \
-          sequence continuity and barrier coverage, and report the damage (clean / torn tail \
-          / corrupt, plus the transaction ids recognizable in the damaged region). Exits 0 \
-          only when the log is clean.")
-    Term.(const run $ file)
+         "Verify a persisted write-ahead log offline (v2 text or v3 binary, auto-detected by \
+          header): check every record's framing, CRC-32, sequence continuity and barrier \
+          coverage, and report the damage (format version, clean / torn tail / corrupt, plus \
+          the transaction ids recognizable in the damaged region). With $(b,--format=json), \
+          emit the machine-readable verdict (schema repro-wal-scrub/1). Exits 0 only when \
+          the log is clean.")
+    Term.(const run $ file $ wal_output_format)
 
 (* salvage: recover the longest valid durable prefix of a damaged WAL *)
 let salvage_cmd =
@@ -582,20 +593,119 @@ let salvage_cmd =
       & opt (some string) None
       & info [ "out" ] ~docv:"FILE" ~doc:"Where to write the salvaged log.")
   in
-  let run file out =
+  let run file out format =
     match Repro_db.Salvage.file ~path:file ~out with
     | Error msg ->
       prerr_endline (file ^ ": " ^ msg);
       exit 2
-    | Ok outcome -> Format.printf "%a@." Repro_db.Salvage.pp outcome
+    | Ok outcome -> (
+      match format with
+      | `Text -> Format.printf "%a@." Repro_db.Salvage.pp outcome
+      | `Json -> print_endline (Repro_db.Salvage.to_json outcome))
   in
   Cmd.v
     (Cmd.info "salvage"
        ~doc:
          "Recover the longest valid durable prefix of a (possibly damaged) write-ahead log \
-          into $(b,--out), reporting what was dropped and which transaction ids were lost. \
+          into $(b,--out), reporting what was dropped and which transaction ids were lost \
+          (with $(b,--format=json), as schema repro-wal-salvage/1). Handles both WAL formats. \
           The salvaged image always verifies clean under $(b,scrub).")
-    Term.(const run $ file $ out)
+    Term.(const run $ file $ out $ wal_output_format)
+
+(* wal-migrate: rewrite a WAL image into another format *)
+let wal_migrate_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Persisted WAL file.")
+  in
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Where to write the migrated log.")
+  in
+  let to_format =
+    let fmt_conv = Arg.enum [ ("v2", Repro_db.Wal.V2); ("v3", Repro_db.Wal.V3) ] in
+    Arg.(
+      value
+      & opt fmt_conv Repro_db.Wal.default_format
+      & info [ "to" ] ~docv:"FMT" ~doc:"Target format: v2 or v3 (default v3).")
+  in
+  let allow_damaged =
+    Arg.(
+      value & flag
+      & info [ "allow-damaged" ]
+          ~doc:
+            "Migrate the recovered durable prefix of a damaged log instead of refusing \
+             (the damage report goes to stderr).")
+  in
+  let run file out to_format allow_damaged =
+    let module Wal = Repro_db.Wal in
+    let raw =
+      match In_channel.with_open_bin file In_channel.input_all with
+      | raw -> raw
+      | exception Sys_error msg ->
+        prerr_endline (file ^ ": " ^ msg);
+        exit 2
+    in
+    match Wal.decode raw with
+    | Error msg ->
+      prerr_endline (file ^ ": " ^ msg);
+      exit 2
+    | Ok d ->
+      (match d.Wal.d_verdict with
+      | Wal.Clean -> ()
+      | v ->
+        Format.eprintf "%s: not clean: %a@." file Wal.pp_verdict v;
+        if not allow_damaged then begin
+          prerr_endline "refusing to migrate a damaged log (use --allow-damaged to migrate the recovered prefix)";
+          exit 1
+        end);
+      let image =
+        Wal.image_of ~format:to_format ~entries:d.Wal.d_entries ~barriers:d.Wal.d_barriers
+      in
+      (* Round-trip check before anything touches disk: the migrated
+         image must decode clean, byte-faithful to the source's durable
+         prefix — same entries, same barrier structure. *)
+      (match Wal.decode image with
+      | Error msg ->
+        prerr_endline ("migration round-trip failed to decode: " ^ msg);
+        exit 3
+      | Ok d' ->
+        let entries_equal =
+          List.length d.Wal.d_entries = List.length d'.Wal.d_entries
+          && List.for_all2 Wal.entry_equal d.Wal.d_entries d'.Wal.d_entries
+        in
+        if d'.Wal.d_verdict <> Wal.Clean || not entries_equal
+           || d.Wal.d_barriers <> d'.Wal.d_barriers
+        then begin
+          prerr_endline "migration round-trip mismatch: entries or barriers diverged";
+          exit 3
+        end;
+        (* migrating into the source's own format must be byte-faithful *)
+        if to_format = (if d.Wal.d_format = 2 then Wal.V2 else Wal.V3)
+           && d.Wal.d_verdict = Wal.Clean && not (String.equal image raw)
+        then begin
+          prerr_endline "migration round-trip mismatch: same-format image not byte-identical";
+          exit 3
+        end);
+      (match Out_channel.with_open_bin out (fun oc -> Out_channel.output_string oc image) with
+      | () -> ()
+      | exception Sys_error msg ->
+        prerr_endline (out ^ ": " ^ msg);
+        exit 2);
+      Printf.printf "migrated %s (v%d, %d entries, %d barriers) -> %s (v%d, %d bytes)\n" file
+        d.Wal.d_format (List.length d.Wal.d_entries) (List.length d.Wal.d_barriers) out
+        (Wal.int_of_format to_format) (String.length image)
+  in
+  Cmd.v
+    (Cmd.info "wal-migrate"
+       ~doc:
+         "Rewrite a write-ahead log into another on-disk format (v2 text <-> v3 binary \
+          frames), preserving entries and barrier coverage exactly. The migrated image is \
+          round-trip verified before it is written: it must decode clean with identical \
+          entries and barriers, and a same-format migration of a clean log must be \
+          byte-identical. Refuses damaged inputs unless $(b,--allow-damaged).")
+    Term.(const run $ file $ out $ to_format $ allow_damaged)
 
 (* analyze: offline profile analysis of a transaction-type system file *)
 let analyze_cmd =
@@ -1197,6 +1307,7 @@ let () =
             e1_cmd; e2_cmd; e3_cmd; e4_cmd; e5_cmd; e6_cmd; e7_cmd; e8_cmd; e9_cmd; a1_cmd;
             a2_cmd; a3_cmd;
             all_cmd; sim_cmd; service_sim_cmd; metrics_diff_cmd; merge_cmd; explain_cmd;
-            validate_json_cmd; scrub_cmd; salvage_cmd; analyze_cmd; scenario_cmd; nemesis_cmd;
+            validate_json_cmd; scrub_cmd; salvage_cmd; wal_migrate_cmd; analyze_cmd;
+            scenario_cmd; nemesis_cmd;
             bases_sim_cmd; nemesis_bases_cmd;
           ]))

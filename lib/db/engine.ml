@@ -12,8 +12,8 @@ type t = {
   mutable committed : int;
 }
 
-let create ?device s0 =
-  let t = { state = s0; initial = s0; wal = Wal.create (); next_txid = 1; committed = 0 } in
+let create ?device ?format s0 =
+  let t = { state = s0; initial = s0; wal = Wal.create ?format (); next_txid = 1; committed = 0 } in
   (match device with Some dev -> Wal.attach t.wal dev | None -> ());
   Wal.append t.wal (Wal.Checkpoint s0);
   Wal.force t.wal;
@@ -134,6 +134,10 @@ let crash_restart t =
 
 let journal t ~session note = Wal.append t.wal (Wal.Session (session, note))
 let force t = Wal.force t.wal
+let begin_group t = Wal.begin_group t.wal
+let end_group t = Wal.end_group t.wal
+let with_group t f = Wal.with_group t.wal f
+let in_group t = Wal.in_group t.wal
 
 let session_journal t =
   List.filter_map

@@ -18,12 +18,13 @@ open Repro_txn
 
 type t
 
-(** [create ?device s0] — a fresh engine over initial state [s0]. With
-    [?device] the WAL persists through that (fault-injecting) disk
-    ({!Wal.attach}): every force writes checksummed records and syncs,
-    and {!crash_restart} recovers through corruption-detecting
-    {!Wal.reload}. *)
-val create : ?device:Block.t -> State.t -> t
+(** [create ?device ?format s0] — a fresh engine over initial state
+    [s0]. With [?device] the WAL persists through that (fault-injecting)
+    disk ({!Wal.attach}): every force writes checksummed records and
+    syncs, and {!crash_restart} recovers through corruption-detecting
+    {!Wal.reload}. [?format] selects the on-disk WAL format (default
+    {!Wal.default_format}, i.e. v3 binary frames). *)
+val create : ?device:Block.t -> ?format:Wal.format -> State.t -> t
 
 (** Current committed state. *)
 val state : t -> State.t
@@ -88,6 +89,24 @@ val journal : t -> session:int -> string -> unit
 
 (** [force t] forces the log ({!Wal.force}). *)
 val force : t -> unit
+
+(** {2 Group commit}
+
+    Delegates to {!Wal}'s coalescing layer: while a group is open,
+    forces on this engine are deferred, and the outermost {!end_group}
+    performs one combined force (one device write + one sync under WAL
+    v3) covering them all. The single shared barrier keeps the coalesced
+    group atomic on disk. Used by the session commit group, the
+    service's per-window fold-back, and the multibase journal regions. *)
+
+val begin_group : t -> unit
+val end_group : t -> unit
+
+(** [with_group t f] runs [f] inside a group; on exception the group is
+    abandoned without forcing ({!Wal.with_group}). *)
+val with_group : t -> (unit -> 'a) -> 'a
+
+val in_group : t -> bool
 
 (** Durable session records, oldest first. *)
 val session_journal : t -> (int * string) list

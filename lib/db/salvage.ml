@@ -1,4 +1,5 @@
 type outcome = {
+  format_version : int;
   entries : Wal.entry list;
   verdict : Wal.verdict;
   kept_records : int;
@@ -7,27 +8,33 @@ type outcome = {
   output : string;
 }
 
-let empty_log = Wal.format_header ^ "\n"
+let empty_log = function
+  | 2 -> Wal.format_header ^ "\n"
+  | _ -> Wal.format_header_v3 ^ "\n"
 
 let of_string raw =
   match Wal.decode raw with
   | Ok d ->
     {
+      format_version = d.Wal.d_format;
       entries = d.Wal.d_entries;
       verdict = d.Wal.d_verdict;
       kept_records = d.Wal.d_records;
       dropped = d.Wal.d_dropped;
       lost_txids = d.Wal.d_lost_txids;
-      output = (if d.Wal.d_kept_bytes = 0 then empty_log else String.sub raw 0 d.Wal.d_kept_bytes);
+      output =
+        (if d.Wal.d_kept_bytes = 0 then empty_log d.Wal.d_format
+         else String.sub raw 0 d.Wal.d_kept_bytes);
     }
   | Error reason ->
     {
+      format_version = Wal.int_of_format Wal.default_format;
       entries = [];
       verdict = Wal.Corrupt { seq = 0; reason };
       kept_records = 0;
       dropped = 0;
       lost_txids = [];
-      output = empty_log;
+      output = empty_log (Wal.int_of_format Wal.default_format);
     }
 
 let file ~path ~out =
@@ -39,10 +46,23 @@ let file ~path ~out =
     | () -> Ok o
     | exception Sys_error msg -> Error msg)
 
+let to_json o =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "{\"schema\": \"repro-wal-salvage/1\", ";
+  Buffer.add_string buf (Printf.sprintf "\"format_version\": %d, " o.format_version);
+  Scrub.json_verdict_fields buf o.verdict;
+  Buffer.add_string buf
+    (Printf.sprintf
+       ", \"recovered_entries\": %d, \"kept_records\": %d, \"dropped\": %d, \"output_bytes\": %d, \
+        \"lost_txids\": [%s]}"
+       (List.length o.entries) o.kept_records o.dropped (String.length o.output)
+       (Scrub.json_int_list o.lost_txids));
+  Buffer.contents buf
+
 let pp ppf o =
   Format.fprintf ppf
-    "@[<v>verdict: %a@ recovered: %d entries (%d record lines)@ dropped: %d record line%s%a@]"
-    Wal.pp_verdict o.verdict (List.length o.entries) o.kept_records o.dropped
+    "@[<v>format: v%d@ verdict: %a@ recovered: %d entries (%d records)@ dropped: %d record%s%a@]"
+    o.format_version Wal.pp_verdict o.verdict (List.length o.entries) o.kept_records o.dropped
     (if o.dropped = 1 then "" else "s")
     (fun ppf -> function
       | [] -> ()

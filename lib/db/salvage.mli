@@ -1,18 +1,20 @@
 (** Salvage a damaged log: recover the longest valid durable prefix and
-    report what was lost, by transaction id.
+    report what was lost, by transaction id. Handles both WAL formats
+    (v2 text, v3 binary frames), auto-detected by header.
 
     The recovered output is the verified byte prefix of the input
     (header + every record up to and including the last valid barrier),
     so salvaging an undamaged log is the identity and the output always
     scrubs {!Repro_db.Wal.Clean}. A log whose header itself is gone
-    salvages to a fresh empty log. Exposed as
-    [repro_cli salvage FILE --out FILE]. *)
+    salvages to a fresh empty log in the default format. Exposed as
+    [repro_cli salvage FILE --out FILE [--format=json]]. *)
 
 type outcome = {
+  format_version : int;  (** 2 or 3 per the input header *)
   entries : Wal.entry list;  (** the recovered durable prefix *)
   verdict : Wal.verdict;  (** what the verification pass found *)
   kept_records : int;
-  dropped : int;  (** record lines not recovered *)
+  dropped : int;  (** records not recovered *)
   lost_txids : int list;
   output : string;  (** the salvaged log image *)
 }
@@ -23,5 +25,8 @@ val of_string : string -> outcome
     [out].
     @return [Error] on an I/O failure. *)
 val file : path:string -> out:string -> (outcome, string) result
+
+(** Machine-readable outcome (schema ["repro-wal-salvage/1"]). *)
+val to_json : outcome -> string
 
 val pp : Format.formatter -> outcome -> unit

@@ -5,6 +5,7 @@ let obs_damaged = Obs.Counter.make "db.scrub.damaged"
 let obs_records = Obs.Counter.make "db.scrub.records"
 
 type report = {
+  format_version : int;
   verdict : Wal.verdict;
   entries : int;
   records : int;
@@ -12,6 +13,7 @@ type report = {
   dropped : int;
   kept_bytes : int;
   lost_txids : int list;
+  lost_entries : int;
 }
 
 let is_clean r = match r.verdict with Wal.Clean -> true | _ -> false
@@ -23,6 +25,7 @@ let of_string raw =
     match Wal.decode raw with
     | Ok d ->
       {
+        format_version = d.Wal.d_format;
         verdict = d.Wal.d_verdict;
         entries = List.length d.Wal.d_entries;
         records = d.Wal.d_records;
@@ -30,9 +33,11 @@ let of_string raw =
         dropped = d.Wal.d_dropped;
         kept_bytes = d.Wal.d_kept_bytes;
         lost_txids = d.Wal.d_lost_txids;
+        lost_entries = d.Wal.d_lost_entries;
       }
     | Error reason ->
       {
+        format_version = 0;
         verdict = Wal.Corrupt { seq = 0; reason };
         entries = 0;
         records = 0;
@@ -40,6 +45,7 @@ let of_string raw =
         dropped = 0;
         kept_bytes = 0;
         lost_txids = [];
+        lost_entries = 0;
       }
   in
   Obs.Counter.incr ~by:report.records obs_records;
@@ -51,11 +57,41 @@ let file ~path =
   | raw -> Ok (of_string raw)
   | exception Sys_error msg -> Error msg
 
+let classification = function
+  | Wal.Clean -> "clean"
+  | Wal.Torn_tail _ -> "torn_tail"
+  | Wal.Corrupt _ -> "corrupt"
+
+let json_verdict_fields buf verdict =
+  let esc = Repro_obs.Report.escape_json in
+  Buffer.add_string buf (Printf.sprintf "\"classification\": \"%s\"" (classification verdict));
+  match verdict with
+  | Wal.Clean -> ()
+  | Wal.Torn_tail n -> Buffer.add_string buf (Printf.sprintf ", \"discarded\": %d" n)
+  | Wal.Corrupt { seq; reason } ->
+    Buffer.add_string buf
+      (Printf.sprintf ", \"corrupt_seq\": %d, \"reason\": \"%s\"" seq (esc reason))
+
+let json_int_list ids = String.concat ", " (List.map string_of_int ids)
+
+let to_json r =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "{\"schema\": \"repro-wal-scrub/1\", ";
+  Buffer.add_string buf (Printf.sprintf "\"format_version\": %d, " r.format_version);
+  json_verdict_fields buf r.verdict;
+  Buffer.add_string buf
+    (Printf.sprintf
+       ", \"clean\": %b, \"entries\": %d, \"records\": %d, \"barriers\": %d, \"dropped\": %d, \
+        \"kept_bytes\": %d, \"lost_durable\": %d, \"lost_txids\": [%s]}"
+       (is_clean r) r.entries r.records r.barriers r.dropped r.kept_bytes r.lost_entries
+       (json_int_list r.lost_txids));
+  Buffer.contents buf
+
 let pp ppf r =
   Format.fprintf ppf
-    "@[<v>verdict: %a@ records: %d (%d entries, %d barriers), %d bytes@ dropped: %d record \
-     line%s%a@]"
-    Wal.pp_verdict r.verdict r.records r.entries r.barriers r.kept_bytes r.dropped
+    "@[<v>format: v%d@ verdict: %a@ records: %d (%d entries, %d barriers), %d bytes@ dropped: %d \
+     record%s%a@]"
+    r.format_version Wal.pp_verdict r.verdict r.records r.entries r.barriers r.kept_bytes r.dropped
     (if r.dropped = 1 then "" else "s")
     (fun ppf -> function
       | [] -> ()

@@ -1,19 +1,23 @@
-(** Offline log verification: read a persisted WAL image, verify every
-    record (framing, CRC-32, sequence continuity, barrier coverage) and
-    report the damage without modifying anything.
+(** Offline log verification: read a persisted WAL image (v2 text or v3
+    binary, auto-detected by header), verify every record (framing,
+    CRC-32, sequence continuity, barrier coverage) and report the damage
+    without modifying anything.
 
-    Exposed as [repro_cli scrub FILE] — exit status 0 iff the log is
-    {!Repro_db.Wal.Clean}. Counts [db.scrub.runs], [db.scrub.records]
-    and [db.scrub.damaged] under a [db.scrub] span. *)
+    Exposed as [repro_cli scrub FILE [--format=json]] — exit status 0
+    iff the log is {!Repro_db.Wal.Clean}. Counts [db.scrub.runs],
+    [db.scrub.records] and [db.scrub.damaged] under a [db.scrub]
+    span. *)
 
 type report = {
+  format_version : int;  (** 2 or 3 per the image header; 0 when unrecognizable *)
   verdict : Wal.verdict;
   entries : int;  (** durable entries in the valid prefix *)
-  records : int;  (** record lines kept (entries + barriers) *)
+  records : int;  (** records kept (entries + barriers) *)
   barriers : int;
-  dropped : int;  (** record lines beyond the valid prefix *)
+  dropped : int;  (** records beyond the valid prefix *)
   kept_bytes : int;
   lost_txids : int list;  (** transaction ids recognizable in the damage *)
+  lost_entries : int;  (** entries recognizable beyond the durable prefix *)
 }
 
 (** [of_string raw] verifies a log image. An unrecognizable header
@@ -25,4 +29,20 @@ val of_string : string -> report
 val file : path:string -> (report, string) result
 
 val is_clean : report -> bool
+
+(** Machine-readable verdict (schema ["repro-wal-scrub/1"]): format
+    version, classification ([clean]/[torn_tail]/[corrupt] plus the
+    verdict's detail fields), record/entry/barrier counts, [lost_durable]
+    (the entry count recognizable beyond the durable prefix) and the
+    recognizable lost transaction ids. *)
+val to_json : report -> string
+
 val pp : Format.formatter -> report -> unit
+
+(**/**)
+
+(* Shared with {!Salvage}'s JSON renderer. *)
+val json_verdict_fields : Buffer.t -> Wal.verdict -> unit
+val json_int_list : int list -> string
+
+(**/**)

@@ -9,6 +9,11 @@ type entry =
   | Checkpoint of State.t
   | Session of int * string
 
+type format = V2 | V3
+
+let default_format = V3
+let int_of_format = function V2 -> 2 | V3 -> 3
+
 type t = {
   mutable rev_entries : entry list;
   mutable total : int;
@@ -17,6 +22,10 @@ type t = {
   mutable rev_barriers : int list;  (* entry counts at each force, newest first *)
   mutable device : Block.t option;
   mutable disk_seq : int;  (* sequence number of the next on-disk record *)
+  mutable format : format;
+  mutable group_depth : int;  (* open [begin_group] nesting *)
+  mutable group_pending : int;  (* forces deferred by the open group *)
+  mutable group_mark : int;  (* entry count covered by the last deferred force *)
 }
 
 module Obs = Repro_obs.Obs
@@ -26,8 +35,10 @@ let obs_forces = Obs.Counter.make "db.wal_forces"
 let obs_corruption = Obs.Counter.make "db.corruption_detected"
 let obs_torn = Obs.Counter.make "db.torn_tail_records"
 let obs_lost = Obs.Counter.make "db.durable_records_lost"
+let obs_coalesced = Obs.Counter.make "db.group_commit.coalesced"
+let obs_bytes = Obs.Counter.make "db.wal.bytes_written"
 
-let create () =
+let create ?(format = default_format) () =
   {
     rev_entries = [];
     total = 0;
@@ -36,7 +47,13 @@ let create () =
     rev_barriers = [];
     device = None;
     disk_seq = 0;
+    format;
+    group_depth = 0;
+    group_pending = 0;
+    group_mark = 0;
   }
+
+let format t = t.format
 
 let append t e =
   t.rev_entries <- e :: t.rev_entries;
@@ -54,7 +71,7 @@ let length t = t.total
 let device t = t.device
 
 (* ---------------------------------------------------------------------- *)
-(* Line codec for entry payloads.                                         *)
+(* Line codec for entry payloads (v2).                                    *)
 (* ---------------------------------------------------------------------- *)
 
 let check_item x =
@@ -215,6 +232,7 @@ let pp_verdict ppf = function
   | Corrupt { seq; reason } -> Format.fprintf ppf "corrupt at record %d: %s" seq reason
 
 type decoded = {
+  d_format : int;
   d_entries : entry list;
   d_verdict : verdict;
   d_barriers : int list;
@@ -222,10 +240,12 @@ type decoded = {
   d_dropped : int;
   d_kept_bytes : int;
   d_lost_txids : int list;
+  d_lost_entries : int;
 }
 
 let empty_decoded =
   {
+    d_format = int_of_format default_format;
     d_entries = [];
     d_verdict = Torn_tail 0;
     d_barriers = [];
@@ -233,6 +253,7 @@ let empty_decoded =
     d_dropped = 0;
     d_kept_bytes = 0;
     d_lost_txids = [];
+    d_lost_entries = 0;
   }
 
 let is_crc_hex s =
@@ -306,146 +327,491 @@ let txid_of_entry = function
 let is_strict_prefix s full =
   String.length s < String.length full && String.equal s (String.sub full 0 (String.length s))
 
+let decode_v2 raw lines =
+  match lines with
+  | hd :: records when String.equal hd format_header ->
+    let arr = Array.of_list records in
+    let n = Array.length arr in
+    let rev_entries = ref [] and n_entries = ref 0 in
+    let rev_barriers = ref [] in
+    let last_barrier = ref (-1) (* index into arr *) and covered = ref 0 in
+    let invalid = ref None in
+    let i = ref 0 in
+    while !invalid = None && !i < n do
+      (match parse_record ~expect:!i arr.(!i) with
+      | Error reason -> invalid := Some (!i, reason)
+      | Ok payload -> (
+        match classify_payload payload with
+        | `Entry e ->
+          rev_entries := e :: !rev_entries;
+          incr n_entries
+        | `Barrier b ->
+          if b = !n_entries then begin
+            rev_barriers := b :: !rev_barriers;
+            last_barrier := !i;
+            covered := b
+          end
+          else
+            invalid :=
+              Some (!i, Printf.sprintf "barrier covers %d entries, log holds %d" b !n_entries)
+        | `Bad reason -> invalid := Some (!i, reason)));
+      if !invalid = None then incr i
+    done;
+    let kept_records = !last_barrier + 1 in
+    let dropped = n - kept_records in
+    let verdict =
+      match !invalid with
+      | None -> if dropped = 0 then Clean else Torn_tail dropped
+      | Some (idx, reason) ->
+        (* A self-valid record after the damage proves the damage is
+           interior (read corruption), not a torn tail — torn writes
+           only ever cut the end off. *)
+        let interior = ref false in
+        for j = idx + 1 to n - 1 do
+          if record_self_valid arr.(j) <> None then interior := true
+        done;
+        if !interior then Corrupt { seq = idx; reason } else Torn_tail dropped
+    in
+    let entries =
+      let rec take k l acc =
+        if k = 0 then List.rev acc
+        else match l with [] -> List.rev acc | x :: tl -> take (k - 1) tl (x :: acc)
+      in
+      take !covered (List.rev !rev_entries) []
+    in
+    let kept_bytes =
+      let b = ref (String.length format_header + 1) in
+      for j = 0 to kept_records - 1 do
+        b := !b + String.length arr.(j) + 1
+      done;
+      min !b (String.length raw)
+    in
+    let lost_entries = ref (!n_entries - !covered) in
+    (* index just past the contiguous valid prefix: lines there were
+       already counted via [n_entries] *)
+    let valid_end = match !invalid with Some (idx, _) -> idx | None -> n in
+    let lost_txids =
+      let ids = Hashtbl.create 8 in
+      (* entries parsed validly but beyond the last barrier *)
+      let rec drop k l = if k <= 0 then l else match l with [] -> [] | _ :: tl -> drop (k - 1) tl in
+      List.iter
+        (fun e -> match txid_of_entry e with Some id -> Hashtbl.replace ids id () | None -> ())
+        (drop !covered (List.rev !rev_entries));
+      (* best-effort parse of the damaged region *)
+      for j = kept_records to n - 1 do
+        match record_self_valid arr.(j) with
+        | Some payload -> (
+          match classify_payload payload with
+          | `Entry e ->
+            if j >= valid_end then incr lost_entries;
+            (match txid_of_entry e with Some id -> Hashtbl.replace ids id () | None -> ())
+          | `Barrier _ | `Bad _ -> ())
+        | None -> ()
+      done;
+      List.sort compare (Hashtbl.fold (fun id () acc -> id :: acc) ids [])
+    in
+    Ok
+      {
+        d_format = 2;
+        d_entries = entries;
+        d_verdict = verdict;
+        d_barriers = List.rev !rev_barriers;
+        d_records = kept_records;
+        d_dropped = dropped;
+        d_kept_bytes = kept_bytes;
+        d_lost_txids = lost_txids;
+        d_lost_entries = !lost_entries;
+      }
+  | [ only ] when is_strict_prefix only format_header ->
+    (* torn write of the header itself: an empty log *)
+    Ok { empty_decoded with d_format = 2; d_verdict = Torn_tail 1; d_dropped = 1 }
+  | _ ->
+    Error
+      (Printf.sprintf "unrecognized log header (want %S or %S)" format_header "repro-wal 3")
+
+(* ---------------------------------------------------------------------- *)
+(* On-disk format v3: the same header-line convention ("repro-wal 3"),   *)
+(* then length-prefixed binary frames                                     *)
+(*   len:u32le | crc:u32le | body                                         *)
+(* where body = tag:u8, seq:varint, payload and the CRC-32 (IEEE) covers  *)
+(* the body. Integers are zigzag LEB128 varints; strings are varint       *)
+(* length + bytes. Tags: 1 begin, 2 read, 3 write, 4 commit, 5 abort,    *)
+(* 6 checkpoint, 7 session, 8 barrier (payload = covered entry count).   *)
+(* The barrier-coverage durability rule is identical to v2.               *)
+(* ---------------------------------------------------------------------- *)
+
+let format_header_v3 = "repro-wal 3"
+let header_v3 = format_header_v3 ^ "\n"
+
+(* Frames this large are structurally impossible for our entries; the
+   bound keeps a corrupted length field from swallowing the whole image
+   as one "frame". *)
+let max_frame_body = 1 lsl 26
+
+let add_u32le buf n =
+  Buffer.add_char buf (Char.chr (n land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 24) land 0xff))
+
+let u32le s pos =
+  Char.code s.[pos]
+  lor (Char.code s.[pos + 1] lsl 8)
+  lor (Char.code s.[pos + 2] lsl 16)
+  lor (Char.code s.[pos + 3] lsl 24)
+
+let crc32_int s = Int32.to_int (crc32 s) land 0xFFFFFFFF
+
+let add_vint buf n =
+  (* zigzag so small negatives stay short; OCaml ints are 63-bit *)
+  let rec go z =
+    if z land lnot 0x7f = 0 then Buffer.add_char buf (Char.chr (z land 0x7f))
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (z land 0x7f)));
+      go (z lsr 7)
+    end
+  in
+  go ((n lsl 1) lxor (n asr 62))
+
+let read_vint s pos limit =
+  let rec go pos shift acc count =
+    if pos >= limit || count > 9 then None
+    else
+      let b = Char.code s.[pos] in
+      let acc = acc lor ((b land 0x7f) lsl shift) in
+      if b land 0x80 = 0 then Some ((acc lsr 1) lxor (- (acc land 1)), pos + 1)
+      else go (pos + 1) (shift + 7) acc (count + 1)
+  in
+  go pos 0 0 0
+
+let add_vstr buf s =
+  add_vint buf (String.length s);
+  Buffer.add_string buf s
+
+let read_vstr s pos limit =
+  match read_vint s pos limit with
+  | Some (n, pos) when n >= 0 && limit - pos >= n -> Some (String.sub s pos n, pos + n)
+  | _ -> None
+
+let entry_tag = function
+  | Begin _ -> 1
+  | Read _ -> 2
+  | Write _ -> 3
+  | Commit _ -> 4
+  | Abort _ -> 5
+  | Checkpoint _ -> 6
+  | Session _ -> 7
+
+let tag_barrier = 8
+
+let add_entry_payload buf = function
+  | Begin id | Commit id | Abort id -> add_vint buf id
+  | Read (id, x, v) ->
+    add_vint buf id;
+    add_vstr buf x;
+    add_vint buf v
+  | Write (id, x, b, a) ->
+    add_vint buf id;
+    add_vstr buf x;
+    add_vint buf b;
+    add_vint buf a
+  | Checkpoint s ->
+    let bindings = State.to_list s in
+    add_vint buf (List.length bindings);
+    List.iter
+      (fun (x, v) ->
+        add_vstr buf x;
+        add_vint buf v)
+      bindings
+  | Session (sid, note) ->
+    add_vint buf sid;
+    add_vstr buf note
+
+let frame ~seq kind =
+  let body = Buffer.create 32 in
+  (match kind with
+  | `Entry e ->
+    Buffer.add_char body (Char.chr (entry_tag e));
+    add_vint body seq;
+    add_entry_payload body e
+  | `Barrier n ->
+    Buffer.add_char body (Char.chr tag_barrier);
+    add_vint body seq;
+    add_vint body n);
+  let body = Buffer.contents body in
+  let out = Buffer.create (String.length body + 8) in
+  add_u32le out (String.length body);
+  add_u32le out (crc32_int body);
+  Buffer.add_string out body;
+  Buffer.contents out
+
+(* Structural validation of the frame at [pos]: framing and checksum.
+   Returns the body and the offset just past the frame. *)
+let frame_at raw pos =
+  let len = String.length raw in
+  if len - pos < 8 then Error "frame cut short"
+  else
+    let n = u32le raw pos in
+    if n < 2 || n > max_frame_body then Error (Printf.sprintf "bad frame length %d" n)
+    else if len - pos - 8 < n then Error "frame cut short"
+    else
+      let body = String.sub raw (pos + 8) n in
+      if crc32_int body <> u32le raw (pos + 4) then Error "checksum mismatch"
+      else Ok (body, pos + 8 + n)
+
+(* Decode a frame body (tag, seq, payload); the payload must consume the
+   body exactly. *)
+let decode_body body =
+  let limit = String.length body in
+  let tag = Char.code body.[0] in
+  let bad = Error "bad frame payload" in
+  let ( let* ) o k = match o with Some v -> k v | None -> bad in
+  match read_vint body 1 limit with
+  | None -> Error "bad frame sequence varint"
+  | Some (seq, pos) ->
+    let finish pos v = if pos = limit then Ok (seq, v) else Error "trailing bytes in frame body" in
+    (match tag with
+    | 1 | 4 | 5 ->
+      let* id, pos = read_vint body pos limit in
+      finish pos (`Entry (match tag with 1 -> Begin id | 4 -> Commit id | _ -> Abort id))
+    | 2 ->
+      let* id, pos = read_vint body pos limit in
+      let* x, pos = read_vstr body pos limit in
+      let* v, pos = read_vint body pos limit in
+      finish pos (`Entry (Read (id, x, v)))
+    | 3 ->
+      let* id, pos = read_vint body pos limit in
+      let* x, pos = read_vstr body pos limit in
+      let* b, pos = read_vint body pos limit in
+      let* a, pos = read_vint body pos limit in
+      finish pos (`Entry (Write (id, x, b, a)))
+    | 6 ->
+      let* n, pos = read_vint body pos limit in
+      if n < 0 || n > limit then bad
+      else
+        let rec bindings k pos acc =
+          if k = 0 then finish pos (`Entry (Checkpoint (State.of_list (List.rev acc))))
+          else
+            let* x, pos = read_vstr body pos limit in
+            let* v, pos = read_vint body pos limit in
+            bindings (k - 1) pos ((x, v) :: acc)
+        in
+        bindings n pos []
+    | 7 ->
+      let* sid, pos = read_vint body pos limit in
+      let* note, pos = read_vstr body pos limit in
+      finish pos (`Entry (Session (sid, note)))
+    | 8 ->
+      let* n, pos = read_vint body pos limit in
+      finish pos (`Barrier n)
+    | _ -> Error (Printf.sprintf "unknown record tag %d" tag))
+
+let decode_v3 raw =
+  let len = String.length raw in
+  let hlen = String.length header_v3 in
+  let rev_entries = ref [] and n_entries = ref 0 in
+  let rev_barriers = ref [] and covered = ref 0 in
+  let frames = ref 0 (* contiguous valid frames *) in
+  let kept_records = ref 0 (* frames up to and including the last barrier *) in
+  let kept_bytes = ref hlen in
+  let invalid = ref None in
+  let resync_from = ref len in
+  let damaged_entry = ref None in
+  let pos = ref hlen in
+  while !invalid = None && !pos < len do
+    match frame_at raw !pos with
+    | Error reason ->
+      invalid := Some (!frames, reason);
+      (* damage starts inside this frame: rescan from the next byte *)
+      resync_from := !pos + 1
+    | Ok (body, next) -> (
+      let fail reason entry =
+        invalid := Some (!frames, reason);
+        (* the frame itself checksums — damage, if any, is past it *)
+        resync_from := next;
+        damaged_entry := entry
+      in
+      match decode_body body with
+      | Error reason -> fail reason None
+      | Ok (seq, kind) ->
+        if seq <> !frames then
+          fail
+            (Printf.sprintf "sequence %d where %d was expected" seq !frames)
+            (match kind with `Entry e -> Some e | `Barrier _ -> None)
+        else (
+          match kind with
+          | `Entry e ->
+            rev_entries := e :: !rev_entries;
+            incr n_entries;
+            incr frames;
+            pos := next
+          | `Barrier b ->
+            if b = !n_entries then begin
+              rev_barriers := b :: !rev_barriers;
+              covered := b;
+              incr frames;
+              kept_records := !frames;
+              kept_bytes := next;
+              pos := next
+            end
+            else fail (Printf.sprintf "barrier covers %d entries, log holds %d" b !n_entries) None))
+  done;
+  (* Best-effort resync scan past the damage: frames whose checksum holds
+     at a later offset prove the damage is interior (v2's self-valid-line
+     rule in byte form) and name the records at risk. *)
+  let lost_ids = Hashtbl.create 8 in
+  let lost_entries = ref (!n_entries - !covered) in
+  let record_lost e =
+    incr lost_entries;
+    match txid_of_entry e with Some id -> Hashtbl.replace lost_ids id () | None -> ()
+  in
+  (let rec drop k l = if k <= 0 then l else match l with [] -> [] | _ :: tl -> drop (k - 1) tl in
+   List.iter
+     (fun e -> match txid_of_entry e with Some id -> Hashtbl.replace lost_ids id () | None -> ())
+     (drop !covered (List.rev !rev_entries)));
+  (match !damaged_entry with Some e -> record_lost e | None -> ());
+  let resynced = ref 0 and interior = ref false in
+  (if !invalid <> None then
+     let q = ref !resync_from in
+     while !q + 8 <= len do
+       match frame_at raw !q with
+       | Ok (body, next) ->
+         interior := true;
+         incr resynced;
+         (match decode_body body with
+         | Ok (_, `Entry e) -> record_lost e
+         | Ok (_, `Barrier _) | Error _ -> ());
+         q := next
+       | Error _ -> incr q
+     done);
+  let dropped =
+    !frames - !kept_records + !resynced + (match !invalid with Some _ -> 1 | None -> 0)
+  in
+  let verdict =
+    match !invalid with
+    | None -> if dropped = 0 then Clean else Torn_tail dropped
+    | Some (idx, reason) ->
+      if !interior then Corrupt { seq = idx; reason } else Torn_tail dropped
+  in
+  let entries =
+    let rec take k l acc =
+      if k = 0 then List.rev acc
+      else match l with [] -> List.rev acc | x :: tl -> take (k - 1) tl (x :: acc)
+    in
+    take !covered (List.rev !rev_entries) []
+  in
+  Ok
+    {
+      d_format = 3;
+      d_entries = entries;
+      d_verdict = verdict;
+      d_barriers = List.rev !rev_barriers;
+      d_records = !kept_records;
+      d_dropped = dropped;
+      d_kept_bytes = !kept_bytes;
+      d_lost_txids = List.sort compare (Hashtbl.fold (fun id () acc -> id :: acc) lost_ids []);
+      d_lost_entries = !lost_entries;
+    }
+
 let decode raw =
   if String.length (String.trim raw) = 0 then Ok empty_decoded
+  else if
+    String.length raw >= String.length header_v3
+    && String.equal (String.sub raw 0 (String.length header_v3)) header_v3
+  then decode_v3 raw
+  else if String.equal raw format_header_v3 || is_strict_prefix raw format_header_v3 then
+    (* torn write of the v3 header itself: an empty log (a bare
+       "repro-wal" prefix is ambiguous between formats; either answer is
+       an empty log, so report the default format) *)
+    Ok { empty_decoded with d_format = 3; d_verdict = Torn_tail 1; d_dropped = 1 }
   else
     let lines = String.split_on_char '\n' raw in
     (* a final newline leaves one trailing empty element; interior empty
        lines are damage and stay *)
     let lines = match List.rev lines with "" :: rest -> List.rev rest | _ -> lines in
-    match lines with
-    | [] -> Ok empty_decoded
-    | hd :: records when String.equal hd format_header ->
-      let arr = Array.of_list records in
-      let n = Array.length arr in
-      let rev_entries = ref [] and n_entries = ref 0 in
-      let rev_barriers = ref [] in
-      let last_barrier = ref (-1) (* index into arr *) and covered = ref 0 in
-      let invalid = ref None in
-      let i = ref 0 in
-      while !invalid = None && !i < n do
-        (match parse_record ~expect:!i arr.(!i) with
-        | Error reason -> invalid := Some (!i, reason)
-        | Ok payload -> (
-          match classify_payload payload with
-          | `Entry e ->
-            rev_entries := e :: !rev_entries;
-            incr n_entries
-          | `Barrier b ->
-            if b = !n_entries then begin
-              rev_barriers := b :: !rev_barriers;
-              last_barrier := !i;
-              covered := b
-            end
-            else
-              invalid :=
-                Some (!i, Printf.sprintf "barrier covers %d entries, log holds %d" b !n_entries)
-          | `Bad reason -> invalid := Some (!i, reason)));
-        if !invalid = None then incr i
-      done;
-      let kept_records = !last_barrier + 1 in
-      let dropped = n - kept_records in
-      let verdict =
-        match !invalid with
-        | None -> if dropped = 0 then Clean else Torn_tail dropped
-        | Some (idx, reason) ->
-          (* A self-valid record after the damage proves the damage is
-             interior (read corruption), not a torn tail — torn writes
-             only ever cut the end off. *)
-          let interior = ref false in
-          for j = idx + 1 to n - 1 do
-            if record_self_valid arr.(j) <> None then interior := true
-          done;
-          if !interior then Corrupt { seq = idx; reason } else Torn_tail dropped
-      in
-      let entries =
-        let rec take k l acc =
-          if k = 0 then List.rev acc
-          else match l with [] -> List.rev acc | x :: tl -> take (k - 1) tl (x :: acc)
-        in
-        take !covered (List.rev !rev_entries) []
-      in
-      let kept_bytes =
-        let b = ref (String.length format_header + 1) in
-        for j = 0 to kept_records - 1 do
-          b := !b + String.length arr.(j) + 1
-        done;
-        min !b (String.length raw)
-      in
-      let lost_txids =
-        let ids = Hashtbl.create 8 in
-        (* entries parsed validly but beyond the last barrier *)
-        let rec drop k l = if k <= 0 then l else match l with [] -> [] | _ :: tl -> drop (k - 1) tl in
-        List.iter
-          (fun e -> match txid_of_entry e with Some id -> Hashtbl.replace ids id () | None -> ())
-          (drop !covered (List.rev !rev_entries));
-        (* best-effort parse of the damaged region *)
-        for j = kept_records to n - 1 do
-          match record_self_valid arr.(j) with
-          | Some payload -> (
-            match classify_payload payload with
-            | `Entry e -> (
-              match txid_of_entry e with Some id -> Hashtbl.replace ids id () | None -> ())
-            | `Barrier _ | `Bad _ -> ())
-          | None -> ()
-        done;
-        List.sort compare (Hashtbl.fold (fun id () acc -> id :: acc) ids [])
-      in
-      Ok
-        {
-          d_entries = entries;
-          d_verdict = verdict;
-          d_barriers = List.rev !rev_barriers;
-          d_records = kept_records;
-          d_dropped = dropped;
-          d_kept_bytes = kept_bytes;
-          d_lost_txids = lost_txids;
-        }
-    | [ only ] when is_strict_prefix only format_header ->
-      (* torn write of the header itself: an empty log *)
-      Ok { empty_decoded with d_verdict = Torn_tail 1; d_dropped = 1 }
-    | _ -> Error (Printf.sprintf "unrecognized log header (want %S)" format_header)
+    match lines with [] -> Ok empty_decoded | lines -> decode_v2 raw lines
 
 (* ---------------------------------------------------------------------- *)
 (* Durability: forces write through the attached device.                  *)
 (* ---------------------------------------------------------------------- *)
 
-let durable_image t =
-  let buf = Buffer.create 256 in
-  Buffer.add_string buf format_header;
-  Buffer.add_char buf '\n';
-  let seq = ref 0 in
-  let emit payload =
-    Buffer.add_string buf (record_line ~seq:!seq payload);
-    Buffer.add_char buf '\n';
-    incr seq
-  in
+(* Replay the durable prefix oldest-first, interleaving each barrier at
+   the entry count it covers. *)
+let fold_durable t ~emit_entry ~emit_barrier =
   let barriers = ref (List.rev t.rev_barriers) in
   let count = ref 0 in
   let flush_barrier () =
     match !barriers with
     | b :: rest when b = !count ->
-      emit (barrier_payload b);
+      emit_barrier b;
       barriers := rest
     | _ -> ()
   in
   flush_barrier ();
   List.iter
     (fun e ->
-      emit (entry_to_line e);
+      emit_entry e;
       incr count;
       flush_barrier ())
-    (durable_entries t);
+    (durable_entries t)
+
+let durable_image t =
+  let buf = Buffer.create 256 in
+  let seq = ref 0 in
+  (match t.format with
+  | V2 ->
+    Buffer.add_string buf format_header;
+    Buffer.add_char buf '\n';
+    let emit payload =
+      Buffer.add_string buf (record_line ~seq:!seq payload);
+      Buffer.add_char buf '\n';
+      incr seq
+    in
+    fold_durable t
+      ~emit_entry:(fun e -> emit (entry_to_line e))
+      ~emit_barrier:(fun b -> emit (barrier_payload b))
+  | V3 ->
+    Buffer.add_string buf header_v3;
+    let emit kind =
+      Buffer.add_string buf (frame ~seq:!seq kind);
+      incr seq
+    in
+    fold_durable t
+      ~emit_entry:(fun e -> emit (`Entry e))
+      ~emit_barrier:(fun b -> emit (`Barrier b)));
   (Buffer.contents buf, !seq)
+
+let image_of ~format ~entries ~barriers =
+  let n = List.length entries in
+  let t =
+    {
+      rev_entries = List.rev entries;
+      total = n;
+      durable = n;
+      forces = List.length barriers;
+      rev_barriers = List.rev barriers;
+      device = None;
+      disk_seq = 0;
+      format;
+      group_depth = 0;
+      group_pending = 0;
+      group_mark = 0;
+    }
+  in
+  fst (durable_image t)
+
+let device_write dev s =
+  Block.append dev s;
+  Obs.Counter.incr ~by:(String.length s) obs_bytes
 
 let attach t dev =
   t.device <- Some dev;
   let image, seq = durable_image t in
-  Block.append dev image;
+  device_write dev image;
   t.disk_seq <- seq;
   Block.sync dev
 
-let force t =
+let do_force t =
   if t.durable < t.total then begin
     (match t.device with
     | None -> ()
@@ -454,13 +820,27 @@ let force t =
         let rec take k l acc = if k <= 0 then acc else match l with [] -> acc | x :: tl -> take (k - 1) tl (x :: acc) in
         take (t.total - t.durable) t.rev_entries []
       in
-      List.iter
-        (fun e ->
-          Block.append dev (record_line ~seq:t.disk_seq (entry_to_line e) ^ "\n");
-          t.disk_seq <- t.disk_seq + 1)
-        tail;
-      Block.append dev (record_line ~seq:t.disk_seq (barrier_payload t.total) ^ "\n");
-      t.disk_seq <- t.disk_seq + 1;
+      (match t.format with
+      | V2 ->
+        List.iter
+          (fun e ->
+            device_write dev (record_line ~seq:t.disk_seq (entry_to_line e) ^ "\n");
+            t.disk_seq <- t.disk_seq + 1)
+          tail;
+        device_write dev (record_line ~seq:t.disk_seq (barrier_payload t.total) ^ "\n");
+        t.disk_seq <- t.disk_seq + 1
+      | V3 ->
+        (* buffered: the whole force — tail frames plus barrier — is one
+           device write *)
+        let buf = Buffer.create 256 in
+        List.iter
+          (fun e ->
+            Buffer.add_string buf (frame ~seq:t.disk_seq (`Entry e));
+            t.disk_seq <- t.disk_seq + 1)
+          tail;
+        Buffer.add_string buf (frame ~seq:t.disk_seq (`Barrier t.total));
+        t.disk_seq <- t.disk_seq + 1;
+        device_write dev (Buffer.contents buf));
       Block.sync dev);
     t.durable <- t.total;
     t.forces <- t.forces + 1;
@@ -468,7 +848,63 @@ let force t =
     Obs.Counter.incr obs_forces
   end
 
+(* ---------------------------------------------------------------------- *)
+(* Group commit: an open group defers forces; the outermost [end_group]  *)
+(* performs one combined force (one device write + one sync under v3)    *)
+(* covering everything the deferred forces covered. The barrier-coverage *)
+(* rule keeps the combined group atomic on disk: a torn tail can only    *)
+(* drop the whole coalesced group, never part of it.                     *)
+(* ---------------------------------------------------------------------- *)
+
+let begin_group t = t.group_depth <- t.group_depth + 1
+
+let end_group t =
+  if t.group_depth = 0 then invalid_arg "Wal.end_group: no open group";
+  t.group_depth <- t.group_depth - 1;
+  if t.group_depth = 0 then begin
+    let pending = t.group_pending in
+    t.group_pending <- 0;
+    t.group_mark <- 0;
+    if pending > 0 then begin
+      do_force t;
+      if pending > 1 then Obs.Counter.incr ~by:(pending - 1) obs_coalesced
+    end
+  end
+
+let abort_group t =
+  if t.group_depth > 0 then begin
+    t.group_depth <- t.group_depth - 1;
+    if t.group_depth = 0 then begin
+      t.group_pending <- 0;
+      t.group_mark <- 0
+    end
+  end
+
+let with_group t f =
+  begin_group t;
+  match f () with
+  | v ->
+    end_group t;
+    v
+  | exception e ->
+    abort_group t;
+    raise e
+
+let in_group t = t.group_depth > 0
+
+let force t =
+  if t.group_depth > 0 then begin
+    if t.total > max t.durable t.group_mark then begin
+      t.group_pending <- t.group_pending + 1;
+      t.group_mark <- t.total
+    end
+  end
+  else do_force t
+
 let crash t =
+  t.group_depth <- 0;
+  t.group_pending <- 0;
+  t.group_mark <- 0;
   let rec drop n l = if n <= 0 then l else match l with [] -> [] | _ :: tl -> drop (n - 1) tl in
   t.rev_entries <- drop (t.total - t.durable) t.rev_entries;
   t.total <- t.durable;
@@ -479,6 +915,9 @@ type recovery = { verdict : verdict; lost_durable : int; discarded : int }
 let clean_recovery = { verdict = Clean; lost_durable = 0; discarded = 0 }
 
 let reload t =
+  t.group_depth <- 0;
+  t.group_pending <- 0;
+  t.group_mark <- 0;
   match t.device with
   | None -> clean_recovery
   | Some dev ->
@@ -493,6 +932,9 @@ let reload t =
     t.durable <- t.total;
     t.rev_barriers <- List.rev dec.d_barriers;
     t.disk_seq <- dec.d_records;
+    (* adopt the on-disk format when a real image survives, so forces
+       after a cross-format reload keep appending in the image's format *)
+    if dec.d_records > 0 then t.format <- (if dec.d_format = 2 then V2 else V3);
     Block.truncate dev dec.d_kept_bytes;
     let lost = max 0 (believed - t.total) in
     (match dec.d_verdict with
@@ -503,15 +945,15 @@ let reload t =
     { verdict = dec.d_verdict; lost_durable = lost; discarded = dec.d_dropped }
 
 (* ---------------------------------------------------------------------- *)
-(* File persistence (same v2 format).                                     *)
+(* File persistence (the log's own format).                               *)
 (* ---------------------------------------------------------------------- *)
 
 let save t ~path =
   let image, _ = durable_image t in
-  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc image)
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc image)
 
 let load ~path =
-  let raw = In_channel.with_open_text path In_channel.input_all in
+  let raw = In_channel.with_open_bin path In_channel.input_all in
   match decode raw with
   | Ok dec -> Ok (dec.d_entries, dec.d_verdict)
   | Error msg -> Error msg

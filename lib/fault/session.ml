@@ -211,6 +211,10 @@ let run_merge ?(sid = 1) ?retry_seed ~net ~session ~config ~params ~base ~base_h
      ([journal_commit]) and by recovery replay on a scratch engine. *)
   let commit ~engine ~journal_commit (g : Protocol.graph_phase) (r : Protocol.rewrite_phase)
       =
+    (* Ride the WAL's group-commit layer: the commit group's single force
+       coalesces with any others sharing the engine's open group, and a
+       crash mid-commit abandons the group without a partial flush. *)
+    Engine.with_group engine @@ fun () ->
     let plan = P.plan_commit ~graph:g ~rewrite:r ~base_history ~tentative in
     let forwarded = plan.P.pl_forwarded_items in
     let first = Engine.next_txid engine in

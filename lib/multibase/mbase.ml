@@ -223,32 +223,41 @@ let rebind_tentative (t : t) (nh : P.base_txn list) =
    merge itself; here the new transactions are wrapped, journaled and
    forced. *)
 let integrate_history (t : t) (nh : P.base_txn list) =
-  let minted = rebind_tentative t nh in
-  Engine.force t.engine;
+  let minted =
+    Engine.with_group t.engine (fun () ->
+        let minted = rebind_tentative t nh in
+        Engine.force t.engine;
+        minted)
+  in
+  (* strictly after the group's real sync: digests advertise durable only *)
   bump_durable t t.clock;
   minted
 
 (* A base-local transaction: executed on the live state, wrapped,
    journaled and forced. *)
 let submit (t : t) program =
-  let r = Engine.execute ~durably:false t.engine program in
-  t.clock <- t.clock + 1;
-  t.seq <- t.seq + 1;
   let g =
-    {
-      Gtxn.id = { Gtxn.origin = t.id; seq = t.seq };
-      ts = t.clock;
-      program;
-      fix = Fix.empty;
-      origin_record = r;
-    }
+    Engine.with_group t.engine (fun () ->
+        let r = Engine.execute ~durably:false t.engine program in
+        t.clock <- t.clock + 1;
+        t.seq <- t.seq + 1;
+        let g =
+          {
+            Gtxn.id = { Gtxn.origin = t.id; seq = t.seq };
+            ts = t.clock;
+            program;
+            fix = Fix.empty;
+            origin_record = r;
+          }
+        in
+        t.store.register g;
+        journal t (Printf.sprintf "mb-local %d %d" t.seq t.clock);
+        t.have.(t.id) <- t.seq;
+        t.tentative <- t.tentative @ [ g ];
+        t.tentative_records <- t.tentative_records @ [ r ];
+        Engine.force t.engine;
+        g)
   in
-  t.store.register g;
-  journal t (Printf.sprintf "mb-local %d %d" t.seq t.clock);
-  t.have.(t.id) <- t.seq;
-  t.tentative <- t.tentative @ [ g ];
-  t.tentative_records <- t.tentative_records @ [ r ];
-  Engine.force t.engine;
   bump_durable t g.Gtxn.ts;
   Obs.Counter.incr obs_local;
   g
@@ -277,6 +286,13 @@ let integrate (t : t) (txns : Gtxn.t list) =
   else begin
     Obs.Counter.incr obs_integrations;
     Obs.Span.with_ ~lane:Obs.Event.Cluster ~name:"multibase.integrate" @@ fun () ->
+    (* The merge's internal per-transaction forces, the mb-recv journal
+       records and the closing force all coalesce into one group commit
+       — one device write + one sync for the whole integration. The
+       group is delimited at the closing force: [bump_durable] below
+       stays strictly after the group's real sync, so the digest never
+       advertises a clock ahead of what the disk holds. *)
+    Engine.with_group t.engine (fun () ->
     let tent_h =
       History.of_entries
         (List.map
@@ -316,7 +332,7 @@ let integrate (t : t) (txns : Gtxn.t list) =
     in
     t.tentative <- List.map fst order;
     t.tentative_records <- List.map snd order;
-    Engine.force t.engine;
+    Engine.force t.engine);
     let max_ts = List.fold_left (fun acc (g : Gtxn.t) -> max acc g.Gtxn.ts) 0 fresh in
     List.iter
       (fun (g : Gtxn.t) ->
@@ -443,14 +459,17 @@ let maybe_commit (t : t) =
     if fast then Obs.Counter.incr obs_commit_fast else Obs.Counter.incr obs_commit_reanchor;
     if predicted && fast then Obs.Counter.incr obs_semantic_hit;
     if predicted && not fast then Obs.Counter.incr obs_semantic_miss;
-    if not fast then Engine.apply_updates ~durably:false t.engine new_applied changed;
-    List.iter
-      (fun ((g : Gtxn.t), ok, _) ->
-        journal t
-          (Printf.sprintf "mb-stable %d %d %d" g.Gtxn.id.Gtxn.origin g.Gtxn.id.Gtxn.seq
-             (if ok then 1 else 0)))
-      decided;
-    Engine.force t.engine;
+    (* one commit group: re-anchor updates and every mb-stable marker
+       harden under a single barrier *)
+    Engine.with_group t.engine (fun () ->
+        if not fast then Engine.apply_updates ~durably:false t.engine new_applied changed;
+        List.iter
+          (fun ((g : Gtxn.t), ok, _) ->
+            journal t
+              (Printf.sprintf "mb-stable %d %d %d" g.Gtxn.id.Gtxn.origin g.Gtxn.id.Gtxn.seq
+                 (if ok then 1 else 0)))
+          decided;
+        Engine.force t.engine);
     t.stable <- t.stable @ List.map (fun (g, ok, _) -> (g, ok)) decided;
     t.stable_records <-
       t.stable_records @ List.filter_map (fun (_, ok, r) -> if ok then Some r else None) decided;
@@ -469,8 +488,9 @@ let maybe_commit (t : t) =
    Without it an idle base pins everyone's fence at its last activity. *)
 let tick (t : t) =
   t.clock <- t.clock + 1;
-  journal t (Printf.sprintf "mb-tick %d" t.clock);
-  Engine.force t.engine;
+  Engine.with_group t.engine (fun () ->
+      journal t (Printf.sprintf "mb-tick %d" t.clock);
+      Engine.force t.engine);
   bump_durable t t.clock;
   Obs.Counter.incr obs_ticks
 

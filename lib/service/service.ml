@@ -353,18 +353,22 @@ let run ?recorder config (sync : Sync.config) (workload : Sync.workload) trace =
       results;
     (* Fold results back into the canonical WAL-backed base in admission
        order: merge the per-component delta streams (each ascending in
-       event index) and apply one update group per event. *)
+       event index) and apply one update group per event. The whole
+       window's fold-back rides one WAL commit group, so the per-event
+       forces coalesce into a single device write + sync and a crash
+       mid-window loses the window atomically. *)
     let all_deltas =
       List.sort
         (fun (a, _) (b, _) -> compare (a : int) b)
         (List.concat_map (fun (r, _, _) -> r.r_deltas) (Array.to_list results))
     in
-    List.iter
-      (fun (_idx, writes) ->
-        Engine.apply_updates canonical
-          (State.of_list writes)
-          (Item.Set.of_list (List.map fst writes)))
-      all_deltas;
+    Engine.with_group canonical (fun () ->
+        List.iter
+          (fun (_idx, writes) ->
+            Engine.apply_updates canonical
+              (State.of_list writes)
+              (Item.Set.of_list (List.map fst writes)))
+          all_deltas);
     (* Aggregate in task order — deterministic regardless of which
        domain ran what. *)
     let weights = ref [] in

@@ -499,10 +499,11 @@ let test_salvage_recovers_longest_valid_prefix () =
   checki "first group recovered" 2 (List.length o.Salvage.entries);
   checkb "lost transaction identified" true (List.mem 2 o.Salvage.lost_txids);
   checkb "salvaged image scrubs clean" true (Scrub.is_clean (Scrub.of_string o.Salvage.output));
-  (* headerless garbage salvages to a fresh empty log *)
+  (* headerless garbage salvages to a fresh empty log in the default
+     (v3) format *)
   let o2 = Salvage.of_string "???" in
   checkb "no header: fresh empty log" true
-    (String.equal o2.Salvage.output (Wal.format_header ^ "\n"))
+    (String.equal o2.Salvage.output (Wal.format_header_v3 ^ "\n"))
 
 (* ------------------------------------------------------------------ *)
 (* Typed line-codec errors                                            *)
@@ -687,6 +688,329 @@ let prop_persist_restart_equals_live_state =
           | Error _ -> false
           | Ok (e', verdict) -> verdict = Wal.Clean && State.equal (Engine.state e) (Engine.state e')))
 
+(* ------------------------------------------------------------------ *)
+(* v3 binary frames                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let v3_header = Wal.format_header_v3 ^ "\n"
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.equal (String.sub s i n) sub || go (i + 1)) in
+  go 0
+
+let test_v3_roundtrip_hostile_values () =
+  (* Binary frames carry what the v2 line codec must reject: names with
+     separators, notes with newlines, extreme integers. *)
+  let entries =
+    [
+      Wal.Begin max_int;
+      Wal.Read (1, "a b=c,d", min_int);
+      Wal.Write (2, "x\ny", -1, max_int);
+      Wal.Commit 0;
+      Wal.Abort 3;
+      Wal.Session (4, "line one\nline two");
+      Wal.Checkpoint (State.of_list [ ("k 1", -5); ("z", max_int) ]);
+    ]
+  in
+  let raw = Wal.image_of ~format:Wal.V3 ~entries ~barriers:[ List.length entries ] in
+  match Wal.decode raw with
+  | Error e -> Alcotest.fail e
+  | Ok d ->
+    checki "format detected" 3 d.Wal.d_format;
+    checkb "clean" true (d.Wal.d_verdict = Wal.Clean);
+    checkb "every value survives" true
+      (List.length d.Wal.d_entries = List.length entries
+      && List.for_all2 Wal.entry_equal entries d.Wal.d_entries)
+
+let v3_two_groups =
+  (* two commit groups: [Begin 1; Commit 1 | barrier] [Begin 2; Commit 2
+     | barrier] — crafted frame by frame so the tests control exactly
+     which bytes they damage *)
+  String.concat ""
+    [
+      v3_header;
+      Wal.frame ~seq:0 (`Entry (Wal.Begin 1));
+      Wal.frame ~seq:1 (`Entry (Wal.Commit 1));
+      Wal.frame ~seq:2 (`Barrier 2);
+      Wal.frame ~seq:3 (`Entry (Wal.Begin 2));
+      Wal.frame ~seq:4 (`Entry (Wal.Commit 2));
+      Wal.frame ~seq:5 (`Barrier 4);
+    ]
+
+let test_v3_crafted_frames_decode () =
+  let d = expect_decode v3_two_groups in
+  checkb "clean two-group image" true
+    (d.Wal.d_verdict = Wal.Clean
+    && List.length d.Wal.d_entries = 4
+    && d.Wal.d_barriers = [ 2; 4 ])
+
+let test_v3_torn_frame () =
+  (* cut inside the final barrier frame: the second group loses its
+     coverage, so all of it counts as dropped — a torn tail *)
+  let torn = String.sub v3_two_groups 0 (String.length v3_two_groups - 2) in
+  let d = expect_decode torn in
+  (match d.Wal.d_verdict with
+  | Wal.Torn_tail 3 -> ()
+  | v -> Alcotest.failf "want torn tail 3, got %s" (Format.asprintf "%a" Wal.pp_verdict v));
+  checki "only the first group surfaces" 2 (List.length d.Wal.d_entries);
+  checkb "lost transaction identified" true (d.Wal.d_lost_txids = [ 2 ])
+
+let test_v3_interior_flip_resyncs () =
+  (* flip the first frame's tag byte: its checksum fails, but the frames
+     after it still verify at their offsets, so the reader
+     resynchronizes and must classify interior corruption, not a tear *)
+  let b = Bytes.of_string v3_two_groups in
+  let pos = String.length v3_header + 8 (* first body byte of frame 0 *) in
+  Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x40));
+  let d = expect_decode (Bytes.to_string b) in
+  (match d.Wal.d_verdict with
+  | Wal.Corrupt { seq = 0; reason = "checksum mismatch" } -> ()
+  | v -> Alcotest.failf "want corrupt at record 0, got %s" (Format.asprintf "%a" Wal.pp_verdict v));
+  checkb "nothing before the damage is covered" true (d.Wal.d_entries = []);
+  checkb "both txids recognizable beyond the damage" true (d.Wal.d_lost_txids = [ 1; 2 ])
+
+let test_v3_bad_length_field () =
+  (* corrupt the length prefix to an absurd value: framing must reject
+     it without trusting the length, and resynchronization on the later
+     intact frames still proves interior damage *)
+  let b = Bytes.of_string v3_two_groups in
+  Bytes.set b (String.length v3_header) '\xff';
+  Bytes.set b (String.length v3_header + 3) '\xff';
+  let d = expect_decode (Bytes.to_string b) in
+  match d.Wal.d_verdict with
+  | Wal.Corrupt { seq = 0; reason } ->
+    checkb "framing error reported" true (is_string_prefix "bad frame length" reason)
+  | v -> Alcotest.failf "want corrupt, got %s" (Format.asprintf "%a" Wal.pp_verdict v)
+
+let test_v3_header_autodetect () =
+  (* header-only image: an empty clean v3 log *)
+  let d = expect_decode v3_header in
+  checkb "header-only image is an empty clean log" true
+    (d.Wal.d_format = 3 && d.Wal.d_entries = [] && d.Wal.d_verdict = Wal.Clean);
+  (* a strict prefix of the header line is a torn header write *)
+  let d2 = expect_decode "repro-wal " in
+  checkb "torn header prefix is an empty log" true
+    (d2.Wal.d_format = 3 && d2.Wal.d_entries = [] && d2.Wal.d_verdict = Wal.Torn_tail 1)
+
+let prop_cross_format_equivalence =
+  (* The two wire formats are semantically identical: the same entries
+     and coverage points render to different bytes but decode back to
+     the same log. This is the invariant wal-migrate's round-trip check
+     rests on. *)
+  QCheck.Test.make ~count:300 ~name:"v2 and v3 images decode to the same log"
+    (QCheck.make (QCheck.Gen.list_size (QCheck.Gen.int_range 0 10) entry_gen))
+    (fun entries ->
+      let n = List.length entries in
+      let barriers = List.sort_uniq compare (List.filter (fun x -> x > 0) [ (n + 1) / 2; n ]) in
+      let dec fmt = Wal.decode (Wal.image_of ~format:fmt ~entries ~barriers) in
+      match (dec Wal.V2, dec Wal.V3) with
+      | Ok a, Ok b ->
+        a.Wal.d_verdict = Wal.Clean && b.Wal.d_verdict = Wal.Clean
+        && a.Wal.d_format = 2 && b.Wal.d_format = 3
+        && List.length a.Wal.d_entries = List.length b.Wal.d_entries
+        && List.for_all2 Wal.entry_equal a.Wal.d_entries b.Wal.d_entries
+        && a.Wal.d_barriers = b.Wal.d_barriers
+      | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Golden fixture corpus (test/support/fixtures, regenerated by       *)
+(* tools/gen_wal_fixtures.ml)                                         *)
+(* ------------------------------------------------------------------ *)
+
+let fixture_entries =
+  [
+    Wal.Checkpoint (State.of_list [ ("a", 10); ("b", 20) ]);
+    Wal.Begin 1;
+    Wal.Write (1, "a", 10, 11);
+    Wal.Commit 1;
+    Wal.Session (7, "applied 2 2");
+    Wal.Begin 2;
+    Wal.Write (2, "b", 20, 25);
+    Wal.Read (2, "a", 11);
+    Wal.Commit 2;
+  ]
+
+let read_fixture name =
+  let path = Filename.concat "support/fixtures" (name ^ ".wal") in
+  In_channel.with_open_bin path In_channel.input_all
+
+let test_fixture_corpus () =
+  let check_one name ~fmt ~verdict ~entries ~records ~barriers ~dropped ~lost ~lost_txids =
+    let d = expect_decode (read_fixture name) in
+    let ctx what = Printf.sprintf "%s: %s" name what in
+    checki (ctx "format") fmt d.Wal.d_format;
+    (match (verdict, d.Wal.d_verdict) with
+    | `Clean, Wal.Clean -> ()
+    | `Torn n, Wal.Torn_tail m when n = m -> ()
+    | `Corrupt s, Wal.Corrupt { seq; _ } when s = seq -> ()
+    | _, v ->
+      Alcotest.failf "%s: unexpected verdict %s" name (Format.asprintf "%a" Wal.pp_verdict v));
+    checki (ctx "entries") entries (List.length d.Wal.d_entries);
+    checkb (ctx "entries are a prefix of the generator's") true
+      (entries_prefix d.Wal.d_entries fixture_entries);
+    checki (ctx "records") records d.Wal.d_records;
+    checkb (ctx "barriers") true (d.Wal.d_barriers = barriers);
+    checki (ctx "dropped") dropped d.Wal.d_dropped;
+    checki (ctx "lost entries") lost d.Wal.d_lost_entries;
+    checkb (ctx "lost txids") true (d.Wal.d_lost_txids = lost_txids)
+  in
+  List.iter
+    (fun (prefix, fmt) ->
+      check_one (prefix ^ "-clean") ~fmt ~verdict:`Clean ~entries:9 ~records:12
+        ~barriers:[ 1; 4; 9 ] ~dropped:0 ~lost:0 ~lost_txids:[];
+      check_one (prefix ^ "-torn-tail") ~fmt ~verdict:(`Torn 6) ~entries:4 ~records:6
+        ~barriers:[ 1; 4 ] ~dropped:6 ~lost:5 ~lost_txids:[ 2 ];
+      check_one (prefix ^ "-fsynclie") ~fmt ~verdict:(`Torn 5) ~entries:4 ~records:6
+        ~barriers:[ 1; 4 ] ~dropped:5 ~lost:5 ~lost_txids:[ 2 ];
+      check_one (prefix ^ "-interior") ~fmt ~verdict:(`Corrupt 2) ~entries:1 ~records:2
+        ~barriers:[ 1 ] ~dropped:10 ~lost:7 ~lost_txids:[ 1; 2 ])
+    [ ("v2", 2); ("v3", 3) ]
+
+let test_fixture_scrub_json () =
+  let j = Scrub.to_json (Scrub.of_string (read_fixture "v3-interior")) in
+  checkb "schema pinned" true (is_string_prefix "{\"schema\": \"repro-wal-scrub/1\"" j);
+  checkb "classification pinned" true (contains ~sub:"\"classification\": \"corrupt\"" j);
+  checkb "lost txids listed" true (contains ~sub:"\"lost_txids\": [1, 2]" j);
+  let js = Salvage.to_json (Salvage.of_string (read_fixture "v2-torn-tail")) in
+  checkb "salvage schema pinned" true (is_string_prefix "{\"schema\": \"repro-wal-salvage/1\"" js)
+
+let test_fixture_salvage () =
+  (* salvage keeps each fixture's own format and always emits an image
+     that re-scrubs clean *)
+  List.iter
+    (fun (name, header) ->
+      let o = Salvage.of_string (read_fixture name) in
+      checkb (name ^ ": output keeps its format") true (is_string_prefix header o.Salvage.output);
+      checkb (name ^ ": salvaged image scrubs clean") true
+        (Scrub.is_clean (Scrub.of_string o.Salvage.output));
+      checki (name ^ ": first two groups recovered") 4 (List.length o.Salvage.entries);
+      checkb (name ^ ": lost txn identified") true (o.Salvage.lost_txids = [ 2 ]))
+    [ ("v2-torn-tail", Wal.format_header ^ "\n"); ("v3-torn-tail", v3_header) ]
+
+(* ------------------------------------------------------------------ *)
+(* Group commit                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_group_coalesces_forces () =
+  let dev = Block.create Block.faithful in
+  let e = Engine.create ~device:dev s0 in
+  let before = Wal.force_count (Engine.log e) in
+  Engine.with_group e (fun () ->
+      ignore (Engine.execute e (inc "T1" "a" 1));
+      ignore (Engine.execute e (inc "T2" "b" 1));
+      ignore (Engine.execute e (inc "T3" "c" 1));
+      checkb "inside the group" true (Engine.in_group e);
+      checki "forces deferred" 0 (Wal.force_count (Engine.log e) - before));
+  checkb "group closed" false (Engine.in_group e);
+  checki "three forces coalesced into one" 1 (Wal.force_count (Engine.log e) - before);
+  checki "everything the deferred forces covered is durable" 0
+    (Wal.length (Engine.log e) - List.length (Wal.durable_entries (Engine.log e)));
+  ignore (Engine.crash_restart e : Wal.recovery);
+  check_state "the whole group survives its single barrier"
+    (State.of_list [ ("a", 11); ("b", 21); ("c", 31) ])
+    (Engine.state e)
+
+let test_group_nesting () =
+  let e = Engine.create s0 in
+  let before = Wal.force_count (Engine.log e) in
+  Engine.begin_group e;
+  Engine.begin_group e;
+  ignore (Engine.execute e (inc "T1" "a" 1));
+  Engine.end_group e;
+  checki "inner end does not flush" 0 (Wal.force_count (Engine.log e) - before);
+  checkb "still grouped" true (Engine.in_group e);
+  Engine.end_group e;
+  checki "outermost end flushes once" 1 (Wal.force_count (Engine.log e) - before);
+  Alcotest.check_raises "unbalanced end rejected"
+    (Invalid_argument "Wal.end_group: no open group") (fun () -> Engine.end_group e)
+
+let test_group_abandoned_on_exception () =
+  let dev = Block.create Block.faithful in
+  let e = Engine.create ~device:dev s0 in
+  let before = Wal.force_count (Engine.log e) in
+  (try
+     Engine.with_group e (fun () ->
+         ignore (Engine.execute e (inc "T1" "a" 1));
+         raise Exit)
+   with Exit -> ());
+  checkb "group closed by the exception" false (Engine.in_group e);
+  checki "no flush on the failure path" 0 (Wal.force_count (Engine.log e) - before);
+  ignore (Engine.crash_restart e : Wal.recovery);
+  check_state "the abandoned group vanishes whole" s0 (Engine.state e);
+  (* the engine keeps working and later forces are honest again *)
+  ignore (Engine.execute e (inc "T2" "a" 2));
+  ignore (Engine.crash_restart e : Wal.recovery);
+  checki "later commit durable" 12 (State.get (Engine.state e) "a")
+
+let test_group_session_marker_exactly_once () =
+  (* the session commit group rides one barrier: marker and effects are
+     all-or-nothing, and on success exactly one marker surfaces *)
+  let dev = Block.create Block.faithful in
+  let e = Engine.create ~device:dev s0 in
+  Engine.begin_group e;
+  ignore (Engine.execute e (inc "T1" "a" 1));
+  Engine.journal e ~session:7 "applied 1 1";
+  Engine.force e;
+  ignore (Engine.crash_restart e : Wal.recovery);
+  checkb "open group: marker and effects lost together" true
+    (Engine.session_journal e = [] && State.equal s0 (Engine.state e));
+  Engine.with_group e (fun () ->
+      ignore (Engine.execute e (inc "T1" "a" 1));
+      Engine.journal e ~session:7 "applied 1 1";
+      Engine.force e);
+  ignore (Engine.crash_restart e : Wal.recovery);
+  checkb "closed group: exactly one marker, with its effects" true
+    (Engine.session_journal e = [ (7, "applied 1 1") ]
+    && State.equal (State.of_list [ ("a", 11); ("b", 20); ("c", 30) ]) (Engine.state e))
+
+let test_group_fsync_lie_atomic () =
+  (* Syncs: attach #1, initial checkpoint force #2, T1 #3, T2 #4, then
+     the group's single combined sync #5 — scripted to lie. The crash
+     must take the whole three-transaction group and its marker; a
+     prefix of the group surviving would violate the shared barrier. *)
+  let dev = Block.create { Block.faithful with Block.fsync_lies = [ 5 ] } in
+  let e = Engine.create ~device:dev s0 in
+  ignore (Engine.execute e (inc "T1" "a" 1));
+  ignore (Engine.execute e (inc "T2" "b" 1));
+  Engine.with_group e (fun () ->
+      ignore (Engine.execute e (inc "G1" "a" 10));
+      ignore (Engine.execute e (inc "G2" "b" 10));
+      ignore (Engine.execute e (inc "G3" "c" 10));
+      Engine.journal e ~session:9 "group");
+  checki "the scripted lie hit the combined sync" 1 (Block.stats dev).Block.lies_told;
+  let r = Engine.crash_restart e in
+  checkb "loss detected via the believed-durable gap" true (r.Wal.lost_durable > 0);
+  check_state "the coalesced group vanished whole — never a prefix"
+    (State.of_list [ ("a", 11); ("b", 21); ("c", 30) ])
+    (Engine.state e);
+  checkb "no marker without effects" true (Engine.session_journal e = [])
+
+let prop_group_crash_durability_equivalence =
+  (* Any crash point around a coalesced commit group yields a durable
+     state some per-session force schedule could have produced: either
+     none of the group's deferred forces happened (crash while open) or
+     all of them did (after the combined force). Never a strict subset. *)
+  QCheck.Test.make ~count:100 ~name:"group commit: a crash yields an all-or-nothing schedule state"
+    (QCheck.quad (QCheck.make G.state_gen)
+       (QCheck.make (G.history_gen ~length:3))
+       (QCheck.make (G.history_gen ~length:4))
+       QCheck.bool)
+    (fun (s0, pre, group, crash_inside) ->
+      let dev = Block.create Block.faithful in
+      let e = Engine.create ~device:dev s0 in
+      List.iter (fun p -> ignore (Engine.execute e p)) (History.programs pre);
+      let pre_state = Engine.state e in
+      let pre_durable = List.length (Wal.durable_entries (Engine.log e)) in
+      Engine.begin_group e;
+      List.iter (fun p -> ignore (Engine.execute e p)) (History.programs group);
+      let full_state = Engine.state e in
+      if not crash_inside then Engine.end_group e;
+      ignore (Engine.crash_restart e : Wal.recovery);
+      let d = List.length (Wal.durable_entries (Engine.log e)) in
+      if crash_inside then State.equal pre_state (Engine.state e) && d = pre_durable
+      else State.equal full_state (Engine.state e))
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -746,6 +1070,32 @@ let () =
           Alcotest.test_case "torn force recovers prefix" `Quick
             test_engine_device_torn_force_recovers_prefix;
         ] );
+      ( "v3 format",
+        [
+          Alcotest.test_case "hostile values roundtrip" `Quick test_v3_roundtrip_hostile_values;
+          Alcotest.test_case "crafted frames decode" `Quick test_v3_crafted_frames_decode;
+          Alcotest.test_case "torn frame" `Quick test_v3_torn_frame;
+          Alcotest.test_case "interior flip resyncs" `Quick test_v3_interior_flip_resyncs;
+          Alcotest.test_case "bad length field" `Quick test_v3_bad_length_field;
+          Alcotest.test_case "header autodetect" `Quick test_v3_header_autodetect;
+        ]
+        @ qsuite [ prop_cross_format_equivalence ] );
+      ( "fixture corpus",
+        [
+          Alcotest.test_case "decoded verdicts pinned" `Quick test_fixture_corpus;
+          Alcotest.test_case "scrub/salvage json pinned" `Quick test_fixture_scrub_json;
+          Alcotest.test_case "salvage keeps format" `Quick test_fixture_salvage;
+        ] );
+      ( "group commit",
+        [
+          Alcotest.test_case "coalesces forces" `Quick test_group_coalesces_forces;
+          Alcotest.test_case "nesting" `Quick test_group_nesting;
+          Alcotest.test_case "abandoned on exception" `Quick test_group_abandoned_on_exception;
+          Alcotest.test_case "session marker exactly once" `Quick
+            test_group_session_marker_exactly_once;
+          Alcotest.test_case "fsync lie takes the group whole" `Quick test_group_fsync_lie_atomic;
+        ]
+        @ qsuite [ prop_group_crash_durability_equivalence ] );
       ( "scrub/salvage",
         [
           Alcotest.test_case "scrub reports" `Quick test_scrub_reports;
